@@ -1,0 +1,38 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every ``bench_*.py`` regenerates one table/figure of the paper: it runs
+the corresponding driver from :mod:`repro.bench` (or the app layer),
+renders the reproduced rows/series as text, and writes them to
+``benchmarks/results/<name>.txt`` (pytest captures stdout, so files are
+the reliable artifact).  ``pytest-benchmark`` wraps the driver call so the
+harness also tracks host-side runtime of the reproduction itself.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+and inspect ``benchmarks/results/`` afterwards; EXPERIMENTS.md catalogues
+the expected shapes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Write one reproduced figure to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    # Also echo for -s runs.
+    print(f"\n[{name}] written to {path}\n{text}")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark (drivers are too
+    heavy for repeated rounds) and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

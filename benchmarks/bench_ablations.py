@@ -1,0 +1,88 @@
+"""Ablations of the model's design choices (DESIGN.md §5).
+
+Each ablation switches off one mechanism of the calibrated machine model
+and shows which reproduced phenomenon it is responsible for:
+
+* **eager bandwidth tier** (``eager_factor``) — carries the main result:
+  with it off, spread-out's small messages stream as cheaply as Bruck's
+  aggregates, and two-phase loses its bandwidth edge at moderate N;
+* **congestion** (``congestion_procs``) — carries the *decline* of the
+  crossover frontier with P;
+* **rotation-phase elimination** — carries zero-rotation Bruck's win over
+  basic Bruck (an algorithmic, not model, choice: measured by the phase
+  split).
+"""
+
+from repro.simmpi import THETA
+from repro.timing import predict_alltoallv, predict_uniform
+from repro.workloads import UniformBlocks
+
+from _common import once, save_report
+
+
+def _crossover(machine, p, blocks=(16, 32, 64, 128, 256, 512, 1024, 2048)):
+    best = 0
+    for n in blocks:
+        dist = UniformBlocks(n)
+        tp = predict_alltoallv("two_phase_bruck", machine, p, dist,
+                               seed=1).elapsed
+        vendor = predict_alltoallv("vendor", machine, p, dist,
+                                   seed=1).elapsed
+        if tp < vendor:
+            best = n
+    return best
+
+
+def test_ablation_eager_tier(benchmark):
+    """Without the eager bandwidth penalty the two-phase win collapses."""
+    flat = THETA.with_overrides(eager_factor=1.0)
+
+    def run():
+        return {
+            "with": _crossover(THETA, 4096),
+            "without": _crossover(flat, 4096),
+        }
+    out = once(benchmark, run)
+    text = (f"crossover N* at P=4096 with eager tier: {out['with']}\n"
+            f"crossover N* at P=4096 without eager tier: {out['without']}")
+    assert out["with"] >= 512
+    assert out["without"] < out["with"]
+    save_report("ablation_eager_tier", text)
+
+
+def test_ablation_congestion(benchmark):
+    """Without congestion the frontier stops collapsing at scale."""
+    free = THETA.with_overrides(congestion_procs=1e12)
+
+    def run():
+        return {
+            "with": (_crossover(THETA, 4096), _crossover(THETA, 32768)),
+            "without": (_crossover(free, 4096), _crossover(free, 32768)),
+        }
+    out = once(benchmark, run)
+    with_drop = out["with"][0] / max(out["with"][1], 1)
+    without_drop = out["without"][0] / max(out["without"][1], 1)
+    text = (f"frontier drop 4096->32768 with congestion: "
+            f"{out['with'][0]} -> {out['with'][1]} ({with_drop:.0f}x)\n"
+            f"without congestion: {out['without'][0]} -> "
+            f"{out['without'][1]} ({without_drop:.0f}x)")
+    assert with_drop > without_drop
+    save_report("ablation_congestion", text)
+
+
+def test_ablation_rotation_elimination(benchmark):
+    """Rotation phases are the entire zero-rotation advantage."""
+    def run():
+        basic = predict_uniform("basic_bruck", THETA, 4096, 32)
+        zero = predict_uniform("zero_rotation_bruck", THETA, 4096, 32)
+        return basic, zero
+    basic, zero = once(benchmark, run)
+    saved = basic.initial_rotation + basic.final_rotation
+    gain = basic.total - zero.total
+    text = (f"basic rotations cost: {saved * 1e3:.3f} ms\n"
+            f"total gain of zero-rotation: {gain * 1e3:.3f} ms\n"
+            f"comm time difference: {abs(basic.communication - zero.communication) * 1e3:.4f} ms")
+    # The gain is explained by the rotations (comm is nearly identical).
+    assert abs(basic.communication - zero.communication) < 0.2 * saved
+    assert gain > 0.6 * saved
+    save_report("ablation_rotation_elimination", text)

@@ -1,0 +1,28 @@
+"""Fig. 13 — generality across machines (Cori and Stampede2 profiles).
+
+Weak scaling with windowed-normal block sizes at N = 64.  Expected shape
+(paper §7): two-phase Bruck outperforms the vendor implementation on both
+machines, padded Bruck trails at these loads.
+"""
+
+from repro.bench import fig13_other_machines, format_series_table
+
+from _common import once, save_report
+
+PROCS = (128, 512, 2048, 8192, 32768)
+
+
+def test_fig13(benchmark):
+    out = once(benchmark, lambda: fig13_other_machines(
+        procs=PROCS, iterations=3))
+    lines = []
+    for mname, fd in out.items():
+        lines.append(format_series_table(fd.title, fd.x_header, fd.series,
+                                         fd.xs))
+        lines.append("")
+        tp = fd.series["two_phase_bruck"]
+        vendor = fd.series["vendor_alltoallv"]
+        for p in PROCS:
+            assert tp[p].median < vendor[p].median, (mname, p)
+    assert set(out) == {"cori", "stampede2"}
+    save_report("fig13_other_machines", "\n".join(lines))

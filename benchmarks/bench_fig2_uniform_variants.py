@@ -1,0 +1,49 @@
+"""Fig. 2 — uniform Bruck variants at N = 32 bytes.
+
+Regenerates (a) the total-time comparison of all six variants over
+P = 256…4096 and (b) the phase breakdown of the three explicit-memcpy
+variants.  Expected shape (paper §2.2): zero-rotation fastest everywhere,
+datatype variants slowest, rotation share growing with P.
+"""
+
+from repro.bench import (
+    fig2a_uniform_variants,
+    fig2b_phase_breakdown,
+    format_series_table,
+)
+
+from _common import once, save_report
+
+PROCS = (256, 512, 1024, 2048, 4096)
+
+
+def test_fig2a_total_times(benchmark):
+    fd = once(benchmark, lambda: fig2a_uniform_variants(procs=PROCS))
+    report = format_series_table(fd.title, fd.x_header, fd.series, fd.xs)
+    lines = [report, ""]
+    for p in PROCS:
+        lines.append(f"P={p}: fastest = {fd.winner(p)}")
+        assert fd.winner(p) == "zero_rotation_bruck"
+    save_report("fig2a_uniform_variants", "\n".join(lines))
+
+
+def test_fig2b_phase_breakdown(benchmark):
+    out = once(benchmark, lambda: fig2b_phase_breakdown(procs=PROCS))
+    lines = ["Fig. 2b: phase breakdown (ms), explicit-memcpy variants"]
+    for p in PROCS:
+        lines.append(f"\nP = {p}")
+        lines.append(f"{'variant':>22} {'init_rot':>10} {'comm':>10} "
+                     f"{'final_rot':>10} {'index':>8}")
+        for name, phases in out[p].items():
+            lines.append(
+                f"{name:>22} {phases['initial_rotation'] * 1e3:>10.4f} "
+                f"{phases['communication'] * 1e3:>10.4f} "
+                f"{phases['final_rotation'] * 1e3:>10.4f} "
+                f"{phases['index_setup'] * 1e3:>8.5f}")
+    # Shape assertions: rotation share grows with P (paper's observation).
+    def rot_share(p):
+        b = out[p]["basic_bruck"]
+        total = sum(b.values())
+        return (b["initial_rotation"] + b["final_rotation"]) / total
+    assert rot_share(PROCS[-1]) > rot_share(PROCS[0])
+    save_report("fig2b_phase_breakdown", "\n".join(lines))

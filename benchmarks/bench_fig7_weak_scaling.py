@@ -1,0 +1,42 @@
+"""Fig. 7 — weak scaling at N = 64 and N = 512 bytes.
+
+Expected shape (paper §4.1): execution time grows with P (all-to-all is
+inherently quadratic in total traffic); at N = 64 two-phase Bruck beats the
+vendor through 32K ranks, at N = 512 only through 8K.
+"""
+
+from repro.bench import fig7_weak_scaling, format_series_table
+
+from _common import once, save_report
+
+PROCS = (128, 512, 1024, 4096, 8192, 16384, 32768)
+
+
+def test_fig7_n64(benchmark):
+    fd = once(benchmark, lambda: fig7_weak_scaling(
+        block_nbytes=64, procs=PROCS, iterations=5))
+    text = format_series_table(fd.title, fd.x_header, fd.series, fd.xs)
+    tp = fd.series["two_phase_bruck"]
+    vendor = fd.series["vendor_alltoallv"]
+    for p in PROCS:
+        assert tp[p].median < vendor[p].median, p
+    # Paper: ~39.8% improvement at 8192 ranks; assert a loose band.
+    gain = 1 - tp[8192].median / vendor[8192].median
+    text += f"\n\nimprovement at P=8192: {gain * 100:.1f}% (paper: 39.8%)"
+    assert 0.25 < gain < 0.8
+    save_report("fig7_weak_scaling_n64", text)
+
+
+def test_fig7_n512(benchmark):
+    fd = once(benchmark, lambda: fig7_weak_scaling(
+        block_nbytes=512, procs=PROCS, iterations=5))
+    text = format_series_table(fd.title, fd.x_header, fd.series, fd.xs)
+    tp = fd.series["two_phase_bruck"]
+    vendor = fd.series["vendor_alltoallv"]
+    assert tp[8192].median < vendor[8192].median
+    assert tp[32768].median > vendor[32768].median
+    # Monotone growth with P for every scheme.
+    for name, pts in fd.series.items():
+        vals = [pts[p].median for p in PROCS]
+        assert vals == sorted(vals), name
+    save_report("fig7_weak_scaling_n512", text)

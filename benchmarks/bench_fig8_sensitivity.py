@@ -1,0 +1,45 @@
+"""Fig. 8 — sensitivity analysis at P = 4096.
+
+Block sizes drawn from windowed-uniform distributions ``(100-r)%..100%``
+of N, for N = 16…1024 and r = 100…20.  Expected shape (paper §4.2):
+two-phase beats the vendor for every window at N ≤ 512; at N = 1024 the
+heavier (narrow-window) configurations erode the win; times shrink
+proportionally with the window's average load.
+"""
+
+from repro.bench import fig8_sensitivity
+
+from _common import once, save_report
+
+BLOCKS = (16, 64, 256, 512, 1024)
+RS = (100, 80, 60, 40, 20)
+
+
+def test_fig8(benchmark):
+    out = once(benchmark, lambda: fig8_sensitivity(
+        nprocs=4096, blocks=BLOCKS, r_values=RS, iterations=3))
+    lines = ["Fig. 8: sensitivity at P=4096 (times in ms; windows labelled "
+             "(100-r)-r as in the paper)",
+             f"{'N':>6} {'window':>10} {'vendor':>10} {'two-phase':>10} "
+             f"{'padded':>10}  winner"]
+    for n in BLOCKS:
+        for r in RS:
+            row = out[(n, r)]
+            vendor = row["vendor_alltoallv"].median
+            tp = row["two_phase_bruck"].median
+            padded = row["padded_bruck"].median
+            winner = min(row, key=lambda k: row[k].median)
+            label = f"{100 - r}-{r}"
+            lines.append(f"{n:>6} {label:>10} {vendor * 1e3:>10.3f} "
+                         f"{tp * 1e3:>10.3f} {padded * 1e3:>10.3f}  {winner}")
+    # Shape: two-phase wins every window for N <= 512.
+    for n in (16, 64, 256, 512):
+        for r in RS:
+            row = out[(n, r)]
+            assert row["two_phase_bruck"].median \
+                < row["vendor_alltoallv"].median, (n, r)
+    # Shape: load (and hence time) shrinks as the window widens.
+    for n in (256, 1024):
+        assert out[(n, 100)]["two_phase_bruck"].median \
+            < out[(n, 20)]["two_phase_bruck"].median
+    save_report("fig8_sensitivity", "\n".join(lines))

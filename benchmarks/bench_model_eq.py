@@ -1,0 +1,56 @@
+"""Eqs. (1)–(3) — the theoretical cost model and its crossover.
+
+Evaluates the paper's closed forms over the benchmark grid and checks
+Eq. (3)'s padded-vs-two-phase predicate against the measured (simulated)
+ordering.  Expected shape: padded wins only when N is tiny and the run is
+latency-bound; the analytic crossover N* declines with P.
+"""
+
+from repro.core.cost_model import (
+    LinearCostParams,
+    crossover_block_size,
+    padded_beats_two_phase,
+    padded_bruck_time,
+    two_phase_bruck_time,
+)
+from repro.simmpi import THETA
+
+from _common import once, save_report
+
+PROCS = (128, 512, 2048, 8192, 32768)
+BLOCKS = (4, 8, 16, 64, 256, 1024)
+
+
+def test_theoretical_model(benchmark):
+    def run():
+        rows = []
+        for p in PROCS:
+            prm = LinearCostParams.from_machine(THETA, nprocs=p)
+            for n in BLOCKS:
+                rows.append((p, n,
+                             padded_bruck_time(p, n, prm),
+                             two_phase_bruck_time(p, n, prm),
+                             padded_beats_two_phase(p, n, prm)))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = ["Eq. (1)/(2) times (ms) and Eq. (3) predicate",
+             f"{'P':>6} {'N':>6} {'padded':>12} {'two-phase':>12} "
+             f"{'Eq3: padded wins':>17}"]
+    for p, n, tpad, ttp, pred in rows:
+        lines.append(f"{p:>6} {n:>6} {tpad * 1e3:>12.4f} {ttp * 1e3:>12.4f} "
+                     f"{str(pred):>17}")
+        # Internal consistency: the predicate must match the closed forms.
+        assert pred == (tpad < ttp)
+    lines.append("")
+    lines.append("Eq. (3) crossover N* by P:")
+    stars = []
+    for p in PROCS:
+        prm = LinearCostParams.from_machine(THETA, nprocs=p)
+        n_star = crossover_block_size(p, prm)
+        stars.append(n_star)
+        lines.append(f"  P={p}: N* = {n_star:.1f} bytes")
+    # N < 8 always favours padded; N* declines with P.
+    assert all(s >= 8 for s in stars)
+    assert stars == sorted(stars, reverse=True)
+    save_report("model_equations", "\n".join(lines))

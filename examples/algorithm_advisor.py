@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The Fig. 9 performance model as a practical advisor.
+
+Fits the empirical crossover frontiers once, then answers the paper's
+question — "with P and N, should one use two-phase Bruck, padded Bruck,
+or the vendor MPI_Alltoallv?" — for a grid of configurations (or for
+values passed on the command line).
+
+Run:  python examples/algorithm_advisor.py [P N]
+"""
+
+import sys
+
+from repro import PerformanceModel, THETA
+
+
+def main():
+    print("fitting the empirical performance model on the Theta profile "
+          "(data-scaling sweeps, analytic engine)...")
+    model = PerformanceModel.fit(
+        THETA,
+        procs=(128, 512, 1024, 4096, 8192, 16384, 32768),
+        blocks=(8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+    )
+    print()
+    print(model.describe())
+    print()
+
+    if len(sys.argv) == 3:
+        p, n = int(sys.argv[1]), int(sys.argv[2])
+        print(f"recommendation for P={p}, N={n}: {model.recommend(p, n)}")
+        return
+
+    print("recommendations over a (P, N) grid:")
+    ns = (8, 64, 256, 1024, 4096)
+    corner = "P \\ N"
+    header = f"{corner:>8} |" + "".join(f"{n:>18}" for n in ns)
+    print(header)
+    print("-" * len(header))
+    short = {"two_phase_bruck": "two-phase", "padded_bruck": "padded",
+             "vendor": "vendor"}
+    for p in (128, 350, 1024, 4096, 32768):
+        row = f"{p:>8} |"
+        for n in ns:
+            row += f"{short[model.recommend(p, n)]:>18}"
+        print(row)
+    print("\n(the paper's worked example: P=350, N=800 ->",
+          model.recommend(350, 800) + ")")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Program analysis: distributed kCFA-8 (paper §5.2, Fig. 12).
+
+Analyzes a worst-case (reconvergent funnel) CPS program with the
+distributed k-CFA abstract interpreter, comparing the vendor alltoallv to
+two-phase Bruck, and renders Fig. 12's two per-iteration series — comm
+time and max block size N — as text sparklines.
+
+Run:  python examples/kcfa_analysis.py [nprocs]
+"""
+
+import sys
+
+from repro import THETA
+from repro.apps import fig12_kcfa
+from repro.apps.kcfa import kcfa_worstcase, sequential_kcfa
+
+SPARK = " .:-=+*#%@"
+
+
+def sparkline(values):
+    hi = max(values) or 1
+    return "".join(SPARK[min(int(v / hi * (len(SPARK) - 1)), len(SPARK) - 1)]
+                   for v in values)
+
+
+def main():
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    program = kcfa_worstcase(n_payloads=6, chain_len=12)
+    print(f"program size: {program.size} AST nodes; "
+          f"k = 8; entries = 1; ranks = {nprocs}")
+    print(f"sequential reference: "
+          f"{len(sequential_kcfa(program, 8))} analysis facts\n")
+
+    data = fig12_kcfa(nprocs=nprocs, k=8, machine=THETA,
+                      n_payloads=6, chain_len=12)
+    tp = data.results["two_phase_bruck"]
+    vendor = data.results["vendor"]
+    assert tp.total_facts == vendor.total_facts
+
+    print(f"converged after {data.iterations} iterations, "
+          f"{tp.total_facts} facts")
+    print(f"all-to-all time: vendor = {vendor.comm_seconds * 1e3:.2f} ms, "
+          f"two-phase = {tp.comm_seconds * 1e3:.2f} ms "
+          f"({(1 - tp.comm_seconds / vendor.comm_seconds) * 100:.1f}% less)")
+    print(f"two-phase wins {data.wins('two_phase_bruck', 'vendor')} of "
+          f"{data.iterations} iterations\n")
+
+    print("per-iteration max block size N (Fig. 12 bottom panel):")
+    print("  " + sparkline(data.n_series()))
+    print("per-iteration comm time, vendor (Fig. 12 top panel, blue):")
+    print("  " + sparkline(data.comm_series("vendor")))
+    print("per-iteration comm time, two-phase (orange):")
+    print("  " + sparkline(data.comm_series("two_phase_bruck")))
+    print("\nNote how iterations with small N (most of them) are exactly "
+          "where two-phase wins — the paper's Fig. 12 observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``predict``    analytic simulated time of one alltoallv configuration
+``run``        functional (thread-simulator) run with byte verification
+``recommend``  the Fig. 9 advisor: which algorithm for (P, N)?
+``profiles``   list the machine profiles and their constants
+``sweep``      a data-scaling sweep (one Fig. 6 panel) as a table
+
+Examples
+--------
+::
+
+    python -m repro predict -a two_phase_bruck -p 8192 -n 256
+    python -m repro run -a padded_bruck -p 32 -n 64 --machine local
+    python -m repro recommend -p 350 -n 800
+    python -m repro sweep -p 4096
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import fig6_data_scaling, format_series_table
+from .core import NONUNIFORM_ALGORITHMS, PerformanceModel, alltoallv
+from .simmpi import PROFILES, get_profile, run_spmd
+from .timing import predict_alltoallv
+from .workloads import (
+    block_size_matrix,
+    build_vargs,
+    distribution_by_name,
+    verify_recv,
+)
+
+ALGORITHM_CHOICES = sorted(NONUNIFORM_ALGORITHMS) + ["vendor"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-p", "--nprocs", type=int, required=True,
+                   help="number of ranks")
+    p.add_argument("-n", "--max-block", type=int, required=True,
+                   help="maximum block size N in bytes")
+    p.add_argument("--dist", default="uniform",
+                   choices=["uniform", "normal", "power_law"],
+                   help="block-size distribution (default: uniform)")
+    p.add_argument("--machine", default="theta", choices=sorted(PROFILES),
+                   help="machine profile (default: theta)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    machine = get_profile(args.machine)
+    dist = distribution_by_name(args.dist, args.max_block)
+    result = predict_alltoallv(args.algorithm, machine, args.nprocs, dist,
+                               seed=args.seed)
+    print(f"{result.algorithm} at P={args.nprocs}, N={args.max_block} "
+          f"({args.dist}, {machine.name}, {result.mode} mode): "
+          f"{result.elapsed * 1e3:.4f} simulated ms")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.nprocs > 256:
+        print("error: functional runs are thread-per-rank; use <= 256 "
+              "ranks (the `predict` command scales further)",
+              file=sys.stderr)
+        return 2
+    machine = get_profile(args.machine)
+    dist = distribution_by_name(args.dist, args.max_block)
+    sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
+
+    def prog(comm):
+        vargs = build_vargs(comm.rank, sizes)
+        start = comm.clock
+        alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
+        verify_recv(comm.rank, sizes, vargs.recvbuf)
+        return comm.clock - start
+
+    result = run_spmd(prog, args.nprocs, machine=machine)
+    print(f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
+          f"({args.dist}, {machine.name}): "
+          f"{max(result.returns) * 1e3:.4f} simulated ms, "
+          f"{result.total_messages} messages, {result.total_bytes} bytes "
+          f"on the wire; delivery byte-verified on every rank")
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    machine = get_profile(args.machine)
+    print(f"fitting the empirical model on {machine.name}...",
+          file=sys.stderr)
+    model = PerformanceModel.fit(machine)
+    choice = model.recommend(args.nprocs, args.max_block)
+    print(f"P={args.nprocs}, N={args.max_block} -> {choice}")
+    print(f"(two-phase wins up to N≈"
+          f"{model.two_phase_threshold(args.nprocs):.0f} at this P; "
+          f"padded up to N≈{model.padded_threshold(args.nprocs):.0f})")
+    return 0
+
+
+def cmd_profiles(_args: argparse.Namespace) -> int:
+    for name in sorted(PROFILES):
+        m = PROFILES[name]
+        print(f"{name:>10}: alpha={m.alpha * 1e6:.1f}us "
+              f"beta={1 / m.beta / 1e6:.0f}MB/s "
+              f"o={m.o_send * 1e6:.1f}/{m.o_recv * 1e6:.1f}us "
+              f"eager<= {m.eager_threshold}B x{m.eager_factor} "
+              f"congestion K={m.congestion_procs:.0f}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    out = fig6_data_scaling(machine=get_profile(args.machine),
+                            procs=(args.nprocs,),
+                            iterations=args.iterations)
+    fd = out[args.nprocs]
+    print(format_series_table(fd.title, fd.x_header, fd.series, fd.xs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Bruck non-uniform all-to-all reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("predict", help="analytic simulated time")
+    p.add_argument("-a", "--algorithm", required=True,
+                   choices=ALGORITHM_CHOICES + ["sloav"])
+    _add_common(p)
+    p.set_defaults(fn=cmd_predict)
+
+    p = sub.add_parser("run", help="functional thread-simulator run")
+    p.add_argument("-a", "--algorithm", required=True,
+                   choices=ALGORITHM_CHOICES)
+    _add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("recommend", help="Fig. 9 advisor")
+    p.add_argument("-p", "--nprocs", type=int, required=True)
+    p.add_argument("-n", "--max-block", type=int, required=True)
+    p.add_argument("--machine", default="theta", choices=sorted(PROFILES))
+    p.set_defaults(fn=cmd_recommend)
+
+    p = sub.add_parser("profiles", help="list machine profiles")
+    p.set_defaults(fn=cmd_profiles)
+
+    p = sub.add_parser("sweep", help="data-scaling sweep at one P")
+    p.add_argument("-p", "--nprocs", type=int, required=True)
+    p.add_argument("--machine", default="theta", choices=sorted(PROFILES))
+    p.add_argument("--iterations", type=int, default=3)
+    p.set_defaults(fn=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "predict" and args.algorithm == "sloav":
+        print("error: sloav has no analytic predictor; use `run`",
+              file=sys.stderr)
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Applications (paper Section 5): transitive closure and kCFA over BPRA."""
+
+from .figures import Fig12Data, fig11_tc_strong_scaling, fig12_kcfa
+from .graphs import (
+    chain_graph,
+    dense_random_graph,
+    graph1,
+    graph2,
+    sequential_transitive_closure,
+)
+from .transitive_closure import TCResult, run_transitive_closure, transitive_closure_rank
+
+__all__ = [
+    "chain_graph",
+    "dense_random_graph",
+    "graph1",
+    "graph2",
+    "sequential_transitive_closure",
+    "run_transitive_closure",
+    "transitive_closure_rank",
+    "TCResult",
+    "fig11_tc_strong_scaling",
+    "fig12_kcfa",
+    "Fig12Data",
+]

@@ -1,0 +1,30 @@
+"""k-CFA program analysis application (paper Section 5.2)."""
+
+from .analysis import KCFAResult, kcfa_rank, run_kcfa, sequential_kcfa
+from .generator import (
+    chain_program,
+    funnel_program,
+    kcfa_worstcase,
+    merge_loop_program,
+    random_program,
+)
+from .syntax import Call, Lam, Program, Var, pack_contour, push_contour, unpack_contour
+
+__all__ = [
+    "Call",
+    "Lam",
+    "Var",
+    "Program",
+    "pack_contour",
+    "push_contour",
+    "unpack_contour",
+    "merge_loop_program",
+    "chain_program",
+    "random_program",
+    "funnel_program",
+    "kcfa_worstcase",
+    "kcfa_rank",
+    "run_kcfa",
+    "sequential_kcfa",
+    "KCFAResult",
+]

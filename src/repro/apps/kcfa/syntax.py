@@ -1,0 +1,163 @@
+"""CPS lambda-calculus core for the kCFA workload (paper §5.2).
+
+The analysis operates on continuation-passing-style programs made of two
+forms — lambdas and calls — the shape used throughout the k-CFA literature
+(Van Horn & Mairson [40] define their EXPTIME-hardness witnesses in the
+same core).
+
+To keep the *distributed* analysis joins local (see
+:mod:`repro.apps.kcfa.analysis`), programs are restricted to a
+**closure-free** core: every variable referenced by a call is a parameter
+of the immediately enclosing lambda.  Abstract values are then plain
+lambda labels (no captured environments), and all store lookups a state
+needs are owned by the state's own contour.  This preserves the paper's
+*communication* structure — thousands of fixed-point iterations with
+swinging all-to-all loads — which is what Fig. 12 measures; DESIGN.md
+documents the substitution.
+
+Labels are small consecutive ints; contours (call strings of length ≤ k)
+pack into one int64 with ``CONTOUR_BITS`` bits per label, so facts travel
+as fixed-arity int tuples through the BPRA exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Var", "Lam", "Call", "Program", "CONTOUR_BITS", "MAX_LABEL",
+           "pack_contour", "push_contour", "unpack_contour"]
+
+#: Bits per call label inside a packed contour.  7 bits × k=8 contour
+#: entries = 56 bits < 63, so kCFA-8 contours fit a non-negative int64.
+#: Labels are stored offset by one (so an empty slot is distinguishable
+#: from label 0), hence the usable label range is [0, 2**7 - 2].
+CONTOUR_BITS = 7
+MAX_LABEL = (1 << CONTOUR_BITS) - 2  # 126
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable reference (must be a parameter of the enclosing lambda)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Lam:
+    """``λ (params...) body`` — body is a single CPS call (or None: halt)."""
+
+    label: int
+    params: Tuple[str, ...]
+    body: Optional["Call"]
+
+
+@dataclass(frozen=True)
+class Call:
+    """``(fn arg1 ... argn)`` — fn/args are variables or literal lambdas."""
+
+    label: int
+    fn: Union[Var, Lam]
+    args: Tuple[Union[Var, Lam], ...]
+
+
+@dataclass
+class Program:
+    """A whole CPS program: the root call plus a label → lambda registry."""
+
+    root: Call
+    lambdas: Dict[int, Lam] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _collect(self) -> Tuple[List[Call], List[Lam]]:
+        calls: List[Call] = []
+        lams: List[Lam] = []
+        stack: List[Union[Call, Lam]] = [self.root]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, Call):
+                calls.append(node)
+                stack.append(node.fn) if isinstance(node.fn, Lam) else None
+                for a in node.args:
+                    if isinstance(a, Lam):
+                        stack.append(a)
+            elif isinstance(node, Lam):
+                lams.append(node)
+                if node.body is not None:
+                    stack.append(node.body)
+        return calls, lams
+
+    def _validate(self) -> None:
+        calls, lams = self._collect()
+        for lam in lams:
+            if lam.label > MAX_LABEL:
+                raise ValueError(
+                    f"lambda label {lam.label} exceeds MAX_LABEL "
+                    f"({MAX_LABEL}); shrink the program")
+            self.lambdas.setdefault(lam.label, lam)
+        labels = [c.label for c in calls]
+        if labels and max(labels) > MAX_LABEL:
+            raise ValueError(
+                f"call label {max(labels)} exceeds MAX_LABEL ({MAX_LABEL})")
+        # Closure-free check: every Var in a call body must be a parameter
+        # of the enclosing lambda.
+        for lam in lams:
+            if lam.body is None:
+                continue
+            scope = set(lam.params)
+            for item in (lam.body.fn, *lam.body.args):
+                if isinstance(item, Var) and item.name not in scope:
+                    raise ValueError(
+                        f"free variable {item.name!r} in lambda "
+                        f"{lam.label}: the closure-free core requires all "
+                        f"call operands to be parameters of the enclosing "
+                        f"lambda")
+
+    @property
+    def size(self) -> int:
+        calls, lams = self._collect()
+        return len(calls) + len(lams)
+
+
+# ----------------------------------------------------------------------
+# contour packing
+# ----------------------------------------------------------------------
+
+def pack_contour(labels: Sequence[int]) -> int:
+    """Pack up to 8 call labels (most-recent first) into one int64."""
+    if len(labels) > 8:
+        raise ValueError(f"contours longer than 8 unsupported, got {len(labels)}")
+    code = 0
+    for lab in labels:
+        if not 0 <= lab <= MAX_LABEL:
+            raise ValueError(f"label {lab} out of contour range")
+        # +1 so that the empty slot (0) is distinguishable from label 0.
+        code = (code << CONTOUR_BITS) | (lab + 1)
+    return code
+
+
+def unpack_contour(code: int) -> List[int]:
+    """Inverse of :func:`pack_contour` (most-recent label first)."""
+    mask = (1 << CONTOUR_BITS) - 1
+    out: List[int] = []
+    while code:
+        out.append((code & mask) - 1)
+        code >>= CONTOUR_BITS
+    out.reverse()
+    return out
+
+
+def push_contour(code: int, call_label: int, k: int) -> int:
+    """New contour: prepend ``call_label``, truncate to the ``k`` most
+    recent labels (k = 0 gives the monovariant empty contour)."""
+    if k == 0:
+        return 0
+    labels = unpack_contour(code)
+    labels = [call_label] + labels
+    return pack_contour(labels[:k])

@@ -1,0 +1,81 @@
+"""Plain-text table/series rendering for benchmark reports.
+
+The benchmark harness prints every reproduced figure as an aligned text
+table (the closest faithful analogue of the paper's plots in a terminal),
+with times in milliseconds and the winner of each row marked.  These
+functions are deliberately free of any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..stats import Summary
+
+__all__ = ["format_table", "format_series_table", "format_speedup"]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def format_table(title: str, col_header: str, row_header: str,
+                 columns: Sequence, rows: Sequence,
+                 cell: Mapping, winner_mark: str = "*") -> str:
+    """Render ``cell[(row, col)]`` (seconds or Summary) as a table.
+
+    The fastest column in each row is marked with ``winner_mark``.
+    """
+    def value_of(v) -> float:
+        return v.median if isinstance(v, Summary) else float(v)
+
+    widths = [max(len(str(c)) + 1, 12) for c in columns]
+    head = f"{row_header:>12} | " + " ".join(
+        f"{str(c):>{w}}" for c, w in zip(columns, widths))
+    lines = [title, "-" * len(head), head, "-" * len(head)]
+    for r in rows:
+        vals = {}
+        for c in columns:
+            v = cell.get((r, c))
+            if v is not None:
+                vals[c] = value_of(v)
+        best = min(vals.values()) if vals else None
+        cells = []
+        for c, w in zip(columns, widths):
+            if c in vals:
+                mark = winner_mark if vals[c] == best else " "
+                cells.append(f"{_fmt_ms(vals[c]) + mark:>{w}}")
+            else:
+                cells.append(f"{'-':>{w}}")
+        lines.append(f"{str(r):>12} | " + " ".join(cells))
+    lines.append("-" * len(head))
+    lines.append(f"(times in ms; {winner_mark} marks the row winner)")
+    return "\n".join(lines)
+
+
+def format_series_table(title: str, x_header: str,
+                        series: Mapping[str, Mapping],
+                        xs: Sequence) -> str:
+    """Render one series per column over a shared x axis."""
+    names = list(series)
+    cell = {}
+    for name in names:
+        for x in xs:
+            v = series[name].get(x)
+            if v is not None:
+                cell[(x, name)] = v
+    return format_table(title, "algorithm", x_header, names, xs, cell)
+
+
+def format_speedup(base_name: str, base: float, other_name: str,
+                   other: float) -> str:
+    """One-line comparison in the paper's phrasing ("X% faster")."""
+    if other <= 0 or base <= 0:
+        return f"{base_name} vs {other_name}: undefined (non-positive time)"
+    if base <= other:
+        pct = (1.0 - base / other) * 100.0
+        return (f"{base_name} is {pct:.1f}% faster than {other_name} "
+                f"({_fmt_ms(base)} vs {_fmt_ms(other)} ms)")
+    pct = (1.0 - other / base) * 100.0
+    return (f"{other_name} is {pct:.1f}% faster than {base_name} "
+            f"({_fmt_ms(other)} vs {_fmt_ms(base)} ms)")

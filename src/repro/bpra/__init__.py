@@ -1,0 +1,20 @@
+"""Balanced parallel relational algebra (BPRA) substrate.
+
+Hash-partitioned relations, a pluggable all-to-all tuple exchange, and a
+semi-naive fixed-point driver — the stack the paper's graph-mining and
+program-analysis applications run on (Section 5).
+"""
+
+from .comm import ExchangeStats, exchange_tuples
+from .fixpoint import FixpointResult, IterationRecord, run_fixpoint
+from .relation import LocalRelation, hash_owner
+
+__all__ = [
+    "LocalRelation",
+    "hash_owner",
+    "exchange_tuples",
+    "ExchangeStats",
+    "run_fixpoint",
+    "FixpointResult",
+    "IterationRecord",
+]

@@ -1,0 +1,148 @@
+"""Shared math and validation helpers for all Bruck-family algorithms.
+
+The index arithmetic here is the substance of the paper's Section 2/3: which
+blocks move in which communication step, and how slots map to sources and
+destinations.  Centralizing it keeps the six uniform variants and the two
+non-uniform algorithms from re-deriving (and re-bugging) the same bit
+tricks, and lets :mod:`repro.schedule` reuse the identical definitions so
+the analytic schedules provably match the functional implementations.
+
+Bruck index conventions used throughout (see DESIGN.md):
+
+* ``num_steps(P) == ceil(log2 P)`` communication steps.
+* In step ``k``, the *distance indices* ``i`` with bit ``k`` set move.  For
+  the **basic** algorithm a block with distance ``i`` travels from source
+  ``s`` to destination ``(s + i) % P``; for the **modified/zero-rotation**
+  family it travels to ``(s - i) % P`` and sits at slot
+  ``(i + current_rank) % P`` at every hop, so it lands at slot ``s`` on its
+  destination with no final rotation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "num_steps",
+    "send_block_distances",
+    "block_moved_before",
+    "rotation_index_array",
+    "as_byte_view",
+    "checked_counts_displs",
+    "validate_uniform_args",
+    "total_send_blocks_per_step",
+]
+
+
+def num_steps(nprocs: int) -> int:
+    """Number of Bruck communication steps: ``ceil(log2 P)`` (0 for P=1)."""
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    return (nprocs - 1).bit_length()
+
+
+def send_block_distances(step: int, nprocs: int) -> List[int]:
+    """Distance indices moving in ``step``: all ``i in [1, P)`` with bit
+    ``step`` of ``i`` set, ascending.
+
+    Every step moves at most ``(P+1)//2`` blocks; the last step of a
+    non-power-of-two ``P`` moves fewer (the paper calls this out
+    explicitly).
+    """
+    if step < 0:
+        raise ValueError(f"step must be non-negative, got {step}")
+    bit = 1 << step
+    return [i for i in range(bit, nprocs) if i & bit]
+
+
+def block_moved_before(distance: int, step: int) -> bool:
+    """Has the block with this distance index already been exchanged in a
+    step before ``step``?
+
+    True iff ``distance`` has a set bit below ``step``.  Used by
+    zero-rotation Bruck to decide whether a block is drawn from the original
+    send buffer or from the working/receive buffer — the functional
+    equivalent of two-phase Bruck's explicit ``status`` array.
+    """
+    return (distance & ((1 << step) - 1)) != 0
+
+
+def rotation_index_array(rank: int, nprocs: int) -> np.ndarray:
+    """The paper's rotation index array ``I[j] = (2*rank - j) % P``.
+
+    ``I[j]`` is the index (into the caller's original block order) of the
+    block that *logically* sits at working slot ``j`` before any exchange.
+    Creating ``I`` costs O(P), replacing the O(P*n) physical rotation.
+    """
+    j = np.arange(nprocs, dtype=np.int64)
+    return (2 * rank - j) % nprocs
+
+
+def total_send_blocks_per_step(nprocs: int) -> List[int]:
+    """Blocks sent by each rank in every step (for models and tests)."""
+    return [len(send_block_distances(k, nprocs)) for k in range(num_steps(nprocs))]
+
+
+# ----------------------------------------------------------------------
+# buffer validation
+# ----------------------------------------------------------------------
+
+def as_byte_view(buffer: np.ndarray, name: str = "buffer") -> np.ndarray:
+    """Flat uint8 view of a contiguous ndarray (zero-copy)."""
+    if not isinstance(buffer, np.ndarray):
+        raise TypeError(f"{name} must be a numpy ndarray, got {type(buffer)}")
+    if not buffer.flags.c_contiguous:
+        raise ValueError(f"{name} must be C-contiguous")
+    return buffer.reshape(-1).view(np.uint8)
+
+
+def checked_counts_displs(
+    counts: Sequence[int],
+    displs: Sequence[int],
+    nprocs: int,
+    buf_nbytes: int,
+    what: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate an alltoallv counts/displacements pair.
+
+    Checks length, non-negativity, and that every ``[displ, displ+count)``
+    extent fits in the buffer.  Overlap between extents is *not* rejected
+    for send buffers (MPI allows reading the same bytes twice) — receive
+    extents are the caller's contract, as in MPI.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    displs = np.asarray(displs, dtype=np.int64)
+    if counts.shape != (nprocs,):
+        raise ValueError(f"{what}counts must have shape ({nprocs},), got {counts.shape}")
+    if displs.shape != (nprocs,):
+        raise ValueError(f"{what}displs must have shape ({nprocs},), got {displs.shape}")
+    if np.any(counts < 0):
+        raise ValueError(f"{what}counts must be non-negative")
+    if np.any(displs < 0):
+        raise ValueError(f"{what}displs must be non-negative")
+    if np.any(displs + counts > buf_nbytes):
+        bad = int(np.argmax(displs + counts > buf_nbytes))
+        raise ValueError(
+            f"{what} block {bad} (displ {int(displs[bad])}, count "
+            f"{int(counts[bad])}) exceeds buffer of {buf_nbytes} bytes"
+        )
+    return counts, displs
+
+
+def validate_uniform_args(
+    sendbuf: np.ndarray, recvbuf: np.ndarray, block_nbytes: int, nprocs: int
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Validate uniform-alltoall buffers; returns byte views and block size."""
+    n = int(block_nbytes)
+    if n < 0:
+        raise ValueError(f"block_nbytes must be non-negative, got {block_nbytes}")
+    sview = as_byte_view(sendbuf, "sendbuf")
+    rview = as_byte_view(recvbuf, "recvbuf")
+    need = nprocs * n
+    if sview.nbytes < need:
+        raise ValueError(f"sendbuf needs {need} bytes, has {sview.nbytes}")
+    if rview.nbytes < need:
+        raise ValueError(f"recvbuf needs {need} bytes, has {rview.nbytes}")
+    return sview, rview, n

@@ -1,0 +1,146 @@
+"""Theoretical latency/bandwidth cost model (paper §3.3, Eqs. 1–3).
+
+The paper models one message exchange as ``alpha + n*beta`` (latency +
+per-byte cost) and derives per-rank communication times for its two
+non-uniform algorithms, assuming block sizes uniformly distributed in
+``[0, N]`` (average ``N/2``):
+
+* **Padded Bruck** (Eq. 1) — one message per step, every block padded to
+  ``N``::
+
+      T_padded = alpha*log2(P) + beta*log2(P)*((P+1)/2)*N
+
+* **Two-phase Bruck** (Eq. 2) — two messages per step (metadata of
+  ``(P+1)/2`` 4-byte sizes, then data averaging ``N/2`` per block)::
+
+      T_twophase = 2*alpha*log2(P) + 4*beta*log2(P)*(P+1)/2
+                   + (N/2)*beta*log2(P)*(P+1)/2
+
+* **Crossover** (Eq. 3) — padded beats two-phase iff::
+
+      (N - 8)*(P + 1)*beta < 4*alpha
+
+  which always holds for ``N < 8`` bytes and otherwise only when latency
+  (``alpha``) dominates.
+
+These closed forms intentionally mirror the paper's simplifications (no
+congestion, no per-message CPU overhead, ``log P`` for ``log2 P``); the
+*measured* counterparts live in :mod:`repro.timing`.  The functions accept
+either explicit ``alpha``/``beta`` or a
+:class:`~repro.simmpi.machine.MachineProfile`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..simmpi.machine import MachineProfile
+
+__all__ = [
+    "LinearCostParams",
+    "padded_bruck_time",
+    "two_phase_bruck_time",
+    "spread_out_time",
+    "padded_beats_two_phase",
+    "crossover_block_size",
+]
+
+_META_ENTRY_BYTES = 4.0  # the paper charges 4 bytes per metadata entry
+
+
+@dataclass(frozen=True)
+class LinearCostParams:
+    """The ``alpha + n*beta`` parameters of the paper's model."""
+
+    alpha: float
+    beta: float
+
+    @classmethod
+    def from_machine(cls, machine: MachineProfile,
+                     nprocs: Optional[int] = None) -> "LinearCostParams":
+        """Collapse a full profile into the paper's two-parameter model.
+
+        The per-message CPU overheads fold into ``alpha`` (they are paid
+        once per message, like latency); congestion folds into ``beta``
+        when ``nprocs`` is given.
+        """
+        alpha = machine.alpha + machine.o_send + machine.o_recv
+        beta = machine.beta_eff(nprocs) if nprocs else machine.beta
+        return cls(alpha=alpha, beta=beta)
+
+
+def _params(model: Union[LinearCostParams, MachineProfile],
+            nprocs: int) -> LinearCostParams:
+    if isinstance(model, MachineProfile):
+        return LinearCostParams.from_machine(model, nprocs)
+    return model
+
+
+def _log2(nprocs: int) -> float:
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    return math.log2(nprocs) if nprocs > 1 else 0.0
+
+
+def padded_bruck_time(nprocs: int, max_block: float,
+                      model: Union[LinearCostParams, MachineProfile]) -> float:
+    """Eq. (1): per-rank communication time of padded Bruck (seconds)."""
+    prm = _params(model, nprocs)
+    lg = _log2(nprocs)
+    return prm.alpha * lg + prm.beta * lg * ((nprocs + 1) / 2.0) * max_block
+
+
+def two_phase_bruck_time(nprocs: int, max_block: float,
+                         model: Union[LinearCostParams, MachineProfile]) -> float:
+    """Eq. (2): per-rank communication time of two-phase Bruck (seconds).
+
+    Assumes the paper's uniform-distribution workload (average block size
+    ``max_block / 2``).
+    """
+    prm = _params(model, nprocs)
+    lg = _log2(nprocs)
+    half = (nprocs + 1) / 2.0
+    return (2.0 * prm.alpha * lg
+            + _META_ENTRY_BYTES * prm.beta * lg * half
+            + (max_block / 2.0) * prm.beta * lg * half)
+
+
+def spread_out_time(nprocs: int, max_block: float,
+                    model: Union[LinearCostParams, MachineProfile]) -> float:
+    """Per-rank time of the spread-out baseline under the same model.
+
+    Not one of the paper's numbered equations, but needed to reason about
+    the Fig. 9 parameter space: ``P - 1`` messages, total volume
+    ``P * N/2`` bytes on average.
+    """
+    prm = _params(model, nprocs)
+    return (prm.alpha * max(nprocs - 1, 0)
+            + prm.beta * nprocs * (max_block / 2.0))
+
+
+def padded_beats_two_phase(nprocs: int, max_block: float,
+                           model: Union[LinearCostParams, MachineProfile]) -> bool:
+    """Eq. (3): does padded Bruck beat two-phase Bruck?
+
+    ``(N - 8) * (P + 1) * beta < 4 * alpha`` — true whenever ``N < 8``
+    bytes, else only in strongly latency-bound regimes.
+    """
+    prm = _params(model, nprocs)
+    return (max_block - 2 * _META_ENTRY_BYTES) * (nprocs + 1) * prm.beta \
+        < 4.0 * prm.alpha
+
+
+def crossover_block_size(nprocs: int,
+                         model: Union[LinearCostParams, MachineProfile]) -> float:
+    """The ``N`` at which Eq. (3) flips: padded wins below, two-phase above.
+
+    Derived by solving Eq. (3) for ``N``::
+
+        N* = 8 + 4*alpha / ((P + 1) * beta)
+    """
+    prm = _params(model, nprocs)
+    if prm.beta == 0:
+        return math.inf
+    return 2 * _META_ENTRY_BYTES + 4.0 * prm.alpha / ((nprocs + 1) * prm.beta)

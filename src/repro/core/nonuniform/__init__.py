@@ -1,0 +1,69 @@
+"""Non-uniform all-to-all algorithms (paper Section 3).
+
+All implementations share the ``MPI_Alltoallv`` signature::
+
+    fn(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+       *, tag_base=0)
+
+with byte counts/displacements over flat byte buffers.  Use
+:func:`alltoallv` to dispatch by name; ``"vendor"`` is the stand-in for the
+vendor-optimized ``MPI_Alltoallv`` the paper benchmarks against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ...simmpi.communicator import Communicator
+from .grouped import grouped_alltoallv
+from .padded import padded_alltoall, padded_bruck
+from .sloav import sloav_alltoallv
+from .spread_out_v import spread_out_v
+from .twophase import two_phase_bruck
+
+__all__ = [
+    "padded_bruck",
+    "padded_alltoall",
+    "two_phase_bruck",
+    "spread_out_v",
+    "sloav_alltoallv",
+    "grouped_alltoallv",
+    "NONUNIFORM_ALGORITHMS",
+    "alltoallv",
+]
+
+AlltoallvFn = Callable[..., None]
+
+#: Registry of every non-uniform scheme in the paper's evaluation
+#: (Fig. 6 compares exactly these plus the vendor library).
+NONUNIFORM_ALGORITHMS: Dict[str, AlltoallvFn] = {
+    "padded_bruck": padded_bruck,
+    "padded_alltoall": padded_alltoall,
+    "two_phase_bruck": two_phase_bruck,
+    "spread_out": spread_out_v,
+    "sloav": sloav_alltoallv,
+    "grouped": grouped_alltoallv,
+}
+
+
+def alltoallv(comm: Communicator, sendbuf: np.ndarray,
+              sendcounts: Sequence[int], sdispls: Sequence[int],
+              recvbuf: np.ndarray, recvcounts: Sequence[int],
+              rdispls: Sequence[int], *,
+              algorithm: str = "two_phase_bruck", tag_base: int = 0) -> None:
+    """Non-uniform all-to-all dispatching on ``algorithm`` name."""
+    if algorithm == "vendor":
+        comm.alltoallv(sendbuf, sendcounts, sdispls, recvbuf, recvcounts,
+                       rdispls)
+        return
+    try:
+        fn = NONUNIFORM_ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(NONUNIFORM_ALGORITHMS) + ["vendor"])
+        raise KeyError(
+            f"unknown non-uniform algorithm {algorithm!r}; known: {known}"
+        ) from None
+    fn(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+       tag_base=tag_base)

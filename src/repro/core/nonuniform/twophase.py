@@ -1,0 +1,167 @@
+"""Two-phase Bruck — the paper's flagship non-uniform all-to-all
+(§3.2, Algorithm 1, Figs. 3–5).
+
+Extending Bruck to variable block sizes poses two problems: (a) a rank
+does not know how many bytes it will receive at each of the ``log2 P``
+steps, and (b) intermediate blocks can outgrow the slots of the send or
+receive buffer.  Two-phase Bruck solves (a) with a **coupled metadata
+exchange** — each step first sends the sizes of the blocks about to move
+(one 4-byte integer each), so the partner can post an exact-size receive —
+and (b) with a **monolithic working buffer** ``W`` of ``P × N`` bytes
+(``N`` = global max block size, found with one allreduce), where slot ``j``
+of ``W`` parks any in-transit block at working slot ``j``.
+
+The communication structure is zero-rotation Bruck's: the rotation index
+array ``I[j] = (2p - j) % P`` replaces the initial rotation; the reversed
+send direction removes the final rotation; blocks received for the last
+time are deposited *directly* at their ``rdispls`` position in the receive
+buffer (no final scan).  A block's ``status`` flag says whether its current
+bytes live in the caller's send buffer (never moved) or in ``W``; its
+current size is tracked in a working copy of ``sendcounts`` keyed, like
+``status``, by the original block index ``I[slot]`` — Algorithm 1's exact
+bookkeeping.
+
+Per step the algorithm pays **two** latencies (metadata + data) but moves
+only the true bytes; versus padded Bruck's one latency but ``N``-padded
+bytes — Eq. (1)–(3)'s trade.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...simmpi.communicator import Communicator
+from ..common import (
+    as_byte_view,
+    checked_counts_displs,
+    num_steps,
+    rotation_index_array,
+    send_block_distances,
+)
+
+__all__ = ["two_phase_bruck"]
+
+PHASE_SETUP = "setup"
+PHASE_META = "metadata_exchange"
+PHASE_DATA = "data_exchange"
+
+_META_DTYPE = np.int32  # the paper's model charges 4 bytes per size entry
+_META_MAX = np.iinfo(_META_DTYPE).max
+
+
+def two_phase_bruck(comm: Communicator, sendbuf: np.ndarray,
+                    sendcounts: Sequence[int], sdispls: Sequence[int],
+                    recvbuf: np.ndarray, recvcounts: Sequence[int],
+                    rdispls: Sequence[int], *, tag_base: int = 0) -> None:
+    """Non-uniform all-to-all via coupled metadata/data Bruck exchange.
+
+    Same contract as ``MPI_Alltoallv`` over ``MPI_BYTE``: counts and
+    displacements in bytes, flat byte buffers.
+    """
+    p, rank = comm.size, comm.rank
+    raw_max = int(np.asarray(sendcounts, dtype=np.int64).max(initial=0))
+    if raw_max > _META_MAX:
+        raise ValueError(
+            f"block sizes above {_META_MAX} bytes overflow the 4-byte "
+            f"metadata entries (got {raw_max})"
+        )
+    sview = as_byte_view(sendbuf, "sendbuf")
+    rview = as_byte_view(recvbuf, "recvbuf")
+    scounts, sdis = checked_counts_displs(sendcounts, sdispls, p,
+                                          sview.nbytes, "send")
+    rcounts, rdis = checked_counts_displs(recvcounts, rdispls, p,
+                                          rview.nbytes, "recv")
+
+    with comm.phase(PHASE_SETUP):
+        # Algorithm 1 lines 1-5: global max block size, working buffer W,
+        # rotation index array I.
+        local_max = int(scounts.max()) if p else 0
+        max_n = int(comm.allreduce(local_max, op="max"))
+        rot = rotation_index_array(rank, p)          # I[j] = (2p - j) % P
+        comm.charge_compute(p * 1.0e-9)
+        if max_n == 0:
+            return
+        work = np.empty(p * max_n, dtype=np.uint8)   # monolithic buffer W
+        # Working size of the block currently at slot j, keyed by the
+        # original block index I[j] (Algorithm 1 keeps it in sendcounts).
+        cur_counts = scounts.copy()
+        # status[b] == True: the block keyed b has moved and lives in W.
+        status = np.zeros(p, dtype=bool)
+
+    # Self block: delivered locally, never enters the exchange.
+    n_self = int(scounts[rank])
+    if n_self:
+        rview[rdis[rank]:rdis[rank] + n_self] = \
+            sview[sdis[rank]:sdis[rank] + n_self]
+        comm.charge_copy(n_self)
+
+    for k in range(num_steps(p)):
+        dist = send_block_distances(k, p)            # lines 8-10
+        if not dist:
+            continue
+        m = len(dist)
+        slots = [(i + rank) % p for i in dist]       # sd[] slot indices
+        keys = [int(rot[j]) for j in slots]          # I[sd[i]]
+        send_rank = (rank - (1 << k)) % p            # line 14
+        recv_rank = (rank + (1 << k)) % p            # line 15
+
+        with comm.phase(PHASE_META):
+            # Lines 11-13, 16: exchange the sizes of the moving blocks.
+            meta_out = np.asarray([cur_counts[b] for b in keys],
+                                  dtype=_META_DTYPE)
+            meta_in = np.empty(m, dtype=_META_DTYPE)
+            comm.sendrecv(meta_out, send_rank, tag_base + 2 * k,
+                          meta_in, recv_rank, tag_base + 2 * k)
+
+        with comm.phase(PHASE_DATA):
+            # Lines 17-24: gather the moving blocks into one message,
+            # drawing from W (moved before) or the send buffer (fresh).
+            out_total = int(meta_out.sum())
+            stage = np.empty(out_total, dtype=np.uint8)
+            pos = 0
+            for a in range(m):
+                cnt = int(meta_out[a])
+                if cnt:
+                    if status[keys[a]]:
+                        off = slots[a] * max_n
+                        stage[pos:pos + cnt] = work[off:off + cnt]
+                    else:
+                        off = int(sdis[keys[a]])
+                        stage[pos:pos + cnt] = sview[off:off + cnt]
+                    comm.charge_copy(cnt)
+                pos += cnt
+            sreq = comm.isend(stage, send_rank, tag_base + 2 * k + 1)
+            in_total = int(meta_in.sum())
+            incoming = np.empty(in_total, dtype=np.uint8)
+            rreq = comm.irecv(incoming, recv_rank, tag_base + 2 * k + 1)
+            sreq.wait()
+            rreq.wait()
+            # Lines 25-33: scatter; finished blocks (no set bit above k in
+            # their distance) go straight to their final rdispls position,
+            # in-transit blocks park in W at their slot.
+            pos = 0
+            for a in range(m):
+                cnt = int(meta_in[a])
+                finished = dist[a] < (1 << (k + 1))  # line 26
+                if finished and cnt != int(rcounts[slots[a]]):
+                    raise ValueError(
+                        f"rank {rank}: block from source {slots[a]} arrived "
+                        f"with {cnt} bytes but recvcounts promises "
+                        f"{int(rcounts[slots[a]])} (mismatched counts "
+                        f"between sender and receiver)"
+                    )
+                if cnt:
+                    if finished:
+                        # Final layout: the block at slot j comes from
+                        # source j, so rdispls is indexed by the slot.
+                        off = int(rdis[slots[a]])
+                        rview[off:off + cnt] = incoming[pos:pos + cnt]
+                    else:
+                        off = slots[a] * max_n
+                        work[off:off + cnt] = incoming[pos:pos + cnt]
+                    comm.charge_copy(cnt)
+                pos += cnt
+                status[keys[a]] = True               # line 31
+                cur_counts[keys[a]] = cnt            # line 32

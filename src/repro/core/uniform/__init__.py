@@ -1,0 +1,69 @@
+"""Uniform all-to-all algorithms (paper Section 2).
+
+The registry maps the paper's algorithm names to implementations sharing
+one signature::
+
+    fn(comm, sendbuf, recvbuf, block_nbytes, *, tag_base=0)
+
+Use :func:`alltoall` to dispatch by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ...simmpi.communicator import Communicator
+from .basic import basic_bruck, basic_bruck_dt
+from .modified import modified_bruck, modified_bruck_dt
+from .spread_out import spread_out
+from .zero_rotation import zero_rotation_bruck
+from .zerocopy import zero_copy_bruck_dt
+
+__all__ = [
+    "basic_bruck",
+    "basic_bruck_dt",
+    "modified_bruck",
+    "modified_bruck_dt",
+    "zero_copy_bruck_dt",
+    "zero_rotation_bruck",
+    "spread_out",
+    "UNIFORM_ALGORITHMS",
+    "alltoall",
+]
+
+AlltoallFn = Callable[..., None]
+
+#: Registry of every uniform variant evaluated in Fig. 2, plus the
+#: spread-out baseline.
+UNIFORM_ALGORITHMS: Dict[str, AlltoallFn] = {
+    "basic_bruck": basic_bruck,
+    "basic_bruck_dt": basic_bruck_dt,
+    "modified_bruck": modified_bruck,
+    "modified_bruck_dt": modified_bruck_dt,
+    "zero_copy_bruck_dt": zero_copy_bruck_dt,
+    "zero_rotation_bruck": zero_rotation_bruck,
+    "spread_out": spread_out,
+}
+
+
+def alltoall(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,
+             block_nbytes: int, *, algorithm: str = "zero_rotation_bruck",
+             tag_base: int = 0) -> None:
+    """Uniform all-to-all dispatching on ``algorithm`` name.
+
+    ``"vendor"`` routes to the communicator's builtin (spread-out) alltoall,
+    mirroring a call to the MPI library's own ``MPI_Alltoall``.
+    """
+    if algorithm == "vendor":
+        comm.alltoall(sendbuf, recvbuf, block_nbytes)
+        return
+    try:
+        fn = UNIFORM_ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(UNIFORM_ALGORITHMS) + ["vendor"])
+        raise KeyError(
+            f"unknown uniform algorithm {algorithm!r}; known: {known}"
+        ) from None
+    fn(comm, sendbuf, recvbuf, block_nbytes, tag_base=tag_base)

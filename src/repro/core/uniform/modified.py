@@ -1,0 +1,84 @@
+"""Modified Bruck algorithm (Träff et al. [39]; paper §2.1, Fig. 1b).
+
+Eliminates basic Bruck's final rotation by reversing the communication
+direction and adjusting the initial rotation:
+
+1. **Initial rotation** — ``R[j] = S[(2p - j) % P]``.  The block rank ``p``
+   must deliver to ``d`` sits at slot ``(p + i) % P`` where
+   ``i = (p - d) % P`` is its travel distance (now in the *negative*
+   direction).
+2. **log2(P) steps** — in step ``k``, send to ``(p - 2^k) % P`` the slots
+   ``(i + p) % P`` for every distance ``i`` with bit ``k`` set; receive the
+   same distance set from ``(p + 2^k) % P``.  The slot of a block is always
+   ``(i + current_rank) % P``, so on its destination ``d = s - i`` it sits
+   at slot ``(i + d) % P = s`` — the receive buffer's final layout.  No
+   final rotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...simmpi.communicator import Communicator
+from ...simmpi.datatype import IndexedBlocks
+from ..common import num_steps, send_block_distances, validate_uniform_args
+from .basic import PHASE_COMM, PHASE_ROTATE_IN
+
+__all__ = ["modified_bruck", "modified_bruck_dt"]
+
+
+def modified_bruck(comm: Communicator, sendbuf: np.ndarray,
+                   recvbuf: np.ndarray, block_nbytes: int, *,
+                   use_datatypes: bool = False, tag_base: int = 0) -> None:
+    """Uniform all-to-all via modified Bruck (no final rotation)."""
+    p, rank = comm.size, comm.rank
+    sview, rview, n = validate_uniform_args(sendbuf, recvbuf, block_nbytes, p)
+    if n == 0:
+        return
+    smat = sview[: p * n].reshape(p, n)
+    rmat = rview[: p * n].reshape(p, n)
+
+    with comm.phase(PHASE_ROTATE_IN):
+        src = (2 * rank - np.arange(p)) % p
+        rmat[:] = smat[src]
+        for _ in range(p):
+            comm.charge_copy(n)
+
+    with comm.phase(PHASE_COMM):
+        staging = np.empty(((p + 1) // 2) * n, dtype=np.uint8)
+        for k in range(num_steps(p)):
+            dist = send_block_distances(k, p)
+            if not dist:
+                continue
+            m = len(dist)
+            slots = (np.asarray(dist, dtype=np.int64) + rank) % p
+            dst = (rank - (1 << k)) % p
+            src_rank = (rank + (1 << k)) % p
+            rbuf = staging[: m * n]
+            if use_datatypes:
+                blocks = IndexedBlocks([(int(j) * n, n) for j in slots])
+                payload = comm.pack(rview, blocks)
+                sreq = comm.isend(payload, dst, tag=tag_base + k)
+                rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
+                sreq.wait()
+                rreq.wait()
+                comm.unpack(rview, blocks, rbuf)
+            else:
+                stage = rmat[slots].reshape(-1)
+                for _ in range(m):
+                    comm.charge_copy(n)
+                sreq = comm.isend(stage, dst, tag=tag_base + k)
+                rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
+                sreq.wait()
+                rreq.wait()
+                rmat[slots] = rbuf.reshape(m, n)
+                for _ in range(m):
+                    comm.charge_copy(n)
+
+
+def modified_bruck_dt(comm: Communicator, sendbuf: np.ndarray,
+                      recvbuf: np.ndarray, block_nbytes: int, *,
+                      tag_base: int = 0) -> None:
+    """ModifiedBruck-dt: the derived-datatype build of :func:`modified_bruck`."""
+    modified_bruck(comm, sendbuf, recvbuf, block_nbytes, use_datatypes=True,
+                   tag_base=tag_base)

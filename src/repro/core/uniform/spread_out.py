@@ -1,0 +1,49 @@
+"""Spread-out algorithm for uniform all-to-all (paper's linear baseline).
+
+Every rank posts ``P - 1`` nonblocking receives and ``P - 1`` nonblocking
+sends (plus one local copy for its own block), staggered by rank so traffic
+spreads across partners instead of all ranks hammering rank 0 first.  One
+message per peer: latency cost grows linearly in ``P`` (each message pays
+the per-message CPU overhead), but the total volume is the minimal
+``P * n`` bytes — the exact trade the Bruck family inverts.
+
+This is also what MPICH-derived vendor ``MPI_Alltoall(v)`` does for large
+messages, so it doubles as the "vendor" baseline throughout the benchmark
+suite (the paper compares against Cray MPI, which is MPICH-based and, per
+the paper, implements alltoallv with spread-out variants only).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...simmpi.communicator import Communicator
+from ...simmpi.request import Request
+from ..common import validate_uniform_args
+from .basic import PHASE_COMM
+
+__all__ = ["spread_out"]
+
+
+def spread_out(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,
+               block_nbytes: int, *, tag_base: int = 0) -> None:
+    """Uniform all-to-all via nonblocking pairwise exchange."""
+    p, rank = comm.size, comm.rank
+    sview, rview, n = validate_uniform_args(sendbuf, recvbuf, block_nbytes, p)
+    if n == 0:
+        return
+    with comm.phase(PHASE_COMM):
+        rview[rank * n:(rank + 1) * n] = sview[rank * n:(rank + 1) * n]
+        comm.charge_copy(n)
+        reqs: List[Request] = []
+        for off in range(1, p):
+            src = (rank - off) % p
+            reqs.append(comm.irecv(rview[src * n:(src + 1) * n], src,
+                                   tag=tag_base))
+        for off in range(1, p):
+            dst = (rank + off) % p
+            reqs.append(comm.isend(sview[dst * n:(dst + 1) * n], dst,
+                                   tag=tag_base))
+        comm.waitall(reqs)

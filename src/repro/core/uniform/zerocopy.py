@@ -1,0 +1,107 @@
+"""Zero-copy Bruck (Träff et al. [39]; paper §2.1), datatype-only build.
+
+Modified Bruck still copies every received block out of a staging buffer at
+the end of each step.  Zero-copy Bruck removes those copies by *ping-pong
+buffering*: a second buffer ``T`` alternates with ``R`` so a block is always
+sent from wherever its previous hop deposited it and lands where its next
+hop expects it.
+
+Which buffer a block with distance ``i`` occupies at step ``k`` is decided
+by the parity of ``b = popcount(i >> (k + 1))`` — the number of *remaining*
+hops after this one:
+
+* ``b`` odd  → the block currently sits in ``R``; send from ``R``, the
+  receiver deposits it into ``T``;
+* ``b`` even → send from ``T``, the receiver deposits into ``R``.
+
+With this rule the final hop (``b == 0``) always lands in ``R``, so ``R``
+ends in final layout with no post-pass.  For the rule to hold at a block's
+*first* hop, the initial rotation must place blocks with an even popcount
+of ``i`` in ``R`` and odd popcount in ``T`` (the self block, ``i = 0``,
+goes straight to its final slot in ``R``).
+
+The paper (and [39]) implement this with ``MPI_Type_create_struct`` so the
+MPI datatype engine gathers each step's mixed ``R``/``T`` block set; we
+reproduce that as datatype-engine packs over both buffers.  The per-block
+datatype overhead is exactly why this variant measures *slowest* for small
+blocks (Fig. 2a), despite doing the least copying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...simmpi.communicator import Communicator
+from ...simmpi.datatype import IndexedBlocks
+from ..common import num_steps, send_block_distances, validate_uniform_args
+from .basic import PHASE_COMM, PHASE_ROTATE_IN
+
+__all__ = ["zero_copy_bruck_dt"]
+
+
+def _popcount(x: int) -> int:
+    return int(x).bit_count()
+
+
+def zero_copy_bruck_dt(comm: Communicator, sendbuf: np.ndarray,
+                       recvbuf: np.ndarray, block_nbytes: int, *,
+                       tag_base: int = 0) -> None:
+    """Uniform all-to-all via zero-copy (ping-pong buffered) Bruck."""
+    p, rank = comm.size, comm.rank
+    sview, rview, n = validate_uniform_args(sendbuf, recvbuf, block_nbytes, p)
+    if n == 0:
+        return
+    smat = sview[: p * n].reshape(p, n)
+    rmat = rview[: p * n].reshape(p, n)
+    tbuf = np.empty(p * n, dtype=np.uint8)
+    tmat = tbuf.reshape(p, n)
+
+    with comm.phase(PHASE_ROTATE_IN):
+        # R[j] / T[j] = S[(2p - j) % P], split by popcount parity of the
+        # distance i = (j - p) % P.
+        for j in range(p):
+            i = (j - rank) % p
+            block = smat[(2 * rank - j) % p]
+            if _popcount(i) % 2 == 0:
+                rmat[j] = block
+            else:
+                tmat[j] = block
+            comm.charge_copy(n)
+
+    with comm.phase(PHASE_COMM):
+        staging = np.empty(((p + 1) // 2) * n, dtype=np.uint8)
+        for k in range(num_steps(p)):
+            dist = send_block_distances(k, p)
+            if not dist:
+                continue
+            m = len(dist)
+            dst = (rank - (1 << k)) % p
+            src_rank = (rank + (1 << k)) % p
+            # Partition this step's distance set by remaining-hop parity.
+            # Message layout: ascending distance order, whichever buffer a
+            # block lives in (mirrors one struct-datatype send).
+            in_r = [(_popcount(i >> (k + 1)) % 2) == 1 for i in dist]
+            slots = [(i + rank) % p for i in dist]
+            r_extents = [(slots[a] * n, n) for a in range(m) if in_r[a]]
+            t_extents = [(slots[a] * n, n) for a in range(m) if not in_r[a]]
+            stage = np.empty((m, n), dtype=np.uint8)
+            if r_extents:
+                packed = comm.pack(rview, IndexedBlocks(r_extents))
+                stage[np.asarray(in_r)] = packed.reshape(-1, n)
+            if t_extents:
+                packed = comm.pack(tbuf, IndexedBlocks(t_extents))
+                stage[~np.asarray(in_r)] = packed.reshape(-1, n)
+            sreq = comm.isend(stage.reshape(-1), dst, tag=tag_base + k)
+            rbuf = staging[: m * n]
+            rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
+            sreq.wait()
+            rreq.wait()
+            # Incoming block with remaining hops b lands in T when the
+            # *sender* held it in R (b odd), and vice versa.
+            rmat_in = rbuf.reshape(m, n)
+            if t_extents:  # blocks sent from T land in R
+                comm.unpack(rview, IndexedBlocks(t_extents),
+                            rmat_in[~np.asarray(in_r)].reshape(-1))
+            if r_extents:  # blocks sent from R land in T
+                comm.unpack(tbuf, IndexedBlocks(r_extents),
+                            rmat_in[np.asarray(in_r)].reshape(-1))

@@ -1,0 +1,29 @@
+"""Analytic communication schedules.
+
+For every algorithm in the library, :func:`uniform_schedule` /
+:func:`nonuniform_schedule` compute — *without executing anything* — the
+exact sequence of wire messages each rank will send: destination, size,
+and kind (data / metadata / header), in program order.
+
+Three uses:
+
+1. **Cross-validation** — integration tests assert the schedules equal
+   the functional simulator's traced message sequence message-for-message,
+   which pins the documented communication structure of every algorithm
+   (and is the foundation the analytic timing engine's byte math rests on).
+2. **Volume accounting** — :func:`schedule_volume` gives per-algorithm
+   totals (the ``log2(P)/2 ×`` volume factor the paper reasons about)
+   without running a simulation.
+3. **Documentation** — the schedule *is* the algorithm's communication
+   pattern, in executable form.
+"""
+
+from .schedules import (
+    Message,
+    nonuniform_schedule,
+    schedule_volume,
+    uniform_schedule,
+)
+
+__all__ = ["Message", "uniform_schedule", "nonuniform_schedule",
+           "schedule_volume"]

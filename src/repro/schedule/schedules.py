@@ -1,0 +1,165 @@
+"""Per-algorithm wire-message schedules (see package docstring).
+
+A schedule lists, for one rank, every *user-level* message the algorithm
+sends (internal collective traffic — the allreduce inside padded and
+two-phase Bruck — is excluded; traces filter it by tag the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.common import num_steps, send_block_distances
+
+__all__ = ["Message", "uniform_schedule", "nonuniform_schedule",
+           "schedule_volume"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One wire message in program order on the sending rank."""
+
+    step: int       # Bruck step index; -1 for single-phase algorithms
+    dst: int
+    nbytes: int
+    kind: str       # "data" | "meta" | "header"
+
+
+# ----------------------------------------------------------------------
+# uniform algorithms
+# ----------------------------------------------------------------------
+
+def uniform_schedule(algorithm: str, rank: int, nprocs: int,
+                     block_nbytes: int) -> List[Message]:
+    """Messages rank ``rank`` sends in a uniform all-to-all of ``P``
+    blocks of ``block_nbytes`` bytes."""
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    n = int(block_nbytes)
+    if n == 0:
+        return []
+    out: List[Message] = []
+    if algorithm in ("spread_out", "vendor"):
+        for off in range(1, nprocs):
+            out.append(Message(-1, (rank + off) % nprocs, n, "data"))
+        return out
+    if algorithm in ("basic_bruck", "basic_bruck_dt"):
+        direction = +1
+    elif algorithm in ("modified_bruck", "modified_bruck_dt",
+                       "zero_copy_bruck_dt", "zero_rotation_bruck"):
+        direction = -1
+    else:
+        raise KeyError(f"unknown uniform algorithm {algorithm!r}")
+    for k in range(num_steps(nprocs)):
+        m = len(send_block_distances(k, nprocs))
+        if m:
+            dst = (rank + direction * (1 << k)) % nprocs
+            out.append(Message(k, dst, m * n, "data"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# non-uniform algorithms
+# ----------------------------------------------------------------------
+
+def _two_phase_bytes_out(rank: int, sizes: np.ndarray, k: int,
+                         dist: List[int]) -> int:
+    """Bytes rank ``rank`` sends in step ``k`` of two-phase Bruck.
+
+    Modified-Bruck orientation: the block at working slot ``(i + rank)``
+    originated at source ``s = rank + (i mod 2^k)`` and is destined for
+    ``d = s - i`` (see repro.timing.nonuniform for the derivation).
+    """
+    p = sizes.shape[0]
+    total = 0
+    for i in dist:
+        s = (rank + (i & ((1 << k) - 1))) % p
+        d = (s - i) % p
+        total += int(sizes[s, d])
+    return total
+
+
+def _sloav_bytes_out(rank: int, sizes: np.ndarray, k: int,
+                     dist: List[int]) -> int:
+    """Bytes rank ``rank`` sends in step ``k`` of SLOAV.
+
+    Basic-Bruck orientation: the block at slot ``i`` originated at
+    ``s = rank - (i mod 2^k)`` and is destined for ``d = s + i``.
+    """
+    p = sizes.shape[0]
+    total = 0
+    for i in dist:
+        s = (rank - (i & ((1 << k) - 1))) % p
+        d = (s + i) % p
+        total += int(sizes[s, d])
+    return total
+
+
+def nonuniform_schedule(algorithm: str, rank: int,
+                        sizes: np.ndarray) -> List[Message]:
+    """Messages rank ``rank`` sends for the given ``P × P`` size matrix."""
+    p = sizes.shape[0]
+    if sizes.shape != (p, p):
+        raise ValueError(f"sizes must be square, got {sizes.shape}")
+    out: List[Message] = []
+
+    if algorithm in ("spread_out", "vendor"):
+        for off in range(1, p):
+            dst = (rank + off) % p
+            out.append(Message(-1, dst, int(sizes[rank, dst]), "data"))
+        return out
+
+    max_n = int(sizes.max(initial=0))
+    if max_n == 0:
+        return []
+
+    if algorithm == "padded_bruck":
+        for k in range(num_steps(p)):
+            m = len(send_block_distances(k, p))
+            if m:
+                out.append(Message(k, (rank - (1 << k)) % p, m * max_n,
+                                   "data"))
+        return out
+
+    if algorithm == "padded_alltoall":
+        for off in range(1, p):
+            out.append(Message(-1, (rank + off) % p, max_n, "data"))
+        return out
+
+    if algorithm == "two_phase_bruck":
+        for k in range(num_steps(p)):
+            dist = send_block_distances(k, p)
+            if not dist:
+                continue
+            dst = (rank - (1 << k)) % p
+            out.append(Message(k, dst, 4 * len(dist), "meta"))
+            out.append(Message(k, dst,
+                               _two_phase_bytes_out(rank, sizes, k, dist),
+                               "data"))
+        return out
+
+    if algorithm == "sloav":
+        for k in range(num_steps(p)):
+            dist = send_block_distances(k, p)
+            if not dist:
+                continue
+            dst = (rank + (1 << k)) % p
+            data = _sloav_bytes_out(rank, sizes, k, dist)
+            out.append(Message(k, dst, 4, "header"))
+            out.append(Message(k, dst, 4 * len(dist) + data, "data"))
+        return out
+
+    raise KeyError(f"unknown non-uniform algorithm {algorithm!r}")
+
+
+def schedule_volume(schedule: List[Message]) -> Dict[str, int]:
+    """Aggregate a schedule: total bytes and message count per kind."""
+    out: Dict[str, int] = {"messages": len(schedule), "bytes": 0}
+    for msg in schedule:
+        out["bytes"] += msg.nbytes
+        out[f"{msg.kind}_bytes"] = out.get(f"{msg.kind}_bytes", 0) \
+            + msg.nbytes
+    return out

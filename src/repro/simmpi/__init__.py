@@ -1,0 +1,80 @@
+"""Simulated MPI substrate.
+
+A deterministic, in-process stand-in for an MPI runtime: SPMD programs run
+one thread per rank against a shared :class:`~repro.simmpi.network.Network`
+whose simulated clocks follow a LogGP-style cost model parameterized by
+:class:`~repro.simmpi.machine.MachineProfile`.
+
+Quick start::
+
+    from repro.simmpi import run_spmd, THETA
+
+    def program(comm):
+        comm.barrier()
+        return comm.rank
+
+    result = run_spmd(program, nprocs=8, machine=THETA)
+    print(result.returns, result.elapsed)
+
+See ``DESIGN.md`` §5 for the cost rules and calibration rationale.
+"""
+
+from .communicator import MAX_USER_TAG, Communicator
+from .datatype import IndexedBlocks
+from .errors import (
+    CommAbortedError,
+    DeadlockError,
+    InvalidRankError,
+    InvalidTagError,
+    RankFailedError,
+    SimMPIError,
+    TruncationError,
+)
+from .executor import SPMDResult, run_spmd
+from .machine import CORI, LOCAL, PROFILES, STAMPEDE2, THETA, MachineProfile, get_profile
+from .network import Envelope, Network
+from .request import RecvRequest, Request, SendRequest, waitall
+from .tracing import (
+    CopyEvent,
+    DatatypeEvent,
+    NullTrace,
+    PhaseEvent,
+    RankTrace,
+    RecvEvent,
+    SendEvent,
+)
+
+__all__ = [
+    "Communicator",
+    "MAX_USER_TAG",
+    "IndexedBlocks",
+    "SimMPIError",
+    "InvalidRankError",
+    "InvalidTagError",
+    "TruncationError",
+    "DeadlockError",
+    "RankFailedError",
+    "CommAbortedError",
+    "run_spmd",
+    "SPMDResult",
+    "MachineProfile",
+    "get_profile",
+    "PROFILES",
+    "THETA",
+    "CORI",
+    "STAMPEDE2",
+    "LOCAL",
+    "Network",
+    "Envelope",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "waitall",
+    "RankTrace",
+    "NullTrace",
+    "SendEvent",
+    "RecvEvent",
+    "CopyEvent",
+    "DatatypeEvent",
+    "PhaseEvent",
+]

@@ -1,0 +1,465 @@
+"""The per-rank communicator object for the simulated MPI runtime.
+
+Each SPMD rank receives one :class:`Communicator`.  It exposes the MPI
+subset the paper's algorithms are written against:
+
+* point-to-point: :meth:`send` / :meth:`recv` / :meth:`isend` /
+  :meth:`irecv` / :meth:`sendrecv` (byte-buffer based, NumPy arrays);
+* object transport (pickled) for application-layer convenience:
+  :meth:`send_obj` / :meth:`recv_obj`;
+* collectives used as substrates: :meth:`barrier`, :meth:`bcast`,
+  :meth:`allreduce`, :meth:`allgather`, and the *builtin* (spread-out)
+  :meth:`alltoall` / :meth:`alltoallv`, which double as the "vendor
+  MPI_Alltoallv" baseline in benchmarks;
+* simulated-cost hooks used by algorithm implementations:
+  :meth:`charge_copy`, :meth:`charge_compute`, :meth:`pack` /
+  :meth:`unpack` (datatype engine), and the :meth:`phase` context manager
+  for the Fig. 2b-style phase breakdowns.
+
+Simulated time: ``comm.clock`` is this rank's simulated clock in seconds.
+All clock updates are deterministic (see :mod:`repro.simmpi.network`), so a
+collective's simulated duration is ``max over ranks of (clock_after -
+clock_before)`` and is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pickle
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .datatype import IndexedBlocks
+from .errors import InvalidRankError, InvalidTagError
+from .machine import MachineProfile
+from .network import Envelope, Network
+from .request import RecvRequest, Request, SendRequest, waitall
+from .tracing import NullTrace, RankTrace
+
+__all__ = ["Communicator", "MAX_USER_TAG"]
+
+# User tags live in [0, MAX_USER_TAG); internal collective tags above it.
+MAX_USER_TAG = 1 << 20
+_INTERNAL_TAG_BASE = MAX_USER_TAG
+_INTERNAL_TAG_STRIDE = 8  # sub-operation slots per collective invocation
+
+Buffer = np.ndarray
+
+
+class Communicator:
+    """One rank's endpoint in the simulated job."""
+
+    def __init__(self, network: Network, rank: int,
+                 trace: Union[RankTrace, NullTrace],
+                 recv_timeout: Optional[float] = 60.0) -> None:
+        if not 0 <= rank < network.nprocs:
+            raise InvalidRankError(rank, network.nprocs)
+        self._network = network
+        self._rank = rank
+        self._trace = trace
+        self._clock = 0.0
+        self._coll_seq = 0
+        self._recv_timeout = recv_timeout
+
+    # -- identity -------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._network.nprocs
+
+    @property
+    def machine(self) -> MachineProfile:
+        return self._network.machine
+
+    @property
+    def clock(self) -> float:
+        """This rank's simulated clock, in seconds."""
+        return self._clock
+
+    @property
+    def trace(self) -> Union[RankTrace, NullTrace]:
+        return self._trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(rank={self._rank}, size={self.size})"
+
+    # -- validation helpers ----------------------------------------------
+    def _check_peer(self, peer: int, what: str) -> int:
+        peer = int(peer)
+        if not 0 <= peer < self.size:
+            raise InvalidRankError(peer, self.size, what)
+        return peer
+
+    @staticmethod
+    def _check_tag(tag: int) -> int:
+        tag = int(tag)
+        if tag < 0:
+            raise InvalidTagError(tag, "tags must be non-negative")
+        if tag >= MAX_USER_TAG:
+            raise InvalidTagError(tag, f"user tags must be below {MAX_USER_TAG}")
+        return tag
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, buf: Buffer, dest: int, tag: int = 0) -> SendRequest:
+        """Post a nonblocking send of ``buf`` (a contiguous ndarray)."""
+        dest = self._check_peer(dest, "destination")
+        tag = self._check_tag(tag)
+        return self._isend_raw(_payload_of(buf), dest, tag)
+
+    def _isend_raw(self, payload: bytes, dest: int, tag: int) -> SendRequest:
+        self._clock += self.machine.o_send
+        depart = self._clock
+        self._network.post(Envelope(self._rank, dest, tag, payload, depart))
+        self._trace.record_send(self._rank, dest, tag, len(payload), depart)
+        return SendRequest(self, depart, len(payload))
+
+    def irecv(self, buf: Buffer, source: int, tag: int = 0) -> RecvRequest:
+        """Post a nonblocking receive into ``buf`` (a contiguous ndarray)."""
+        source = self._check_peer(source, "source")
+        tag = self._check_tag(tag)
+        return self._irecv_raw(buf, source, tag)
+
+    def _irecv_raw(self, buf: Buffer, source: int, tag: int) -> RecvRequest:
+        self._clock += self.machine.o_recv
+        return RecvRequest(self, source, tag, buf)
+
+    def send(self, buf: Buffer, dest: int, tag: int = 0) -> None:
+        """Blocking send (eager: completes locally)."""
+        self.isend(buf, dest, tag).wait()
+
+    def recv(self, buf: Buffer, source: int, tag: int = 0) -> int:
+        """Blocking receive; returns the number of bytes received."""
+        req = self.irecv(buf, source, tag)
+        req.wait()
+        assert req.received_nbytes is not None
+        return req.received_nbytes
+
+    def sendrecv(self, sendbuf: Buffer, dest: int, sendtag: int,
+                 recvbuf: Buffer, source: int, recvtag: int) -> int:
+        """Simultaneous send and receive (deadlock-free pairwise exchange)."""
+        sreq = self.isend(sendbuf, dest, sendtag)
+        rreq = self.irecv(recvbuf, source, recvtag)
+        sreq.wait()
+        rreq.wait()
+        assert rreq.received_nbytes is not None
+        return rreq.received_nbytes
+
+    def waitall(self, requests: Sequence[Request]) -> None:
+        waitall(requests)
+
+    # Internal variants used by collectives: tags come from the reserved
+    # internal space, so they bypass user-tag validation.
+    def _send_internal(self, buf: Buffer, dest: int, tag: int) -> None:
+        self._isend_raw(_payload_of(buf), dest, tag).wait()
+
+    def _recv_internal(self, buf: Buffer, source: int, tag: int) -> int:
+        req = self._irecv_raw(buf, source, tag)
+        req.wait()
+        assert req.received_nbytes is not None
+        return req.received_nbytes
+
+    def _sendrecv_internal(self, sendbuf: Buffer, dest: int, sendtag: int,
+                           recvbuf: Buffer, source: int, recvtag: int) -> int:
+        sreq = self._isend_raw(_payload_of(sendbuf), dest, sendtag)
+        rreq = self._irecv_raw(recvbuf, source, recvtag)
+        sreq.wait()
+        rreq.wait()
+        assert rreq.received_nbytes is not None
+        return rreq.received_nbytes
+
+    def probe_nbytes(self, source: int, tag: int = 0) -> Optional[int]:
+        """Size of the next matching pending message, if already posted."""
+        return self._network.probe(self._check_peer(source, "source"),
+                                   self._rank, self._check_tag(tag))
+
+    # -- pickled-object transport (application convenience) -------------
+    def send_obj(self, obj: Any, dest: int, tag: int = 0) -> None:
+        dest = self._check_peer(dest, "destination")
+        tag = self._check_tag(tag)
+        self._isend_raw(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+                        dest, tag).wait()
+
+    def recv_obj(self, source: int, tag: int = 0) -> Any:
+        source = self._check_peer(source, "source")
+        tag = self._check_tag(tag)
+        self._clock += self.machine.o_recv
+        env = self._network.collect(source, self._rank, tag,
+                                    timeout=self._recv_timeout)
+        self._clock = (max(self._clock, self._network.head_time(env))
+                       + self._network.serial_time(env))
+        self._trace.record_recv(env.src, env.dst, env.tag, env.nbytes,
+                                self._clock)
+        return pickle.loads(env.payload)
+
+    # ------------------------------------------------------------------
+    # simulated-cost hooks for algorithm implementations
+    # ------------------------------------------------------------------
+    def charge_compute(self, seconds: float) -> None:
+        """Advance this rank's clock by an arbitrary local-compute cost."""
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        self._clock += seconds
+
+    def charge_copy(self, nbytes: int) -> None:
+        """Charge one explicit contiguous memory copy of ``nbytes`` bytes."""
+        if nbytes <= 0:
+            return
+        self._clock += self.machine.copy_time(int(nbytes))
+        self._trace.record_copy(int(nbytes), self._clock)
+
+    def pack(self, buffer: Buffer, blocks: IndexedBlocks) -> np.ndarray:
+        """Datatype-engine pack: gather ``blocks`` of ``buffer``, charging
+        the derived-datatype cost (used by the ``-dt`` Bruck variants)."""
+        data = blocks.pack(buffer)
+        self._clock += self.machine.datatype_time(blocks.nblocks, blocks.nbytes)
+        self._trace.record_datatype("pack", blocks.nblocks, blocks.nbytes,
+                                    self._clock)
+        return data
+
+    def unpack(self, buffer: Buffer, blocks: IndexedBlocks,
+               data: np.ndarray) -> None:
+        """Datatype-engine unpack: scatter ``data`` into ``blocks``."""
+        blocks.unpack(buffer, data)
+        self._clock += self.machine.datatype_time(blocks.nblocks, blocks.nbytes)
+        self._trace.record_datatype("unpack", blocks.nblocks, blocks.nbytes,
+                                    self._clock)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Record a named simulated-time interval (Fig. 2b breakdowns)."""
+        self._trace.phase_begin(name, self._clock)
+        try:
+            yield
+        finally:
+            self._trace.phase_end(self._clock)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def _next_coll_tags(self) -> int:
+        """Reserve a fresh internal tag block for one collective call.
+
+        SPMD discipline (all ranks invoke collectives in the same order)
+        guarantees every rank derives the same base tag for the same call.
+        """
+        base = _INTERNAL_TAG_BASE + self._coll_seq * _INTERNAL_TAG_STRIDE
+        self._coll_seq += 1
+        return base
+
+    def barrier(self) -> None:
+        """Dissemination barrier: ``ceil(log2 P)`` pairwise rounds."""
+        p, rank = self.size, self._rank
+        if p == 1:
+            return
+        tag = self._next_coll_tags()
+        token = np.zeros(1, dtype=np.uint8)
+        scratch = np.zeros(1, dtype=np.uint8)
+        k = 1
+        while k < p:
+            self._sendrecv_internal(token, (rank + k) % p, tag,
+                                    scratch, (rank - k) % p, tag)
+            k <<= 1
+
+    def bcast(self, buf: Buffer, root: int = 0) -> None:
+        """Binomial-tree broadcast of ``buf`` (in place on non-roots)."""
+        p = self.size
+        root = self._check_peer(root, "root")
+        if p == 1:
+            return
+        tag = self._next_coll_tags()
+        # Rotate ranks so the tree is rooted at 0.
+        vrank = (self._rank - root) % p
+        mask = 1
+        while mask < p:
+            if vrank & mask:
+                src = ((vrank ^ mask) + root) % p
+                self._recv_internal(buf, src, tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < p:
+                dst = ((vrank | mask) + root) % p
+                self._send_internal(buf, dst, tag)
+            mask >>= 1
+
+    def allreduce(self, value: Union[int, float], op: str = "max") -> Union[int, float]:
+        """Allreduce of one scalar with ``op`` in {"max", "min", "sum"}.
+
+        ``max``/``min`` use a dissemination exchange (idempotent ops are
+        safe under the non-power-of-two double-counting of dissemination);
+        ``sum`` uses recursive doubling over a power-of-two subgroup with
+        pre/post folding of the remainder ranks.
+        """
+        if op in ("max", "min"):
+            return self._allreduce_idempotent(value, max if op == "max" else min)
+        if op == "sum":
+            return self._allreduce_sum(value)
+        raise ValueError(f"unsupported allreduce op {op!r}")
+
+    def _allreduce_idempotent(self, value: Union[int, float],
+                              fold: Callable[[Any, Any], Any]) -> Union[int, float]:
+        p, rank = self.size, self._rank
+        if p == 1:
+            return value
+        tag = self._next_coll_tags()
+        acc = np.array([value], dtype=np.float64)
+        incoming = np.empty(1, dtype=np.float64)
+        k = 1
+        while k < p:
+            self._sendrecv_internal(acc, (rank + k) % p, tag,
+                                    incoming, (rank - k) % p, tag)
+            acc[0] = fold(acc[0], incoming[0])
+            k <<= 1
+        result = acc[0]
+        return int(result) if isinstance(value, (int, np.integer)) else float(result)
+
+    def _allreduce_sum(self, value: Union[int, float]) -> Union[int, float]:
+        p, rank = self.size, self._rank
+        if p == 1:
+            return value
+        tag = self._next_coll_tags()
+        pof2 = 1 << (p.bit_length() - 1)
+        rem = p - pof2
+        acc = np.array([value], dtype=np.float64)
+        incoming = np.empty(1, dtype=np.float64)
+        # Fold remainder ranks into the power-of-two group.
+        if rank < 2 * rem:
+            if rank % 2 == 1:          # odd ranks donate and sit out
+                self._send_internal(acc, rank - 1, tag)
+                newrank = -1
+            else:                       # even ranks absorb a partner
+                self._recv_internal(incoming, rank + 1, tag)
+                acc[0] += incoming[0]
+                newrank = rank // 2
+        else:
+            newrank = rank - rem
+        if newrank >= 0:
+            mask = 1
+            while mask < pof2:
+                partner_new = newrank ^ mask
+                partner = (partner_new * 2 if partner_new < rem
+                           else partner_new + rem)
+                self._sendrecv_internal(acc, partner, tag + 1,
+                                        incoming, partner, tag + 1)
+                acc[0] += incoming[0]
+                mask <<= 1
+        # Hand results back to the sat-out ranks.
+        if rank < 2 * rem:
+            if rank % 2 == 1:
+                self._recv_internal(acc, rank - 1, tag + 2)
+            else:
+                self._send_internal(acc, rank + 1, tag + 2)
+        result = acc[0]
+        return int(result) if isinstance(value, (int, np.integer)) else float(result)
+
+    def allgather(self, value: np.ndarray) -> np.ndarray:
+        """Allgather equal-size arrays via the ring algorithm.
+
+        Returns an array of shape ``(size,) + value.shape``.
+        """
+        p, rank = self.size, self._rank
+        value = np.ascontiguousarray(value)
+        out = np.empty((p,) + value.shape, dtype=value.dtype)
+        out[rank] = value
+        if p == 1:
+            return out
+        tag = self._next_coll_tags()
+        right, left = (rank + 1) % p, (rank - 1) % p
+        for step in range(p - 1):
+            send_idx = (rank - step) % p
+            recv_idx = (rank - step - 1) % p
+            self._sendrecv_internal(out[send_idx], right, tag,
+                                    out[recv_idx], left, tag)
+        return out
+
+    # -- builtin all-to-all (the spread-out "vendor" baseline) ----------
+    def alltoall(self, sendbuf: Buffer, recvbuf: Buffer, block_nbytes: int) -> None:
+        """Uniform all-to-all with the spread-out (pairwise Isend/Irecv)
+        algorithm — the stand-in for the vendor ``MPI_Alltoall``.
+
+        ``sendbuf``/``recvbuf`` are flat byte buffers of ``P * block_nbytes``.
+        """
+        p, rank = self.size, self._rank
+        sview = _byte_view(sendbuf)
+        rview = _byte_view(recvbuf)
+        n = int(block_nbytes)
+        if sview.nbytes < p * n or rview.nbytes < p * n:
+            raise ValueError(
+                f"alltoall buffers need {p * n} bytes "
+                f"(send has {sview.nbytes}, recv has {rview.nbytes})"
+            )
+        tag = self._next_coll_tags()
+        # Self block: local copy.
+        rview[rank * n:(rank + 1) * n] = sview[rank * n:(rank + 1) * n]
+        self.charge_copy(n)
+        reqs: List[Request] = []
+        for off in range(1, p):
+            src = (rank - off) % p
+            reqs.append(self._irecv_raw(rview[src * n:(src + 1) * n], src, tag))
+        for off in range(1, p):
+            dst = (rank + off) % p
+            reqs.append(self._isend_raw(
+                _payload_of(sview[dst * n:(dst + 1) * n]), dst, tag))
+        waitall(reqs)
+
+    def alltoallv(self, sendbuf: Buffer, sendcounts: Sequence[int],
+                  sdispls: Sequence[int], recvbuf: Buffer,
+                  recvcounts: Sequence[int], rdispls: Sequence[int]) -> None:
+        """Non-uniform all-to-all with the spread-out algorithm — the
+        stand-in for the vendor ``MPI_Alltoallv`` (MPICH-style).
+
+        All counts/displacements are in bytes over flat byte buffers.
+        """
+        p, rank = self.size, self._rank
+        sview = _byte_view(sendbuf)
+        rview = _byte_view(recvbuf)
+        sendcounts = np.asarray(sendcounts, dtype=np.int64)
+        recvcounts = np.asarray(recvcounts, dtype=np.int64)
+        sdispls = np.asarray(sdispls, dtype=np.int64)
+        rdispls = np.asarray(rdispls, dtype=np.int64)
+        for name, arr in (("sendcounts", sendcounts), ("recvcounts", recvcounts),
+                          ("sdispls", sdispls), ("rdispls", rdispls)):
+            if len(arr) != p:
+                raise ValueError(f"{name} must have length {p}, got {len(arr)}")
+        tag = self._next_coll_tags()
+        # Self block.
+        n_self = int(sendcounts[rank])
+        if n_self:
+            rview[rdispls[rank]:rdispls[rank] + n_self] = \
+                sview[sdispls[rank]:sdispls[rank] + n_self]
+            self.charge_copy(n_self)
+        reqs: List[Request] = []
+        for off in range(1, p):
+            src = (rank - off) % p
+            cnt = int(recvcounts[src])
+            reqs.append(self._irecv_raw(
+                rview[rdispls[src]:rdispls[src] + cnt], src, tag))
+        for off in range(1, p):
+            dst = (rank + off) % p
+            cnt = int(sendcounts[dst])
+            reqs.append(self._isend_raw(
+                _payload_of(sview[sdispls[dst]:sdispls[dst] + cnt]), dst, tag))
+        waitall(reqs)
+
+
+def _byte_view(buffer: Buffer) -> np.ndarray:
+    if not isinstance(buffer, np.ndarray):
+        raise TypeError(f"buffer must be an ndarray, got {type(buffer)}")
+    if not buffer.flags.c_contiguous:
+        raise ValueError("buffer must be C-contiguous")
+    return buffer.reshape(-1).view(np.uint8)
+
+
+def _payload_of(buf: Buffer) -> bytes:
+    """Snapshot a contiguous ndarray (or slice view) as immutable bytes."""
+    if not isinstance(buf, np.ndarray):
+        raise TypeError(f"send buffer must be an ndarray, got {type(buf)}")
+    arr = np.ascontiguousarray(buf)
+    return arr.tobytes()

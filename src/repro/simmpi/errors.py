@@ -1,0 +1,82 @@
+"""Exception hierarchy for the simulated MPI runtime.
+
+Every error raised by :mod:`repro.simmpi` derives from :class:`SimMPIError`
+so applications can catch simulator failures distinctly from ordinary Python
+errors.  The hierarchy mirrors the failure classes a real MPI library
+surfaces: invalid arguments (``MPI_ERR_ARG``-style), truncation on receive
+(``MPI_ERR_TRUNCATE``), and distributed-progress failures (deadlock, a peer
+rank dying mid-collective).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimMPIError",
+    "InvalidRankError",
+    "InvalidTagError",
+    "TruncationError",
+    "DeadlockError",
+    "RankFailedError",
+    "CommAbortedError",
+]
+
+
+class SimMPIError(RuntimeError):
+    """Base class for all simulated-MPI failures."""
+
+
+class InvalidRankError(SimMPIError, ValueError):
+    """A rank argument was outside ``[0, size)``."""
+
+    def __init__(self, rank: int, size: int, what: str = "rank") -> None:
+        super().__init__(f"invalid {what} {rank!r} for communicator of size {size}")
+        self.rank = rank
+        self.size = size
+
+
+class InvalidTagError(SimMPIError, ValueError):
+    """A tag argument was negative or collided with the reserved tag space."""
+
+    def __init__(self, tag: int, reason: str) -> None:
+        super().__init__(f"invalid tag {tag!r}: {reason}")
+        self.tag = tag
+
+
+class TruncationError(SimMPIError):
+    """An incoming message was larger than the posted receive buffer."""
+
+    def __init__(self, expected: int, actual: int, source: int, tag: int) -> None:
+        super().__init__(
+            f"message truncated: receive buffer holds {expected} bytes but "
+            f"message from rank {source} (tag {tag}) carries {actual} bytes"
+        )
+        self.expected = expected
+        self.actual = actual
+        self.source = source
+        self.tag = tag
+
+
+class DeadlockError(SimMPIError):
+    """The SPMD program made no progress within the watchdog timeout.
+
+    Raised by the executor (on the launching thread) when worker ranks are
+    still blocked after ``timeout`` seconds; the message lists which ranks
+    were blocked and on what, which is usually enough to spot a mismatched
+    send/recv pair.
+    """
+
+
+class RankFailedError(SimMPIError):
+    """A peer rank raised an exception, so this rank can never complete."""
+
+    def __init__(self, failed_rank: int, original: BaseException) -> None:
+        super().__init__(
+            f"rank {failed_rank} failed with "
+            f"{type(original).__name__}: {original}"
+        )
+        self.failed_rank = failed_rank
+        self.original = original
+
+
+class CommAbortedError(SimMPIError):
+    """The network was shut down while an operation was still blocked."""

@@ -1,0 +1,170 @@
+"""SPMD launcher: run one Python function as ``P`` simulated MPI ranks.
+
+``run_spmd(fn, nprocs)`` spawns one thread per rank, hands each a
+:class:`~repro.simmpi.communicator.Communicator`, and returns an
+:class:`SPMDResult` with per-rank return values, per-rank simulated clocks,
+and (optionally) per-rank event traces.
+
+Failure semantics: if any rank raises, the network is aborted so blocked
+peers wake with :class:`RankFailedError`, and the *original* exception is
+re-raised on the calling thread with the failing rank identified.  A
+watchdog timeout converts genuine deadlocks into
+:class:`DeadlockError` with a dump of pending messages.
+
+Determinism: simulated clocks depend only on the program's communication
+structure (see :mod:`repro.simmpi.network`), never on OS scheduling, so
+``SPMDResult.elapsed`` values are reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .communicator import Communicator
+from .errors import DeadlockError, SimMPIError
+from .machine import LOCAL, MachineProfile
+from .network import Network
+from .tracing import NullTrace, RankTrace
+
+__all__ = ["run_spmd", "SPMDResult"]
+
+
+@dataclass
+class SPMDResult:
+    """Outcome of one SPMD run."""
+
+    nprocs: int
+    machine: MachineProfile
+    returns: List[Any]          # per-rank return value of ``fn``
+    clocks: List[float]         # per-rank final simulated clock (seconds)
+    traces: Optional[List[RankTrace]]
+    total_messages: int
+    total_bytes: int
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated makespan: the slowest rank's clock."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    def phase_times(self) -> Dict[str, float]:
+        """Max-over-ranks simulated time per phase name.
+
+        The max (not mean) matches how a phase bounds a bulk-synchronous
+        program: everyone waits for the slowest rank.
+        """
+        if self.traces is None:
+            raise ValueError("run was executed with trace=False")
+        out: Dict[str, float] = {}
+        for tr in self.traces:
+            for name, t in tr.phase_times().items():
+                out[name] = max(out.get(name, 0.0), t)
+        return out
+
+
+def run_spmd(fn: Callable[..., Any], nprocs: int, *,
+             machine: MachineProfile = LOCAL,
+             args: Sequence[Any] = (),
+             rank_args: Optional[Sequence[Sequence[Any]]] = None,
+             trace: bool = True,
+             timeout: float = 120.0) -> SPMDResult:
+    """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
+
+    Parameters
+    ----------
+    fn:
+        The SPMD program.  Called as ``fn(comm, *args)`` — or, when
+        ``rank_args`` is given, as ``fn(comm, *rank_args[rank])`` so each
+        rank can receive its own inputs (e.g. its row of a block-size
+        matrix).
+    nprocs:
+        Number of simulated ranks (one OS thread each; practical up to a
+        few hundred — use :mod:`repro.timing` beyond that).
+    machine:
+        Cost-model profile; defaults to the forgiving ``LOCAL`` profile.
+    trace:
+        Record per-rank event traces (cheap; disable for big sweeps).
+    timeout:
+        Watchdog in seconds; a blocked job raises :class:`DeadlockError`.
+
+    Returns
+    -------
+    SPMDResult
+    """
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    if rank_args is not None and len(rank_args) != nprocs:
+        raise ValueError(
+            f"rank_args must have one entry per rank "
+            f"({nprocs}), got {len(rank_args)}"
+        )
+
+    network = Network(nprocs, machine)
+    traces: Optional[List[RankTrace]] = (
+        [RankTrace(r) for r in range(nprocs)] if trace else None
+    )
+    returns: List[Any] = [None] * nprocs
+    clocks: List[float] = [0.0] * nprocs
+    failures: List[tuple] = []
+    failure_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        tr: Union[RankTrace, NullTrace] = (
+            traces[rank] if traces is not None else NullTrace(rank)
+        )
+        comm = Communicator(network, rank, tr, recv_timeout=timeout)
+        try:
+            call_args = rank_args[rank] if rank_args is not None else args
+            returns[rank] = fn(comm, *call_args)
+            clocks[rank] = comm.clock
+        except BaseException as exc:  # noqa: BLE001 - must propagate any failure
+            with failure_lock:
+                failures.append((rank, exc))
+            network.abort(rank, exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}",
+                         daemon=True)
+        for r in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    deadline_hit = False
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            deadline_hit = True
+            break
+    if deadline_hit:
+        network.shutdown()  # wake anything still blocked
+        for t in threads:
+            t.join(timeout=5.0)
+        blocked = [t.name for t in threads if t.is_alive()]
+        raise DeadlockError(
+            f"SPMD run made no progress within {timeout}s; "
+            f"still-blocked threads: {blocked or 'none (woke on shutdown)'}; "
+            f"{network.pending_summary()}"
+        )
+
+    network.shutdown()
+    if failures:
+        failures.sort(key=lambda f: f[0])
+        rank, exc = failures[0]
+        if isinstance(exc, SimMPIError):
+            raise exc
+        try:
+            wrapped = type(exc)(f"[simulated rank {rank}] {exc}")
+        except Exception:  # exotic exception signature: re-raise as-is
+            raise exc
+        raise wrapped from exc
+
+    return SPMDResult(
+        nprocs=nprocs,
+        machine=machine,
+        returns=returns,
+        clocks=clocks,
+        traces=traces,
+        total_messages=network.total_messages,
+        total_bytes=network.total_bytes,
+    )

@@ -1,0 +1,281 @@
+"""Machine performance profiles for the simulated cluster.
+
+A :class:`MachineProfile` carries every constant the simulator's clock model
+needs.  The model is LogGP-flavoured (Alexandrov et al.) with two additions
+the paper's evaluation makes necessary:
+
+* an **eager/rendezvous protocol switch**: messages above
+  ``eager_threshold`` bytes pay one extra round-trip latency, as real MPI
+  implementations do;
+* a **congestion factor** applied to the per-byte cost, growing linearly in
+  the communicator size.  All-to-all traffic saturates shared network
+  resources (NIC, router tiles, bisection links) as the job grows, which is
+  the physical mechanism behind the paper's observation that the block-size
+  range where Bruck wins *shrinks* with process count (Fig. 6/9): Bruck
+  injects ``log2(P)/2`` times more bytes than spread-out, so a congestion
+  penalty common to both algorithms erodes Bruck's latency advantage
+  super-logarithmically.
+
+Cost rules (all times in seconds, sizes in bytes; ``beta_c`` denotes the
+congested per-byte cost ``beta * (1 + P/congestion_procs)``):
+
+==============================  =============================================
+event                           charge
+==============================  =============================================
+post a send (``Isend``)         sender clock += ``o_send``
+post a receive (``Irecv``)      receiver clock += ``o_recv``
+message head latency            ``alpha`` (eager), ``2*alpha`` (rendezvous,
+                                i.e. *n* > ``eager_threshold``)
+message transfer (serializes    ``eager_factor * beta_c * n`` (eager) or
+at the receiver)                ``beta_c * n`` (rendezvous / streaming)
+receive completion              ``clock = max(clock, depart + head) + serial``
+local copy of *n* bytes         ``kappa_mem + gamma_mem * n``
+datatype pack/unpack,           ``dt_block * b + dt_byte * n``
+*b* blocks / *n* bytes
+==============================  =============================================
+
+The named profiles are calibrated so the *relative* behaviour of the paper's
+algorithms (orderings, win factors, crossover movement) reproduces the
+published figures on Theta; they are not a cycle-accurate model of any
+machine.  See ``DESIGN.md`` §5 and ``EXPERIMENTS.md`` for the calibration
+story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict
+
+__all__ = ["MachineProfile", "THETA", "CORI", "STAMPEDE2", "LOCAL", "get_profile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Immutable bundle of network / memory cost constants.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"theta"``, ``"cori"``, ...).
+    alpha:
+        Per-message wire latency in seconds.
+    beta:
+        Per-byte transfer cost in seconds (inverse of effective per-rank
+        bandwidth in an uncongested network).
+    o_send, o_recv:
+        Per-message CPU overhead for injecting / retiring a message.  These
+        are what make a linear-in-``P`` algorithm such as spread-out pay a
+        latency cost proportional to ``P`` while Bruck pays ``log2 P``.
+    gamma_mem:
+        Per-byte cost of a local memory copy.
+    kappa_mem:
+        Fixed per-copy setup cost (function call, loop setup).
+    dt_block:
+        Per-block cost of the MPI derived-datatype engine (type map walk).
+        Calibrated above the memcpy setup cost so datatype-based packing
+        loses for small blocks, as both the paper (Fig. 2) and Träff et
+        al. observed (crossover around a few hundred bytes per block).
+    dt_byte:
+        Per-byte cost of datatype-engine copying (slightly cheaper per byte
+        than ``gamma_mem`` since it can stream).
+    eager_threshold:
+        Protocol switch point in bytes; larger messages pay ``alpha`` twice
+        (rendezvous handshake), and the eager bandwidth penalty phases out
+        above it.
+    eager_factor:
+        Effective-bandwidth penalty for eager-path bytes: the first
+        ``eager_threshold`` bytes of every message cost
+        ``eager_factor * beta`` per byte (header/packetization/extra-copy
+        overheads that streaming transfers amortize).  This is the physical
+        mechanism behind the paper's result: spread-out moves everything in
+        small eager messages at poor effective bandwidth, while Bruck's
+        aggregated messages stream — so Bruck can win despite moving
+        ``log2(P)/2`` times more bytes.
+    congestion_procs:
+        Congestion scale ``K``: the effective per-byte cost grows as
+        ``beta * (1 + P / K)``.  Smaller ``K`` means a network whose
+        all-to-all bandwidth saturates earlier.
+    """
+
+    name: str
+    alpha: float
+    beta: float
+    o_send: float
+    o_recv: float
+    gamma_mem: float = 2.5e-10
+    kappa_mem: float = 5.0e-8
+    dt_block: float = 1.0e-7
+    dt_byte: float = 1.5e-10
+    eager_threshold: int = 8192
+    eager_factor: float = 5.2
+    congestion_procs: float = 1400.0
+
+    def __post_init__(self) -> None:
+        for attr in ("alpha", "beta", "o_send", "o_recv", "gamma_mem",
+                     "kappa_mem", "dt_block", "dt_byte"):
+            value = getattr(self, attr)
+            if value < 0:
+                raise ValueError(f"{attr} must be non-negative, got {value}")
+        if self.eager_threshold <= 0:
+            raise ValueError("eager_threshold must be positive")
+        if self.eager_factor < 1:
+            raise ValueError("eager_factor must be >= 1")
+        if self.congestion_procs <= 0:
+            raise ValueError("congestion_procs must be positive")
+
+    # ------------------------------------------------------------------
+    # cost primitives — the single source of truth shared by the thread
+    # simulator (repro.simmpi.network) and the analytic timing engine
+    # (repro.timing).
+    # ------------------------------------------------------------------
+    def congestion(self, nprocs: int) -> float:
+        """Multiplier on ``beta`` for a job of ``nprocs`` ranks."""
+        return 1.0 + nprocs / self.congestion_procs
+
+    def beta_eff(self, nprocs: int) -> float:
+        """Effective per-byte cost under congestion at ``nprocs`` ranks."""
+        return self.beta * self.congestion(nprocs)
+
+    def head_latency(self, nbytes: int) -> float:
+        """Latency until a message's first byte can land at the receiver:
+        ``alpha``, doubled for rendezvous-protocol (large) messages."""
+        if nbytes > self.eager_threshold:
+            return 2.0 * self.alpha
+        return self.alpha
+
+    def serial_time(self, nbytes: int, nprocs: int) -> float:
+        """Receiver-side transfer occupancy of one message.
+
+        The receiver's NIC/CPU is busy for this long per message, so
+        back-to-back receives serialize — which is how an all-to-all's
+        ingress bandwidth is modelled.  Messages on the eager path
+        (``nbytes <= eager_threshold``) pay ``eager_factor``-times the
+        streaming per-byte cost (extra copies, packetization, header
+        overhead); rendezvous messages stream zero-copy at ``beta_eff``.
+        The discontinuity at the threshold mirrors the protocol-switch
+        steps visible in real MPI pingpong curves.
+        """
+        rate = self.beta_eff(nprocs)
+        if nbytes <= self.eager_threshold:
+            rate *= self.eager_factor
+        return rate * nbytes
+
+    def wire_time(self, nbytes: int, nprocs: int) -> float:
+        """End-to-end wire time of one isolated message (head + transfer)."""
+        return self.head_latency(nbytes) + self.serial_time(nbytes, nprocs)
+
+    def copy_time(self, nbytes: int) -> float:
+        """Time for one contiguous local copy of ``nbytes`` bytes."""
+        if nbytes <= 0:
+            return 0.0
+        return self.kappa_mem + self.gamma_mem * nbytes
+
+    def datatype_time(self, nblocks: int, nbytes: int) -> float:
+        """Time for the datatype engine to pack/unpack ``nblocks`` blocks."""
+        if nblocks <= 0:
+            return 0.0
+        return self.dt_block * nblocks + self.dt_byte * nbytes
+
+    def message_time(self, nbytes: int, nprocs: int) -> float:
+        """End-to-end time of one message including both CPU overheads."""
+        return self.o_send + self.o_recv + self.wire_time(nbytes, nprocs)
+
+    def with_overrides(self, **kwargs: float) -> "MachineProfile":
+        """Return a copy with selected constants replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+    # Convenience used in docs/examples: predicted uncongested bandwidth.
+    @property
+    def peak_bandwidth(self) -> float:
+        """Uncongested per-rank bandwidth in bytes/second."""
+        return math.inf if self.beta == 0 else 1.0 / self.beta
+
+
+# ----------------------------------------------------------------------
+# Named profiles.
+#
+# THETA is the primary calibration target (the paper's main machine):
+# KNL cores are slow (high per-message CPU overhead), the Aries network has
+# microsecond-scale latency, and the per-core share of node injection
+# bandwidth is modest because 64 ranks share one NIC.
+# ----------------------------------------------------------------------
+THETA = MachineProfile(
+    name="theta",
+    alpha=4.0e-6,
+    beta=9.1e-9,          # ~110 MB/s per-rank share (64 KNL ranks per NIC)
+    o_send=5.0e-6,        # KNL per-message software overhead
+    o_recv=5.0e-6,
+    gamma_mem=4.0e-10,    # KNL DDR copy ~2.5 GB/s per core
+    kappa_mem=8.0e-8,
+    dt_block=1.6e-7,
+    dt_byte=2.5e-10,
+    eager_threshold=8192,
+    eager_factor=5.5,
+    congestion_procs=13000.0,
+)
+
+# Cori (Haswell/KNL, Aries): faster cores than Theta KNL, similar network.
+CORI = MachineProfile(
+    name="cori",
+    alpha=3.0e-6,
+    beta=6.5e-9,
+    o_send=3.0e-6,
+    o_recv=3.0e-6,
+    gamma_mem=2.0e-10,
+    kappa_mem=5.0e-8,
+    dt_block=1.2e-7,
+    dt_byte=2.0e-10,
+    eager_threshold=8192,
+    eager_factor=5.0,
+    congestion_procs=16000.0,
+)
+
+# Stampede2 (SKX/KNL, Omni-Path): slightly higher latency fabric, strong
+# per-core compute.
+STAMPEDE2 = MachineProfile(
+    name="stampede2",
+    alpha=5.0e-6,
+    beta=8.0e-9,
+    o_send=4.0e-6,
+    o_recv=4.0e-6,
+    gamma_mem=2.2e-10,
+    kappa_mem=5.0e-8,
+    dt_block=1.3e-7,
+    dt_byte=2.0e-10,
+    eager_threshold=16384,
+    eager_factor=4.0,
+    congestion_procs=10000.0,
+)
+
+# A forgiving profile for unit tests and laptop examples: low constant
+# costs so functional runs at tiny P still produce readable times.
+LOCAL = MachineProfile(
+    name="local",
+    alpha=1.0e-6,
+    beta=1.0e-9,
+    o_send=5.0e-7,
+    o_recv=5.0e-7,
+    eager_factor=3.0,
+    congestion_procs=16384.0,
+)
+
+PROFILES: Dict[str, MachineProfile] = {
+    p.name: p for p in (THETA, CORI, STAMPEDE2, LOCAL)
+}
+
+
+def get_profile(name: str) -> MachineProfile:
+    """Look up a named machine profile (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        with the list of known names if ``name`` is unknown.
+    """
+    key = name.lower()
+    try:
+        return PROFILES[key]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown machine profile {name!r}; known: {known}") from None

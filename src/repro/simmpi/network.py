@@ -1,0 +1,167 @@
+"""In-process network fabric connecting simulated ranks.
+
+The :class:`Network` is the one object shared by all rank threads.  It
+implements MPI's matching semantics for the subset the paper's algorithms
+need:
+
+* messages are matched by exact ``(source, dest, tag)``;
+* messages on the same ``(source, dest, tag)`` channel are delivered in FIFO
+  order (MPI's non-overtaking guarantee);
+* receives block until a matching message arrives.
+
+Timing is **not** wall-clock: each message carries the sender's simulated
+clock at departure, and the receiver computes the simulated arrival with the
+machine profile's cost rules.  Because matching is by explicit source and
+per-channel FIFO, the simulated clocks are deterministic regardless of OS
+thread scheduling — re-running the same SPMD program yields bit-identical
+timings.
+
+The network also provides the failure path: when a rank thread dies, it
+calls :meth:`Network.abort`, which wakes every blocked receiver with
+:class:`RankFailedError` so the whole job tears down instead of hanging.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from .errors import CommAbortedError, RankFailedError
+from .machine import MachineProfile
+
+__all__ = ["Envelope", "Network"]
+
+
+@dataclass
+class Envelope:
+    """One in-flight message.
+
+    ``payload`` is an immutable ``bytes`` snapshot of the send buffer —
+    snapshotting at post time gives correct MPI semantics even if the sender
+    reuses its buffer immediately after ``Isend`` returns (the simulator
+    behaves like an eager-protocol MPI for correctness purposes, while the
+    *timing* still honours the rendezvous switch in the machine profile).
+    """
+
+    src: int
+    dst: int
+    tag: int
+    payload: bytes
+    depart: float  # sender's simulated clock when the message hit the wire
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+
+class Network:
+    """Shared mailbox fabric with deterministic simulated-time semantics."""
+
+    def __init__(self, nprocs: int, machine: MachineProfile) -> None:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self.machine = machine
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._channels: Dict[Tuple[int, int, int], Deque[Envelope]] = {}
+        self._aborted: Optional[RankFailedError] = None
+        self._shutdown = False
+        # Statistics (under lock); handy for tests and sanity checks.
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    def post(self, env: Envelope) -> None:
+        """Deposit a message into its channel and wake blocked receivers."""
+        key = (env.src, env.dst, env.tag)
+        with self._cond:
+            if self._shutdown:
+                raise CommAbortedError("network is shut down")
+            self._channels.setdefault(key, deque()).append(env)
+            self.total_messages += 1
+            self.total_bytes += env.nbytes
+            self._cond.notify_all()
+
+    def collect(self, src: int, dst: int, tag: int,
+                timeout: Optional[float] = None) -> Envelope:
+        """Block until the next message on ``(src, dst, tag)`` and pop it.
+
+        Raises
+        ------
+        RankFailedError
+            if any rank aborted the job while we were blocked.
+        CommAbortedError
+            if the network was shut down, or ``timeout`` elapsed (the
+            executor's watchdog uses this to convert hangs into errors).
+        """
+        key = (src, dst, tag)
+        with self._cond:
+            while True:
+                if self._aborted is not None:
+                    raise self._aborted
+                if self._shutdown:
+                    raise CommAbortedError("network is shut down")
+                chan = self._channels.get(key)
+                if chan:
+                    env = chan.popleft()
+                    if not chan:
+                        del self._channels[key]
+                    return env
+                if not self._cond.wait(timeout=timeout):
+                    raise CommAbortedError(
+                        f"receive (src={src}, dst={dst}, tag={tag}) timed out"
+                    )
+
+    def probe(self, src: int, dst: int, tag: int) -> Optional[int]:
+        """Return the size of the next matching message, or ``None``."""
+        with self._lock:
+            chan = self._channels.get((src, dst, tag))
+            if chan:
+                return chan[0].nbytes
+            return None
+
+    # ------------------------------------------------------------------
+    def head_time(self, env: Envelope) -> float:
+        """Simulated clock at which ``env``'s first byte reaches the
+        receiver (departure plus head latency)."""
+        return env.depart + self.machine.head_latency(env.nbytes)
+
+    def serial_time(self, env: Envelope) -> float:
+        """Receiver occupancy while landing ``env``'s bytes.
+
+        Receives serialize at the receiver: completion is
+        ``max(receiver clock, head_time) + serial_time`` — back-to-back
+        messages queue behind each other, which is how ingress bandwidth
+        saturation in an all-to-all is modelled.
+        """
+        return self.machine.serial_time(env.nbytes, self.nprocs)
+
+    # ------------------------------------------------------------------
+    def abort(self, failed_rank: int, exc: BaseException) -> None:
+        """Mark the job failed; wake every blocked receiver."""
+        with self._cond:
+            if self._aborted is None:
+                self._aborted = RankFailedError(failed_rank, exc)
+            self._cond.notify_all()
+
+    def shutdown(self) -> None:
+        """Tear the fabric down (used by the executor after join)."""
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+
+    def pending_summary(self) -> str:
+        """Human-readable list of undelivered messages (for diagnostics)."""
+        with self._lock:
+            if not self._channels:
+                return "no pending messages"
+            lines = []
+            for (src, dst, tag), chan in sorted(self._channels.items()):
+                lines.append(
+                    f"  src={src} dst={dst} tag={tag}: {len(chan)} message(s), "
+                    f"{sum(e.nbytes for e in chan)} byte(s)"
+                )
+            return "pending messages:\n" + "\n".join(lines)

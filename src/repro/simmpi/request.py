@@ -1,0 +1,129 @@
+"""Nonblocking-operation request handles.
+
+Mirrors MPI's request model: ``Isend``/``Irecv`` return a request; the
+operation's effect on the caller's simulated clock is applied when the
+request is waited on.  Requests are single-completion objects — calling
+:meth:`Request.wait` twice is legal and idempotent (the second call is a
+no-op returning the cached result), matching ``MPI_Wait`` on an inactive
+request.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from .errors import TruncationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .communicator import Communicator
+
+__all__ = ["Request", "SendRequest", "RecvRequest", "waitall"]
+
+
+class Request:
+    """Abstract base for nonblocking-operation handles."""
+
+    __slots__ = ("_comm", "_done")
+
+    def __init__(self, comm: "Communicator") -> None:
+        self._comm = comm
+        self._done = False
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def wait(self) -> Optional[np.ndarray]:
+        """Complete the operation, advancing the owner's simulated clock."""
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """Handle for an ``Isend``.
+
+    The simulator is eager for correctness (the payload was snapshotted at
+    post time), so waiting on a send only needs to ensure the sender's clock
+    reflects the injection overhead — which was already charged at post
+    time.  ``wait`` is therefore a clock no-op kept for API fidelity.
+    """
+
+    __slots__ = ("depart", "nbytes")
+
+    def __init__(self, comm: "Communicator", depart: float, nbytes: int) -> None:
+        super().__init__(comm)
+        self.depart = depart
+        self.nbytes = nbytes
+
+    def wait(self) -> None:
+        self._done = True
+        return None
+
+
+class RecvRequest(Request):
+    """Handle for an ``Irecv`` into a caller-provided buffer.
+
+    Completion blocks until the matching message arrives, copies the payload
+    into the posted buffer, and advances the receiver's clock to::
+
+        max(current clock, depart + wire_time(nbytes))
+
+    The ``o_recv`` posting overhead was charged when the receive was posted.
+    """
+
+    __slots__ = ("source", "tag", "buffer", "_result_nbytes")
+
+    def __init__(self, comm: "Communicator", source: int, tag: int,
+                 buffer: np.ndarray) -> None:
+        super().__init__(comm)
+        self.source = source
+        self.tag = tag
+        self.buffer = buffer
+        self._result_nbytes: Optional[int] = None
+
+    def wait(self) -> np.ndarray:
+        if self._done:
+            return self.buffer
+        comm = self._comm
+        env = comm._network.collect(self.source, comm.rank, self.tag,
+                                    timeout=comm._recv_timeout)
+        payload = np.frombuffer(env.payload, dtype=np.uint8)
+        view = _as_byte_view(self.buffer)
+        if payload.nbytes > view.nbytes:
+            raise TruncationError(view.nbytes, payload.nbytes,
+                                  self.source, self.tag)
+        view[: payload.nbytes] = payload
+        head = comm._network.head_time(env)
+        comm._clock = max(comm._clock, head) + comm._network.serial_time(env)
+        comm._trace.record_recv(env.src, env.dst, env.tag, env.nbytes,
+                                comm._clock)
+        self._result_nbytes = payload.nbytes
+        self._done = True
+        return self.buffer
+
+    @property
+    def received_nbytes(self) -> Optional[int]:
+        """Actual message size in bytes (``None`` until completed)."""
+        return self._result_nbytes
+
+
+def waitall(requests: Sequence[Request]) -> None:
+    """Complete every request, in order.
+
+    Order does not affect the final simulated clock: each completion takes a
+    ``max`` against the owner's clock, and ``max`` is order-independent.  It
+    *can* affect OS-level blocking order, but FIFO channels keep matching
+    deterministic regardless.
+    """
+    for req in requests:
+        req.wait()
+
+
+def _as_byte_view(buffer: np.ndarray) -> np.ndarray:
+    """Reinterpret a contiguous ndarray as a flat uint8 view."""
+    if not isinstance(buffer, np.ndarray):
+        raise TypeError(f"receive buffer must be an ndarray, got {type(buffer)}")
+    if not buffer.flags.c_contiguous:
+        raise ValueError("receive buffer must be C-contiguous")
+    return buffer.reshape(-1).view(np.uint8)

@@ -1,0 +1,197 @@
+"""Event tracing for the simulated MPI runtime.
+
+Every communicator owns a :class:`RankTrace` that records the structural
+events of an algorithm run: messages sent/received (with sizes and simulated
+timestamps), local copies, datatype pack/unpack operations, and named phases
+(e.g. ``"initial rotation"`` / ``"comm"`` / ``"final rotation"``, which the
+paper's Fig. 2b breaks down).
+
+Traces serve three purposes in this repository:
+
+1. **Cross-validation** — integration tests assert that the analytic
+   schedules in :mod:`repro.schedule` predict exactly the message sequence
+   the functional algorithms emit.
+2. **Phase breakdowns** — the Fig. 2b benchmark reports per-phase times
+   straight from phase events.
+3. **Debugging** — a mis-routed block shows up immediately as an unexpected
+   ``(src, dst, tag, nbytes)`` tuple.
+
+Tracing is cheap (appending small tuples) but can be disabled wholesale by
+passing ``trace=False`` to the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = [
+    "SendEvent",
+    "RecvEvent",
+    "CopyEvent",
+    "DatatypeEvent",
+    "PhaseEvent",
+    "RankTrace",
+    "NullTrace",
+]
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """One message leaving this rank."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    depart: float  # simulated clock at which the message entered the wire
+
+
+@dataclass(frozen=True)
+class RecvEvent:
+    """One message retired by this rank."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    complete: float  # simulated clock after the receive completed
+
+
+@dataclass(frozen=True)
+class CopyEvent:
+    """One explicit local memory copy."""
+
+    nbytes: int
+    clock: float
+
+
+@dataclass(frozen=True)
+class DatatypeEvent:
+    """One datatype-engine pack or unpack."""
+
+    kind: str  # "pack" | "unpack"
+    nblocks: int
+    nbytes: int
+    clock: float
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """A named interval of simulated time on one rank."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class RankTrace:
+    """Mutable per-rank event log.
+
+    Only the owning rank's thread appends to a :class:`RankTrace`, so no
+    locking is needed.
+    """
+
+    __slots__ = ("rank", "sends", "recvs", "copies", "datatype_ops", "phases",
+                 "_phase_stack")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.sends: List[SendEvent] = []
+        self.recvs: List[RecvEvent] = []
+        self.copies: List[CopyEvent] = []
+        self.datatype_ops: List[DatatypeEvent] = []
+        self.phases: List[PhaseEvent] = []
+        self._phase_stack: List[Tuple[str, float]] = []
+
+    # -- recording hooks (called by the communicator) -------------------
+    def record_send(self, src: int, dst: int, tag: int, nbytes: int,
+                    depart: float) -> None:
+        self.sends.append(SendEvent(src, dst, tag, nbytes, depart))
+
+    def record_recv(self, src: int, dst: int, tag: int, nbytes: int,
+                    complete: float) -> None:
+        self.recvs.append(RecvEvent(src, dst, tag, nbytes, complete))
+
+    def record_copy(self, nbytes: int, clock: float) -> None:
+        self.copies.append(CopyEvent(nbytes, clock))
+
+    def record_datatype(self, kind: str, nblocks: int, nbytes: int,
+                        clock: float) -> None:
+        self.datatype_ops.append(DatatypeEvent(kind, nblocks, nbytes, clock))
+
+    def phase_begin(self, name: str, clock: float) -> None:
+        self._phase_stack.append((name, clock))
+
+    def phase_end(self, clock: float) -> None:
+        name, start = self._phase_stack.pop()
+        self.phases.append(PhaseEvent(name, start, clock))
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def bytes_sent(self) -> int:
+        return sum(e.nbytes for e in self.sends)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(e.nbytes for e in self.recvs)
+
+    @property
+    def bytes_copied(self) -> int:
+        return sum(e.nbytes for e in self.copies)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.sends)
+
+    def phase_times(self) -> Dict[str, float]:
+        """Total simulated time per phase name (summed over occurrences)."""
+        out: Dict[str, float] = {}
+        for ph in self.phases:
+            out[ph.name] = out.get(ph.name, 0.0) + ph.duration
+        return out
+
+    def messages(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(dst, tag, nbytes)`` for each send, in program order."""
+        for e in self.sends:
+            yield (e.dst, e.tag, e.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RankTrace(rank={self.rank}, sends={len(self.sends)}, "
+                f"recvs={len(self.recvs)}, copies={len(self.copies)}, "
+                f"phases={len(self.phases)})")
+
+
+class NullTrace:
+    """A do-nothing stand-in used when tracing is disabled.
+
+    Keeps the communicator's hot path free of ``if trace is not None``
+    branches: every hook exists and is a constant-time no-op.
+    """
+
+    __slots__ = ("rank",)
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+
+    def record_send(self, *args: object) -> None:
+        pass
+
+    def record_recv(self, *args: object) -> None:
+        pass
+
+    def record_copy(self, *args: object) -> None:
+        pass
+
+    def record_datatype(self, *args: object) -> None:
+        pass
+
+    def phase_begin(self, *args: object) -> None:
+        pass
+
+    def phase_end(self, *args: object) -> None:
+        pass

@@ -1,0 +1,82 @@
+"""Statistics helpers used across benchmarks and the timing engine.
+
+The paper reports the **median** of 20 iterations with the **median
+absolute deviation** (MAD) as error bars [Howell 2005]; these helpers
+implement exactly that, plus the order-statistics utilities the CLT timing
+mode relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["median", "mad", "Summary", "summarize", "max_order_statistic_quantile"]
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("median of empty sequence")
+    return float(np.median(arr))
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation: ``median(|x - median(x)|)``.
+
+    The paper's error-bar statistic (robust to the occasional slow
+    iteration that plagues shared-network measurements).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("mad of empty sequence")
+    med = np.median(arr)
+    return float(np.median(np.abs(arr - med)))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Median ± MAD over a set of measurement iterations."""
+
+    median: float
+    mad: float
+    iterations: int
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"{self.median:.6g} ± {self.mad:.2g} "
+                f"(n={self.iterations}, range [{self.minimum:.6g}, "
+                f"{self.maximum:.6g}])")
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize measurement iterations the way the paper reports them."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        median=float(np.median(arr)),
+        mad=mad(arr),
+        iterations=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def max_order_statistic_quantile(count: int, quantile: float = 0.5) -> float:
+    """The base-distribution quantile whose ``count``-sample maximum sits at
+    ``quantile``: solves ``u**count == quantile`` for ``u``.
+
+    Used to approximate the global maximum block size over ``P**2`` iid
+    draws without materializing them (CLT timing mode).
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if not 0 < quantile < 1:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    return math.exp(math.log(quantile) / count)

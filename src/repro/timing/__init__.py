@@ -1,0 +1,35 @@
+"""Analytic timing engine: the paper's figures at up to 32K simulated ranks.
+
+``predict_uniform`` covers the Fig. 2 variants; ``predict_alltoallv``
+covers the non-uniform algorithms of Figs. 6-10/13.  Both share the cost
+constants of :mod:`repro.simmpi` and are validated against it bit-for-bit
+at small ``P`` (exact mode).
+"""
+
+from .engine import (
+    bruck_step,
+    copy_time_blocks,
+    copy_time_vec,
+    datatype_time_vec,
+    dissemination_allreduce_cost,
+    sendrecv_rounds,
+    wire_time_vec,
+)
+from .nonuniform import NONUNIFORM_PREDICTABLE, TimingResult, predict_alltoallv
+from .uniform import UNIFORM_PREDICTORS, UniformTiming, predict_uniform
+
+__all__ = [
+    "predict_uniform",
+    "UniformTiming",
+    "UNIFORM_PREDICTORS",
+    "predict_alltoallv",
+    "TimingResult",
+    "NONUNIFORM_PREDICTABLE",
+    "wire_time_vec",
+    "copy_time_vec",
+    "copy_time_blocks",
+    "datatype_time_vec",
+    "bruck_step",
+    "sendrecv_rounds",
+    "dissemination_allreduce_cost",
+]

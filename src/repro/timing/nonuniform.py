@@ -1,0 +1,432 @@
+"""Analytic timing of the non-uniform algorithms at arbitrary scale.
+
+Two evaluation modes:
+
+* **exact** — materializes the full ``P×P`` block-size matrix and replays
+  every cost the functional implementation charges, in program order,
+  vectorized over ranks.  Bit-identical to ``run_spmd`` + the functional
+  algorithm (asserted by integration tests); practical to ``P ≈ 4096``.
+* **clt** — for the paper's 8K–32K sweeps: per-step per-rank byte totals
+  are sampled from their exact aggregate distributions (a sum of ``m ≈ P/2``
+  iid block sizes → Normal by the CLT; non-zero block counts → Binomial;
+  the global max block → the ``P²``-sample max order statistic via inverse
+  CDF).  The clock recurrence itself is unchanged.  Documented
+  approximations: cross-step size correlations (a block keeps its size
+  across hops) are ignored, and spread-out's completion maximum only
+  examines the send offsets that can possibly win (offsets whose head
+  start exceeds the largest possible wire time cannot).
+
+Both modes share :mod:`repro.timing.engine`'s primitives, whose constants
+are pinned to the functional simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+from ..core.common import num_steps, send_block_distances
+from ..simmpi.machine import MachineProfile
+from ..workloads.distributions import BlockSizeDistribution
+from .engine import (
+    bruck_step,
+    copy_time_blocks,
+    copy_time_vec,
+    dissemination_allreduce_cost,
+    head_latency_vec,
+    serial_time_vec,
+)
+
+__all__ = ["TimingResult", "predict_alltoallv", "NONUNIFORM_PREDICTABLE"]
+
+_ROT_INDEX_COST_PER_PROC = 1.0e-9  # matches the functional implementations
+_META_ENTRY_BYTES = 4.0
+
+NONUNIFORM_PREDICTABLE = (
+    "two_phase_bruck", "padded_bruck", "padded_alltoall", "spread_out",
+    "vendor",
+)
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Predicted simulated makespan of one alltoallv invocation."""
+
+    algorithm: str
+    nprocs: int
+    elapsed: float  # seconds, max over ranks
+    mode: str       # "exact" | "clt"
+    max_block: int  # the distribution's N parameter
+
+
+def predict_alltoallv(algorithm: str, machine: MachineProfile, nprocs: int,
+                      dist: BlockSizeDistribution, *, seed: int = 0,
+                      mode: str = "auto",
+                      exact_limit: int = 2048) -> TimingResult:
+    """Predict the simulated time of ``algorithm`` on a random workload.
+
+    Parameters
+    ----------
+    algorithm:
+        One of ``two_phase_bruck``, ``padded_bruck``, ``padded_alltoall``,
+        ``spread_out``, or ``vendor`` (alias of ``spread_out``, as vendor
+        ``MPI_Alltoallv`` is spread-out based).
+    dist:
+        Block-size distribution; sizes are drawn iid per (src, dst) pair.
+    mode:
+        ``"exact"``, ``"clt"``, or ``"auto"`` (exact up to ``exact_limit``
+        ranks, CLT beyond).
+    """
+    if algorithm == "vendor":
+        algorithm = "spread_out"
+    if algorithm not in ("two_phase_bruck", "padded_bruck",
+                         "padded_alltoall", "spread_out"):
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; known: {NONUNIFORM_PREDICTABLE}"
+        )
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    if mode == "auto":
+        mode = "exact" if nprocs <= exact_limit else "clt"
+    if mode not in ("exact", "clt"):
+        raise ValueError(f"mode must be exact/clt/auto, got {mode!r}")
+
+    if mode == "exact":
+        rng = np.random.default_rng(seed)
+        sizes = dist.sample(rng, nprocs * nprocs).reshape(nprocs, nprocs)
+        elapsed = _EXACT[algorithm](machine, sizes)
+    else:
+        rng = np.random.default_rng(seed)
+        elapsed = _CLT[algorithm](machine, nprocs, dist, rng)
+    return TimingResult(algorithm, nprocs, float(elapsed), mode,
+                        dist.max_block)
+
+
+# ----------------------------------------------------------------------
+# exact mode
+# ----------------------------------------------------------------------
+
+def _two_phase_exact(machine: MachineProfile, sizes: np.ndarray) -> float:
+    p = sizes.shape[0]
+    clocks = np.zeros(p)
+    clocks = dissemination_allreduce_cost(clocks, machine, p)
+    clocks = clocks + p * _ROT_INDEX_COST_PER_PROC
+    if int(sizes.max(initial=0)) == 0:
+        return float(clocks.max())
+    clocks = clocks + copy_time_vec(machine, np.diagonal(sizes))
+    ranks = np.arange(p)
+    for k in range(num_steps(p)):
+        dist_k = np.asarray(send_block_distances(k, p), dtype=np.int64)
+        m = len(dist_k)
+        if not m:
+            continue
+        # metadata exchange
+        clocks = bruck_step(clocks, machine, p, 1 << k, _META_ENTRY_BYTES * m)
+        # The block at working slot (i + rank) at step k originated at
+        # source s = rank + (i mod 2^k) and is destined for d = s - i;
+        # its size therefore is sizes[s, d].
+        low = dist_k & ((1 << k) - 1)
+        s = (ranks[:, None] + low[None, :]) % p
+        d = (s - dist_k[None, :]) % p
+        blk = sizes[s, d]
+        bytes_out = blk.sum(axis=1).astype(np.float64)
+        nz_out = (blk > 0).sum(axis=1).astype(np.float64)
+        clocks = clocks + copy_time_blocks(machine, nz_out, bytes_out)  # pack
+        clocks = bruck_step(clocks, machine, p, 1 << k, bytes_out)
+        src = (ranks + (1 << k)) % p
+        clocks = clocks + copy_time_blocks(machine, nz_out[src],
+                                           bytes_out[src])              # unpack
+    return float(clocks.max())
+
+
+def _padded_common_exact(machine: MachineProfile,
+                         sizes: np.ndarray) -> tuple:
+    """Shared pad phase: allreduce + per-block padding copies."""
+    p = sizes.shape[0]
+    clocks = np.zeros(p)
+    clocks = dissemination_allreduce_cost(clocks, machine, p)
+    max_n = int(sizes.max(initial=0))
+    if max_n == 0:
+        return clocks, 0
+    row_nz = (sizes > 0).sum(axis=1).astype(np.float64)
+    row_sum = sizes.sum(axis=1).astype(np.float64)
+    clocks = clocks + copy_time_blocks(machine, row_nz, row_sum)
+    return clocks, max_n
+
+
+def _padded_scan_exact(machine: MachineProfile, sizes: np.ndarray,
+                       clocks: np.ndarray) -> np.ndarray:
+    col_nz = (sizes > 0).sum(axis=0).astype(np.float64)
+    col_sum = sizes.sum(axis=0).astype(np.float64)
+    return clocks + copy_time_blocks(machine, col_nz, col_sum)
+
+
+def _uniform_zero_rotation_clocks(machine: MachineProfile, p: int,
+                                  block_n: int,
+                                  clocks: np.ndarray) -> np.ndarray:
+    """Clock effect of zero-rotation Bruck over uniform blocks (vectorized
+    because the entering clocks may already differ across ranks)."""
+    clocks = clocks + p * _ROT_INDEX_COST_PER_PROC
+    clocks = clocks + machine.copy_time(block_n)  # self block
+    for k in range(num_steps(p)):
+        m = len(send_block_distances(k, p))
+        if not m:
+            continue
+        clocks = clocks + m * machine.copy_time(block_n)
+        clocks = bruck_step(clocks, machine, p, 1 << k, float(m * block_n))
+        clocks = clocks + m * machine.copy_time(block_n)
+    return clocks
+
+
+def _padded_bruck_exact(machine: MachineProfile, sizes: np.ndarray) -> float:
+    p = sizes.shape[0]
+    clocks, max_n = _padded_common_exact(machine, sizes)
+    if max_n == 0:
+        return float(clocks.max())
+    clocks = _uniform_zero_rotation_clocks(machine, p, max_n, clocks)
+    clocks = _padded_scan_exact(machine, sizes, clocks)
+    return float(clocks.max())
+
+
+def _vendor_alltoall_clocks(machine: MachineProfile, p: int, block_n: int,
+                            clocks: np.ndarray) -> np.ndarray:
+    """Clock effect of the builtin (spread-out) uniform alltoall.
+
+    The P-1 incoming messages are retired in posting order (offset 1 …
+    P-1); each serializes at the receiver per the simulator's receive
+    rule.
+    """
+    clocks = clocks + machine.copy_time(block_n)
+    base = clocks + (p - 1) * machine.o_recv
+    if p == 1:
+        return base
+    head = machine.head_latency(block_n)
+    st = machine.serial_time(block_n, p)
+    ranks = np.arange(p)
+    c = base + (p - 1) * machine.o_send  # all sends posted
+    for off in range(1, p):
+        src = (ranks - off) % p
+        c = np.maximum(c, base[src] + off * machine.o_send + head) + st
+    return c
+
+
+def _padded_alltoall_exact(machine: MachineProfile,
+                           sizes: np.ndarray) -> float:
+    p = sizes.shape[0]
+    clocks, max_n = _padded_common_exact(machine, sizes)
+    if max_n == 0:
+        return float(clocks.max())
+    clocks = _vendor_alltoall_clocks(machine, p, max_n, clocks)
+    clocks = _padded_scan_exact(machine, sizes, clocks)
+    return float(clocks.max())
+
+
+def _spread_out_exact(machine: MachineProfile, sizes: np.ndarray) -> float:
+    p = sizes.shape[0]
+    clocks = np.zeros(p)
+    clocks = clocks + copy_time_vec(machine, np.diagonal(sizes))
+    if p == 1:
+        return float(clocks.max())
+    base = clocks + (p - 1) * machine.o_recv
+    ranks = np.arange(p)
+    c = base + (p - 1) * machine.o_send
+    for off in range(1, p):
+        src = (ranks - off) % p
+        nb = sizes[src, ranks]
+        c = np.maximum(c, base[src] + off * machine.o_send
+                       + head_latency_vec(machine, nb)) \
+            + serial_time_vec(machine, nb, p)
+    return float(c.max())
+
+
+_EXACT = {
+    "two_phase_bruck": _two_phase_exact,
+    "padded_bruck": _padded_bruck_exact,
+    "padded_alltoall": _padded_alltoall_exact,
+    "spread_out": _spread_out_exact,
+}
+
+
+# ----------------------------------------------------------------------
+# CLT mode
+# ----------------------------------------------------------------------
+
+def _prob_zero(dist: BlockSizeDistribution) -> float:
+    """P(block size == 0) — needed for the Binomial non-zero-block count."""
+    pmf = getattr(dist, "_pmf", None)
+    if pmf is not None:
+        return float(pmf[0])
+    low = getattr(dist, "low", 0)
+    if low > 0:
+        return 0.0
+    return 1.0 / (dist.max_block + 1)  # discrete uniform on {0..N}
+
+
+def _sample_sums(rng: np.random.Generator, count: int, m: int,
+                 dist: BlockSizeDistribution) -> np.ndarray:
+    """Sample ``count`` sums of ``m`` iid block sizes (CLT, clipped)."""
+    if m == 0:
+        return np.zeros(count)
+    mu, var = dist.mean, dist.variance
+    sums = rng.normal(m * mu, math.sqrt(max(m * var, 0.0)), size=count)
+    return np.clip(sums, 0.0, float(m * dist.max_block))
+
+
+def _sample_max_block(rng: np.random.Generator, dist: BlockSizeDistribution,
+                      count: int) -> int:
+    """Max order statistic of ``count`` iid draws via inverse CDF."""
+    if dist.max_block == 0:
+        return 0
+    u = rng.random() ** (1.0 / count)
+    cdf = getattr(dist, "_cdf", None)
+    if cdf is not None:
+        return int(np.searchsorted(cdf, u, side="right"))
+    low = getattr(dist, "low", 0)
+    span = dist.max_block - low + 1
+    return int(low + min(span - 1, math.floor(u * span)))
+
+
+def _two_phase_clt(machine: MachineProfile, p: int,
+                   dist: BlockSizeDistribution,
+                   rng: np.random.Generator) -> float:
+    clocks = np.zeros(p)
+    clocks = dissemination_allreduce_cost(clocks, machine, p)
+    clocks = clocks + p * _ROT_INDEX_COST_PER_PROC
+    if dist.max_block == 0:
+        return float(clocks.max())
+    clocks = clocks + copy_time_vec(machine, dist.sample(rng, p))
+    q_nz = 1.0 - _prob_zero(dist)
+    ranks = np.arange(p)
+    for k in range(num_steps(p)):
+        m = len(send_block_distances(k, p))
+        if not m:
+            continue
+        clocks = bruck_step(clocks, machine, p, 1 << k, _META_ENTRY_BYTES * m)
+        bytes_out = _sample_sums(rng, p, m, dist)
+        nz_out = rng.binomial(m, q_nz, size=p).astype(np.float64)
+        clocks = clocks + copy_time_blocks(machine, nz_out, bytes_out)
+        clocks = bruck_step(clocks, machine, p, 1 << k, bytes_out)
+        src = (ranks + (1 << k)) % p
+        clocks = clocks + copy_time_blocks(machine, nz_out[src],
+                                           bytes_out[src])
+    return float(clocks.max())
+
+
+def _padded_phases_clt(machine: MachineProfile, p: int,
+                       dist: BlockSizeDistribution,
+                       rng: np.random.Generator) -> tuple:
+    clocks = np.zeros(p)
+    clocks = dissemination_allreduce_cost(clocks, machine, p)
+    max_n = _sample_max_block(rng, dist, p * p)
+    if max_n == 0:
+        return clocks, 0
+    q_nz = 1.0 - _prob_zero(dist)
+    row_nz = rng.binomial(p, q_nz, size=p).astype(np.float64)
+    row_sum = _sample_sums(rng, p, p, dist)
+    clocks = clocks + copy_time_blocks(machine, row_nz, row_sum)
+    return clocks, max_n
+
+
+def _padded_scan_clt(machine: MachineProfile, p: int,
+                     dist: BlockSizeDistribution, rng: np.random.Generator,
+                     clocks: np.ndarray) -> np.ndarray:
+    q_nz = 1.0 - _prob_zero(dist)
+    col_nz = rng.binomial(p, q_nz, size=p).astype(np.float64)
+    col_sum = _sample_sums(rng, p, p, dist)
+    return clocks + copy_time_blocks(machine, col_nz, col_sum)
+
+
+def _padded_bruck_clt(machine: MachineProfile, p: int,
+                      dist: BlockSizeDistribution,
+                      rng: np.random.Generator) -> float:
+    clocks, max_n = _padded_phases_clt(machine, p, dist, rng)
+    if max_n == 0:
+        return float(clocks.max())
+    clocks = _uniform_zero_rotation_clocks(machine, p, max_n, clocks)
+    clocks = _padded_scan_clt(machine, p, dist, rng, clocks)
+    return float(clocks.max())
+
+
+def _padded_alltoall_clt(machine: MachineProfile, p: int,
+                         dist: BlockSizeDistribution,
+                         rng: np.random.Generator) -> float:
+    clocks, max_n = _padded_phases_clt(machine, p, dist, rng)
+    if max_n == 0:
+        return float(clocks.max())
+    # Spread-out exchange over uniform blocks.  The waitall chain
+    # c_j = max(c_{j-1}, base_src + j*o_send + head) + serial is linear in
+    # j inside the max, so only the endpoints (j = 1, j = P-1) and the
+    # all-sends-posted start can attain the fixpoint.  Entering clocks
+    # differ only by per-rank pad costs, so we take the sender base from
+    # the true neighbour ranks (approximation documented in the module
+    # docstring).
+    clocks = clocks + machine.copy_time(max_n)
+    base = clocks + (p - 1) * machine.o_recv
+    if p > 1:
+        head = machine.head_latency(max_n)
+        st = machine.serial_time(max_n, p)
+        c0 = base + (p - 1) * machine.o_send
+        cand1 = np.roll(base, 1) + machine.o_send + head + (p - 1) * st
+        cand2 = np.roll(base, -1) + (p - 1) * machine.o_send + head + st
+        clocks = np.maximum.reduce([c0 + (p - 1) * st, cand1, cand2])
+    else:
+        clocks = base
+    clocks = _padded_scan_clt(machine, p, dist, rng, clocks)
+    return float(clocks.max())
+
+
+def _serial_moments(machine: MachineProfile, dist: BlockSizeDistribution,
+                    p: int) -> tuple:
+    """Mean and variance of one message's serial (transfer) time."""
+    beta = machine.beta_eff(p)
+    thr = machine.eager_threshold
+    pmf = getattr(dist, "_pmf", None)
+    if pmf is not None:
+        x = np.arange(dist.max_block + 1, dtype=np.float64)
+        s = beta * x * np.where(x <= thr, machine.eager_factor, 1.0)
+        mean = float((s * pmf).sum())
+        var = float(((s - mean) ** 2 * pmf).sum())
+        return mean, var
+    if dist.max_block <= thr:
+        scale = beta * machine.eager_factor
+        return scale * dist.mean, scale * scale * dist.variance
+    # Mixed regime without a tabulated pmf: fall back to a small sample.
+    sample = np.random.default_rng(0).integers(0, dist.max_block + 1, 4096)
+    s = beta * sample * np.where(sample <= thr, machine.eager_factor, 1.0)
+    return float(s.mean()), float(s.var())
+
+
+def _spread_out_clt(machine: MachineProfile, p: int,
+                    dist: BlockSizeDistribution,
+                    rng: np.random.Generator) -> float:
+    clocks = np.zeros(p)
+    clocks = clocks + copy_time_vec(machine, dist.sample(rng, p))
+    if p == 1:
+        return float(clocks.max())
+    base = clocks + (p - 1) * machine.o_recv
+    # The waitall chain's fixpoint is attained near an endpoint of
+    #   a_j + sum_{i>=j} serial_i,  a_j = base + j*o_send + head.
+    # The serial tail sums are sampled via the CLT from the per-message
+    # serial-time moments.
+    s_mean, s_var = _serial_moments(machine, dist, p)
+    total_serial = np.clip(
+        rng.normal((p - 1) * s_mean, math.sqrt(max((p - 1) * s_var, 0.0)),
+                   size=p),
+        0.0, None)
+    head = float(head_latency_vec(machine, dist.mean))
+    c0 = base + (p - 1) * machine.o_send
+    cand_first = np.roll(base, 1) + machine.o_send + head + total_serial
+    last_serial = serial_time_vec(machine, dist.sample(rng, p), p)
+    cand_last = np.roll(base, -1) + (p - 1) * machine.o_send + head \
+        + last_serial
+    best = np.maximum.reduce([c0 + total_serial, cand_first, cand_last])
+    return float(best.max())
+
+
+_CLT = {
+    "two_phase_bruck": _two_phase_clt,
+    "padded_bruck": _padded_bruck_clt,
+    "padded_alltoall": _padded_alltoall_clt,
+    "spread_out": _spread_out_clt,
+}

@@ -1,0 +1,183 @@
+"""Analytic timing of the uniform Bruck variants (Fig. 2a/2b at any P).
+
+Uniform all-to-all is perfectly symmetric: every rank executes identical
+work against identical partners, so all simulated clocks advance in
+lock-step and the per-rank recurrence collapses to a scalar recursion —
+``arrival == own_depart + wire`` because the partner's depart equals ours.
+That makes 32K-rank predictions O(log P) scalar work, while remaining
+*bit-identical* to the thread simulator at small P (asserted in the
+integration tests).
+
+Each predictor returns a :class:`UniformTiming` with the same phase split
+the functional implementations trace (Fig. 2b's breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..core.common import num_steps, send_block_distances
+from ..simmpi.machine import MachineProfile
+
+__all__ = ["UniformTiming", "predict_uniform", "UNIFORM_PREDICTORS"]
+
+_ROT_INDEX_COST_PER_PROC = 1.0e-9  # matches zero_rotation_bruck's charge
+
+
+@dataclass
+class UniformTiming:
+    """Per-phase simulated times (seconds) of one uniform all-to-all."""
+
+    algorithm: str
+    nprocs: int
+    block_nbytes: int
+    initial_rotation: float = 0.0
+    communication: float = 0.0
+    final_rotation: float = 0.0
+    index_setup: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.initial_rotation + self.communication
+                + self.final_rotation + self.index_setup)
+
+
+def _exchange(machine: MachineProfile, nprocs: int, nbytes: int) -> float:
+    """Scalar clock advance of one symmetric isend/irecv/wait exchange.
+
+    All ranks are in lock-step, so the partner's depart equals our own and
+    the receive rule collapses to
+    ``o_send + max(o_recv, head_latency) + serial_time``.
+    """
+    return (machine.o_send
+            + max(machine.o_recv, machine.head_latency(nbytes))
+            + machine.serial_time(nbytes, nprocs))
+
+
+def _steps(nprocs: int) -> List[List[int]]:
+    return [send_block_distances(k, nprocs) for k in range(num_steps(nprocs))]
+
+
+def _predict_basic(machine: MachineProfile, nprocs: int, n: int,
+                   use_datatypes: bool) -> UniformTiming:
+    t = UniformTiming("basic_bruck_dt" if use_datatypes else "basic_bruck",
+                      nprocs, n)
+    if n == 0:
+        return t
+    t.initial_rotation = nprocs * machine.copy_time(n)
+    for dist in _steps(nprocs):
+        m = len(dist)
+        if not m:
+            continue
+        if use_datatypes:
+            t.communication += 2 * machine.datatype_time(m, m * n)
+        else:
+            t.communication += 2 * m * machine.copy_time(n)
+        t.communication += _exchange(machine, nprocs, m * n)
+    t.final_rotation = (machine.copy_time(nprocs * n)
+                        + nprocs * machine.copy_time(n))
+    return t
+
+
+def _predict_modified(machine: MachineProfile, nprocs: int, n: int,
+                      use_datatypes: bool) -> UniformTiming:
+    t = _predict_basic(machine, nprocs, n, use_datatypes)
+    t.algorithm = "modified_bruck_dt" if use_datatypes else "modified_bruck"
+    t.final_rotation = 0.0  # the whole point of the modification
+    return t
+
+
+def _predict_zero_copy_dt(machine: MachineProfile, nprocs: int,
+                          n: int) -> UniformTiming:
+    t = UniformTiming("zero_copy_bruck_dt", nprocs, n)
+    if n == 0:
+        return t
+    t.initial_rotation = nprocs * machine.copy_time(n)
+    for k, dist in enumerate(_steps(nprocs)):
+        m = len(dist)
+        if not m:
+            continue
+        # The step's block set splits between the R and T buffers by
+        # remaining-hop parity; sender packs each non-empty part with one
+        # datatype operation, receiver unpacks symmetrically.
+        m_r = sum(1 for i in dist if (int(i) >> (k + 1)).bit_count() % 2 == 1)
+        m_t = m - m_r
+        for part in (m_r, m_t):
+            if part:
+                t.communication += 2 * machine.datatype_time(part, part * n)
+        t.communication += _exchange(machine, nprocs, m * n)
+    return t
+
+
+def _predict_zero_rotation(machine: MachineProfile, nprocs: int,
+                           n: int) -> UniformTiming:
+    t = UniformTiming("zero_rotation_bruck", nprocs, n)
+    if n == 0:
+        return t
+    t.index_setup = nprocs * _ROT_INDEX_COST_PER_PROC
+    t.communication += machine.copy_time(n)  # self block
+    for dist in _steps(nprocs):
+        m = len(dist)
+        if not m:
+            continue
+        t.communication += 2 * m * machine.copy_time(n)
+        t.communication += _exchange(machine, nprocs, m * n)
+    return t
+
+
+def _predict_spread_out(machine: MachineProfile, nprocs: int,
+                        n: int) -> UniformTiming:
+    t = UniformTiming("spread_out", nprocs, n)
+    if n == 0:
+        return t
+    if nprocs == 1:
+        t.communication = machine.copy_time(n)
+        return t
+    # Self copy, P-1 receive posts, then P-1 sends; the P-1 incoming
+    # messages serialize at the receiver.  The waitall chain
+    #   c_j = max(c_{j-1}, base + j*o_send + head) + serial
+    # is linear in j inside the max, so its fixpoint is attained at the
+    # endpoints j = 1 or j = P-1 (or the all-sends-posted start c_0).
+    p = nprocs
+    base = machine.copy_time(n) + (p - 1) * machine.o_recv
+    c0 = base + (p - 1) * machine.o_send
+    head = machine.head_latency(n)
+    st = machine.serial_time(n, p)
+    t.communication = max(
+        c0 + (p - 1) * st,
+        base + machine.o_send + head + (p - 1) * st,
+        base + (p - 1) * machine.o_send + head + st,
+    )
+    return t
+
+
+UNIFORM_PREDICTORS: Dict[str, Callable[[MachineProfile, int, int], UniformTiming]] = {
+    "basic_bruck": lambda m, p, n: _predict_basic(m, p, n, False),
+    "basic_bruck_dt": lambda m, p, n: _predict_basic(m, p, n, True),
+    "modified_bruck": lambda m, p, n: _predict_modified(m, p, n, False),
+    "modified_bruck_dt": lambda m, p, n: _predict_modified(m, p, n, True),
+    "zero_copy_bruck_dt": _predict_zero_copy_dt,
+    "zero_rotation_bruck": _predict_zero_rotation,
+    "spread_out": _predict_spread_out,
+    "vendor": _predict_spread_out,
+}
+
+
+def predict_uniform(algorithm: str, machine: MachineProfile, nprocs: int,
+                    block_nbytes: int) -> UniformTiming:
+    """Predicted simulated time of one uniform all-to-all.
+
+    Matches ``run_spmd`` + the functional algorithm exactly (same cost
+    constants, same recurrence) — validated by tests at small ``P``.
+    """
+    try:
+        fn = UNIFORM_PREDICTORS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown uniform algorithm {algorithm!r}; known: "
+            f"{sorted(UNIFORM_PREDICTORS)}"
+        ) from None
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    return fn(machine, nprocs, int(block_nbytes))

@@ -1,0 +1,26 @@
+"""Workload generators: block-size distributions and payload builders."""
+
+from .distributions import (
+    BlockSizeDistribution,
+    NormalBlocks,
+    PowerLawBlocks,
+    UniformBlocks,
+    WindowedUniformBlocks,
+    block_size_matrix,
+    distribution_by_name,
+)
+from .payload import VArgs, build_vargs, expected_recv, verify_recv
+
+__all__ = [
+    "BlockSizeDistribution",
+    "UniformBlocks",
+    "WindowedUniformBlocks",
+    "NormalBlocks",
+    "PowerLawBlocks",
+    "block_size_matrix",
+    "distribution_by_name",
+    "VArgs",
+    "build_vargs",
+    "expected_recv",
+    "verify_recv",
+]

@@ -1,0 +1,100 @@
+"""Payload construction and verification for alltoallv runs.
+
+The benchmarks need (a) buffers laid out per an arbitrary size matrix and
+(b) a cheap way to *verify* that an exchange delivered exactly the right
+bytes.  We fill each block with a pattern derived from ``(source, dest)``
+so any routing error — wrong block, wrong offset, truncation — is caught by
+a byte comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["VArgs", "build_vargs", "expected_recv", "verify_recv"]
+
+
+def _pattern(src: int, dst: int) -> int:
+    """The fill byte for the block ``src -> dst`` (stable, spread out)."""
+    return (src * 131 + dst * 29 + 7) % 256
+
+
+@dataclass
+class VArgs:
+    """Everything one rank passes to an alltoallv call."""
+
+    sendbuf: np.ndarray
+    sendcounts: np.ndarray
+    sdispls: np.ndarray
+    recvbuf: np.ndarray
+    recvcounts: np.ndarray
+    rdispls: np.ndarray
+
+    def as_tuple(self) -> Tuple[np.ndarray, ...]:
+        return (self.sendbuf, self.sendcounts, self.sdispls,
+                self.recvbuf, self.recvcounts, self.rdispls)
+
+
+def _displs_of(counts: np.ndarray) -> np.ndarray:
+    d = np.zeros(len(counts), dtype=np.int64)
+    if len(counts) > 1:
+        np.cumsum(counts[:-1], out=d[1:])
+    return d
+
+
+def build_vargs(rank: int, sizes: np.ndarray) -> VArgs:
+    """Build one rank's alltoallv arguments from the P×P size matrix.
+
+    ``sizes[s, d]`` is the byte count rank ``s`` sends to rank ``d``; the
+    send buffer is filled with the per-pair pattern byte.
+    """
+    p = sizes.shape[0]
+    if sizes.shape != (p, p):
+        raise ValueError(f"sizes must be square, got {sizes.shape}")
+    sendcounts = sizes[rank, :].astype(np.int64)
+    recvcounts = sizes[:, rank].astype(np.int64)
+    sdispls = _displs_of(sendcounts)
+    rdispls = _displs_of(recvcounts)
+    sendbuf = np.empty(int(sendcounts.sum()), dtype=np.uint8)
+    for d in range(p):
+        c = int(sendcounts[d])
+        if c:
+            sendbuf[sdispls[d]:sdispls[d] + c] = _pattern(rank, d)
+    recvbuf = np.zeros(int(recvcounts.sum()), dtype=np.uint8)
+    return VArgs(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+
+
+def expected_recv(rank: int, sizes: np.ndarray) -> np.ndarray:
+    """The byte-exact receive buffer rank ``rank`` must end up with."""
+    p = sizes.shape[0]
+    recvcounts = sizes[:, rank].astype(np.int64)
+    rdispls = _displs_of(recvcounts)
+    out = np.zeros(int(recvcounts.sum()), dtype=np.uint8)
+    for s in range(p):
+        c = int(recvcounts[s])
+        if c:
+            out[rdispls[s]:rdispls[s] + c] = _pattern(s, rank)
+    return out
+
+
+def verify_recv(rank: int, sizes: np.ndarray, recvbuf: np.ndarray) -> None:
+    """Raise ``AssertionError`` naming the first corrupted block, if any."""
+    expect = expected_recv(rank, sizes)
+    if np.array_equal(recvbuf, expect):
+        return
+    p = sizes.shape[0]
+    recvcounts = sizes[:, rank].astype(np.int64)
+    rdispls = _displs_of(recvcounts)
+    for s in range(p):
+        c = int(recvcounts[s])
+        got = recvbuf[rdispls[s]:rdispls[s] + c]
+        want = expect[rdispls[s]:rdispls[s] + c]
+        if not np.array_equal(got, want):
+            raise AssertionError(
+                f"rank {rank}: block from source {s} corrupted "
+                f"(first bytes got={got[:8].tolist()} want={want[:8].tolist()})"
+            )
+    raise AssertionError(f"rank {rank}: receive buffer length mismatch")

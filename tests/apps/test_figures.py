@@ -1,0 +1,59 @@
+"""Tests for the application figure drivers (Figs. 11 and 12)."""
+
+import pytest
+
+from repro.apps import fig11_tc_strong_scaling, fig12_kcfa
+from repro.simmpi import LOCAL
+
+
+class TestFig11Driver:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig11_tc_strong_scaling(procs=(4, 8), graph_scale=0.4,
+                                       machine=LOCAL)
+
+    def test_structure(self, data):
+        assert set(data) == {"graph1", "graph2"}
+        for per_p in data.values():
+            assert set(per_p) == {4, 8}
+            for res in per_p.values():
+                assert set(res) == {"vendor", "two_phase_bruck"}
+
+    def test_closure_independent_of_p_and_algorithm(self, data):
+        for per_p in data.values():
+            sizes = {res[alg].closure_size
+                     for res in per_p.values() for alg in res}
+            assert len(sizes) == 1
+
+    def test_iteration_contrast(self, data):
+        it1 = data["graph1"][4]["vendor"].iterations
+        it2 = data["graph2"][4]["vendor"].iterations
+        assert it1 > it2
+
+
+class TestFig12Driver:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig12_kcfa(nprocs=8, k=6, machine=LOCAL, n_payloads=4,
+                          chain_len=8)
+
+    def test_iteration_counts_agree(self, data):
+        assert data.iterations == len(data.n_series())
+        for alg in ("vendor", "two_phase_bruck"):
+            assert len(data.comm_series(alg)) == data.iterations
+
+    def test_same_analysis_result(self, data):
+        facts = {r.total_facts for r in data.results.values()}
+        assert len(facts) == 1
+
+    def test_wins_bounded(self, data):
+        w = data.wins("two_phase_bruck", "vendor")
+        assert 0 <= w <= data.iterations
+
+    def test_n_series_shared(self, data):
+        # N is a property of the workload, not the algorithm.
+        vendor_ns = [r["max_block_bytes"]
+                     for r in data.results["vendor"].per_iteration]
+        assert vendor_ns == data.n_series() or \
+            data.n_series() == [r["max_block_bytes"] for r in
+                                data.results["two_phase_bruck"].per_iteration]

@@ -1,0 +1,88 @@
+"""Tests for the synthetic graph generators and the sequential TC."""
+
+import networkx as nx
+import pytest
+
+from repro.apps.graphs import (
+    chain_graph,
+    dense_random_graph,
+    graph1,
+    graph2,
+    sequential_transitive_closure,
+)
+
+
+class TestGenerators:
+    def test_chain_basic(self):
+        edges = chain_graph(5)
+        assert (0, 1) in edges and (4, 5) in edges
+        assert len(edges) == 5
+
+    def test_multi_chain_disjoint(self):
+        edges = chain_graph(3, n_chains=2)
+        nodes_a = {u for u, v in edges if u < 4} | {v for u, v in edges if v < 4}
+        nodes_b = {u for u, v in edges if u >= 4}
+        assert nodes_a.isdisjoint(nodes_b - nodes_a)
+
+    def test_chain_shortcuts_do_not_add_self_loops(self):
+        edges = chain_graph(20, extra_edges=50, seed=1)
+        assert all(u != v for u, v in edges)
+
+    def test_chain_invalid(self):
+        with pytest.raises(ValueError):
+            chain_graph(0)
+
+    def test_dense_random_size_and_no_self_loops(self):
+        edges = dense_random_graph(30, 200, seed=1)
+        assert len(edges) == 200
+        assert all(u != v for u, v in edges)
+        assert len(set(edges)) == 200
+
+    def test_dense_random_deterministic(self):
+        assert dense_random_graph(30, 100, seed=5) == \
+            dense_random_graph(30, 100, seed=5)
+
+    def test_dense_invalid(self):
+        with pytest.raises(ValueError):
+            dense_random_graph(1, 5)
+
+    def test_graph_presets_match_paper_character(self):
+        g1, g2 = graph1(1.0), graph2(1.0)
+        # Graph 2 has roughly 2-2.5x the edges (paper ratio).
+        assert 1.5 * len(g1) < len(g2) < 6 * len(g1)
+        # Diameter contrast: g1's longest shortest path far exceeds g2's.
+        d1 = nx.DiGraph(g1)
+        d2 = nx.DiGraph(g2)
+        ecc1 = max(
+            max(lens.values())
+            for _, lens in nx.all_pairs_shortest_path_length(d1))
+        ecc2 = max(
+            max(lens.values())
+            for _, lens in nx.all_pairs_shortest_path_length(d2))
+        assert ecc1 > 5 * ecc2
+
+
+class TestSequentialTC:
+    def test_matches_networkx(self):
+        for edges in (chain_graph(6), dense_random_graph(15, 60, seed=2),
+                      graph1(0.3), graph2(0.3)):
+            ours = sequential_transitive_closure(edges)
+            g = nx.DiGraph(edges)
+            expect = {(u, v) for u in g for v in nx.descendants(g, u)}
+            # nx.descendants never reports the source itself; relational
+            # TC includes (u, u) when u lies on a cycle (path length >= 1).
+            for u in g:
+                for w in g.successors(u):
+                    if u == w or u in nx.descendants(g, w):
+                        expect.add((u, u))
+                        break
+            assert ours == expect
+
+    def test_empty_graph(self):
+        assert sequential_transitive_closure([]) == set()
+
+    def test_cycle_closure(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        tc = sequential_transitive_closure(edges)
+        # every node reaches every node (including itself via the cycle)
+        assert tc == {(a, b) for a in range(3) for b in range(3)}

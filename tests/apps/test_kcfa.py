@@ -1,0 +1,173 @@
+"""Tests for the kCFA application: syntax, generators, analysis (Fig. 12)."""
+
+import pytest
+
+from repro.apps.kcfa import (
+    Call,
+    Lam,
+    Program,
+    Var,
+    chain_program,
+    funnel_program,
+    kcfa_worstcase,
+    merge_loop_program,
+    pack_contour,
+    push_contour,
+    random_program,
+    run_kcfa,
+    sequential_kcfa,
+    unpack_contour,
+)
+from repro.simmpi import LOCAL, THETA
+
+
+class TestContourPacking:
+    def test_roundtrip(self):
+        for labels in ([], [0], [5], [1, 2, 3], [126] * 8, [0, 126, 64]):
+            assert unpack_contour(pack_contour(labels)) == labels
+
+    def test_empty_is_zero(self):
+        assert pack_contour([]) == 0
+
+    def test_label_zero_distinguished_from_empty(self):
+        assert pack_contour([0]) != 0
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            pack_contour([1] * 9)
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_contour([127])  # 127 + 1 would overflow the 7-bit slot
+
+    def test_push_truncates_to_k(self):
+        ctx = pack_contour([1, 2, 3])
+        new = push_contour(ctx, 9, k=3)
+        assert unpack_contour(new) == [9, 1, 2]
+
+    def test_push_k0_monovariant(self):
+        assert push_contour(pack_contour([1, 2]), 9, k=0) == 0
+
+    def test_push_grows_until_k(self):
+        ctx = 0
+        for lab in (1, 2, 3):
+            ctx = push_contour(ctx, lab, k=8)
+        assert unpack_contour(ctx) == [3, 2, 1]
+
+    def test_contours_fit_int64(self):
+        code = pack_contour([126] * 8)
+        assert 0 < code < 2 ** 63
+
+
+class TestSyntaxValidation:
+    def test_free_variable_rejected(self):
+        lam = Lam(label=1, params=("x",),
+                  body=Call(label=2, fn=Var("y"), args=()))
+        with pytest.raises(ValueError, match="free variable"):
+            Program(root=Call(label=3, fn=lam, args=()))
+
+    def test_oversized_label_rejected(self):
+        lam = Lam(label=500, params=("x",), body=None)
+        with pytest.raises(ValueError, match="label"):
+            Program(root=Call(label=1, fn=lam, args=()))
+
+    def test_program_size(self):
+        prog = chain_program(4)
+        assert prog.size > 8
+
+    def test_lambda_registry_populated(self):
+        prog = merge_loop_program(2)
+        assert len(prog.lambdas) >= 3  # two loop lambdas + dispatcher
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("make", [
+        lambda: merge_loop_program(2),
+        lambda: merge_loop_program(4),
+        lambda: chain_program(6),
+        lambda: funnel_program(4, 10),
+        lambda: random_program(25, arity=3, seed=1),
+        lambda: kcfa_worstcase(),
+    ])
+    def test_generators_produce_valid_programs(self, make):
+        prog = make()
+        assert isinstance(prog, Program)
+        facts = sequential_kcfa(prog, 2)
+        assert len(facts) > 0
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            merge_loop_program(0)
+        with pytest.raises(ValueError):
+            chain_program(0)
+        with pytest.raises(ValueError):
+            funnel_program(0, 10)
+        with pytest.raises(ValueError):
+            random_program(1)
+
+    def test_funnel_grows_with_payloads(self):
+        small = len(sequential_kcfa(funnel_program(2, 10), 8))
+        big = len(sequential_kcfa(funnel_program(6, 10), 8))
+        assert big > 1.5 * small
+
+    def test_chain_terminates_quickly(self):
+        facts = sequential_kcfa(chain_program(8), 8)
+        assert 0 < len(facts) < 60
+
+    def test_random_program_deterministic(self):
+        a = sequential_kcfa(random_program(20, seed=7), 4)
+        b = sequential_kcfa(random_program(20, seed=7), 4)
+        assert a == b
+
+
+class TestSequentialAnalysis:
+    def test_monotone_in_k(self):
+        prog = funnel_program(4, 10)
+        sizes = [len(sequential_kcfa(prog, k)) for k in (0, 1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+
+    def test_entries_scale_workload(self):
+        prog = funnel_program(4, 10)
+        one = len(sequential_kcfa(prog, 6, entries=1))
+        three = len(sequential_kcfa(prog, 6, entries=3))
+        assert three > one
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            sequential_kcfa(chain_program(3), 2, entries=0)
+
+
+class TestDistributedAnalysis:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_matches_sequential(self, p):
+        prog = funnel_program(4, 10)
+        ref = sequential_kcfa(prog, 8)
+        res = run_kcfa(prog, 8, p, machine=LOCAL)
+        assert res.total_facts == len(ref)
+
+    @pytest.mark.parametrize("algorithm", ["vendor", "two_phase_bruck",
+                                           "padded_bruck"])
+    def test_all_algorithms_agree(self, algorithm):
+        prog = kcfa_worstcase(4, 10)
+        ref = sequential_kcfa(prog, 8)
+        res = run_kcfa(prog, 8, 8, machine=LOCAL, algorithm=algorithm)
+        assert res.total_facts == len(ref)
+
+    def test_multi_entry_distributed(self):
+        prog = funnel_program(4, 10)
+        ref = sequential_kcfa(prog, 8, entries=3)
+        res = run_kcfa(prog, 8, 8, machine=LOCAL, entries=3)
+        assert res.total_facts == len(ref)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            run_kcfa(chain_program(3), 9, 2)
+
+    def test_per_iteration_series(self):
+        prog = funnel_program(5, 12)
+        res = run_kcfa(prog, 8, 8, machine=THETA)
+        assert res.iterations == len(res.per_iteration)
+        n_series = [r["max_block_bytes"] for r in res.per_iteration]
+        # Fig. 12's signature: the load *varies* across iterations.
+        assert max(n_series) > 2 * min(x for x in n_series if x > 0)
+        assert res.comm_seconds > 0

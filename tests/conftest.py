@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simmpi import CORI, LOCAL, STAMPEDE2, THETA
+
+
+@pytest.fixture(params=[THETA, LOCAL], ids=["theta", "local"])
+def machine(request):
+    """The two machine profiles most tests run under."""
+    return request.param
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+# Process counts covering the interesting structure: P=1 (degenerate),
+# P=2 (single step), powers of two, and non-powers of two (partial last
+# Bruck step).
+SMALL_PROCS = [1, 2, 3, 4, 5, 7, 8, 13, 16]
+MEDIUM_PROCS = [24, 32]
+
+ALL_MACHINES = [THETA, CORI, STAMPEDE2, LOCAL]

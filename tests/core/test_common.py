@@ -1,0 +1,126 @@
+"""Unit tests for the shared Bruck index math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.common import (
+    block_moved_before,
+    checked_counts_displs,
+    num_steps,
+    rotation_index_array,
+    send_block_distances,
+    total_send_blocks_per_step,
+    validate_uniform_args,
+)
+
+
+class TestNumSteps:
+    @pytest.mark.parametrize("p,expect", [
+        (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10),
+        (1025, 11),
+    ])
+    def test_values(self, p, expect):
+        assert num_steps(p) == expect
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            num_steps(0)
+
+
+class TestSendBlockDistances:
+    def test_step0_is_odds(self):
+        assert send_block_distances(0, 8) == [1, 3, 5, 7]
+
+    def test_step1(self):
+        assert send_block_distances(1, 8) == [2, 3, 6, 7]
+
+    def test_last_step_partial_for_non_pow2(self):
+        # P = 5: step 2 moves distances {4} only (5,6,7 out of range).
+        assert send_block_distances(2, 5) == [4]
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            send_block_distances(-1, 4)
+
+    @given(p=st.integers(2, 600))
+    @settings(max_examples=80, deadline=None)
+    def test_every_distance_moves_at_its_set_bits(self, p):
+        # Union over steps of the distance sets must cover [1, P) with the
+        # exact multiplicity popcount(i).
+        count = {i: 0 for i in range(1, p)}
+        for k in range(num_steps(p)):
+            for i in send_block_distances(k, p):
+                assert (i >> k) & 1
+                count[i] += 1
+        for i in range(1, p):
+            assert count[i] == bin(i).count("1")
+
+    @given(p=st.integers(2, 600))
+    @settings(max_examples=50, deadline=None)
+    def test_at_most_half_plus_one_blocks_per_step(self, p):
+        # The paper: each step sends at most (P+1)/2 blocks.
+        for m in total_send_blocks_per_step(p):
+            assert m <= (p + 1) // 2
+
+
+class TestBlockMovedBefore:
+    def test_first_send_step_not_moved(self):
+        # distance 4 = 0b100 first moves at step 2.
+        assert not block_moved_before(4, 2)
+        assert block_moved_before(5, 2)   # 0b101 moved at step 0
+
+    @given(i=st.integers(1, 10000), k=st.integers(0, 14))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bit_definition(self, i, k):
+        expect = any((i >> b) & 1 for b in range(k))
+        assert block_moved_before(i, k) == expect
+
+
+class TestRotationIndexArray:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 16])
+    def test_is_permutation(self, p):
+        for rank in range(p):
+            rot = rotation_index_array(rank, p)
+            assert sorted(rot.tolist()) == list(range(p))
+
+    def test_formula(self):
+        rot = rotation_index_array(3, 8)
+        for j in range(8):
+            assert rot[j] == (2 * 3 - j) % 8
+
+    def test_self_slot_maps_to_self(self):
+        # I[rank] == rank always: the self block needs no relocation.
+        for p in (2, 5, 9):
+            for rank in range(p):
+                assert rotation_index_array(rank, p)[rank] == rank
+
+
+class TestValidation:
+    def test_counts_length_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            checked_counts_displs([1, 2], [0, 1], 3, 100, "send")
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            checked_counts_displs([1, -2, 1], [0, 1, 2], 3, 100, "send")
+
+    def test_extent_overflow_names_block(self):
+        with pytest.raises(ValueError, match="block 2"):
+            checked_counts_displs([1, 1, 50], [0, 1, 2], 3, 10, "send")
+
+    def test_valid_passes(self):
+        counts, displs = checked_counts_displs([3, 0, 2], [0, 3, 3], 3, 5,
+                                               "recv")
+        assert counts.tolist() == [3, 0, 2]
+
+    def test_uniform_args_buffer_too_small(self):
+        with pytest.raises(ValueError, match="sendbuf"):
+            validate_uniform_args(np.zeros(3, dtype=np.uint8),
+                                  np.zeros(64, dtype=np.uint8), 4, 4)
+
+    def test_uniform_args_negative_block(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_uniform_args(np.zeros(64, dtype=np.uint8),
+                                  np.zeros(64, dtype=np.uint8), -1, 4)

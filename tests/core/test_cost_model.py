@@ -1,0 +1,99 @@
+"""Tests for the theoretical cost model (Eqs. 1-3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import (
+    LinearCostParams,
+    crossover_block_size,
+    padded_beats_two_phase,
+    padded_bruck_time,
+    spread_out_time,
+    two_phase_bruck_time,
+)
+from repro.simmpi import THETA
+
+PARAMS = LinearCostParams(alpha=1e-5, beta=1e-9)
+
+
+class TestEquations:
+    def test_eq1_closed_form(self):
+        p, n = 1024, 256
+        lg = math.log2(p)
+        expect = PARAMS.alpha * lg + PARAMS.beta * lg * (p + 1) / 2 * n
+        assert padded_bruck_time(p, n, PARAMS) == pytest.approx(expect)
+
+    def test_eq2_closed_form(self):
+        p, n = 1024, 256
+        lg = math.log2(p)
+        half = (p + 1) / 2
+        expect = (2 * PARAMS.alpha * lg + 4 * PARAMS.beta * lg * half
+                  + (n / 2) * PARAMS.beta * lg * half)
+        assert two_phase_bruck_time(p, n, PARAMS) == pytest.approx(expect)
+
+    def test_single_process_zero_comm(self):
+        assert padded_bruck_time(1, 100, PARAMS) == 0.0
+        assert two_phase_bruck_time(1, 100, PARAMS) == 0.0
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            padded_bruck_time(0, 10, PARAMS)
+
+    def test_spread_out_linear_latency(self):
+        t1 = spread_out_time(100, 64, PARAMS)
+        t2 = spread_out_time(200, 64, PARAMS)
+        # latency term doubles with P (bandwidth also grows)
+        assert t2 > 2 * t1 * 0.9
+
+
+class TestEq3Crossover:
+    def test_tiny_blocks_always_padded(self):
+        # "this certainly happens when N is less than 8 bytes"
+        for p in (4, 128, 4096, 32768):
+            assert padded_beats_two_phase(p, 4, PARAMS)
+            assert padded_beats_two_phase(p, 7.9, PARAMS)
+
+    def test_predicate_matches_closed_form(self):
+        for p in (16, 512, 8192):
+            n_star = crossover_block_size(p, PARAMS)
+            assert padded_beats_two_phase(p, n_star * 0.99, PARAMS)
+            assert not padded_beats_two_phase(p, n_star * 1.01, PARAMS)
+
+    def test_crossover_decreases_with_p(self):
+        values = [crossover_block_size(p, PARAMS)
+                  for p in (64, 256, 1024, 4096)]
+        assert values == sorted(values, reverse=True)
+
+    def test_crossover_grows_with_latency(self):
+        slow = LinearCostParams(alpha=1e-3, beta=1e-9)
+        fast = LinearCostParams(alpha=1e-7, beta=1e-9)
+        assert crossover_block_size(256, slow) > crossover_block_size(256, fast)
+
+    def test_zero_beta_infinite_crossover(self):
+        free = LinearCostParams(alpha=1e-5, beta=0.0)
+        assert math.isinf(crossover_block_size(64, free))
+
+    @given(p=st.integers(2, 65536), n=st.floats(0, 65536))
+    @settings(max_examples=100, deadline=None)
+    def test_eq3_is_exactly_the_paper_inequality(self, p, n):
+        lhs = (n - 8) * (p + 1) * PARAMS.beta
+        assert padded_beats_two_phase(p, n, PARAMS) == (lhs < 4 * PARAMS.alpha)
+
+
+class TestMachineAdapter:
+    def test_from_machine_folds_overheads(self):
+        prm = LinearCostParams.from_machine(THETA)
+        assert prm.alpha == pytest.approx(
+            THETA.alpha + THETA.o_send + THETA.o_recv)
+        assert prm.beta == THETA.beta
+
+    def test_from_machine_with_congestion(self):
+        prm = LinearCostParams.from_machine(THETA, nprocs=4096)
+        assert prm.beta == pytest.approx(THETA.beta_eff(4096))
+
+    def test_machine_accepted_directly(self):
+        t = two_phase_bruck_time(512, 128, THETA)
+        assert t > 0

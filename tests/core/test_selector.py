@@ -1,0 +1,98 @@
+"""Tests for the Fig. 9 empirical performance model / selector."""
+
+import pytest
+
+from repro.core.selector import CrossoverPoint, PerformanceModel
+from repro.simmpi import THETA
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    # Coarse but fast fit covering the small-to-huge range.
+    return PerformanceModel.fit(
+        THETA, procs=(128, 1024, 4096, 16384, 32768),
+        blocks=(16, 64, 256, 1024, 2048))
+
+
+class TestFit:
+    def test_two_phase_frontier_declines(self, fitted):
+        ns = [c.max_block for c in fitted.two_phase_frontier]
+        # At scale the winning range must shrink (Fig. 9's main trend).
+        assert ns[-1] < ns[0]
+        assert ns == sorted(ns, reverse=True)
+
+    def test_padded_niche_small_p_only(self, fitted):
+        padded = {c.nprocs: c.max_block for c in fitted.padded_frontier}
+        assert padded[128] > 0            # padded has a niche at small P
+        assert padded[32768] <= padded[128]
+
+    def test_frontiers_cover_requested_procs(self, fitted):
+        assert [c.nprocs for c in fitted.two_phase_frontier] == \
+            [128, 1024, 4096, 16384, 32768]
+
+
+class TestRecommend:
+    def test_vendor_for_huge_blocks(self, fitted):
+        assert fitted.recommend(32768, 1 << 20) == "vendor"
+
+    def test_two_phase_in_sweet_spot(self, fitted):
+        assert fitted.recommend(4096, 100) == "two_phase_bruck"
+
+    def test_padded_for_tiny_blocks_small_p(self, fitted):
+        assert fitted.recommend(128, 4) == "padded_bruck"
+
+    def test_paper_question(self, fitted):
+        # "with P = 350 and N = 800, should one use ...?"
+        answer = fitted.recommend(350, 800)
+        assert answer in ("two_phase_bruck", "padded_bruck")
+
+    def test_interpolation_between_fitted_procs(self, fitted):
+        # 2048 was not fitted; threshold must lie between neighbours'.
+        t1024 = fitted.two_phase_threshold(1024)
+        t4096 = fitted.two_phase_threshold(4096)
+        t2048 = fitted.two_phase_threshold(2048)
+        assert min(t1024, t4096) <= t2048 <= max(t1024, t4096)
+
+    def test_extrapolation_clamps(self, fitted):
+        assert fitted.two_phase_threshold(2) == \
+            fitted.two_phase_frontier[0].max_block
+        assert fitted.two_phase_threshold(10 ** 6) == \
+            fitted.two_phase_frontier[-1].max_block
+
+    def test_invalid_args(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.recommend(0, 100)
+        with pytest.raises(ValueError):
+            fitted.recommend(64, -1)
+
+    def test_unfitted_model_raises(self):
+        empty = PerformanceModel(machine=THETA)
+        with pytest.raises(ValueError, match="fitted"):
+            empty.recommend(64, 64)
+
+    def test_describe_mentions_frontiers(self, fitted):
+        text = fitted.describe()
+        assert "two-phase" in text
+        assert "32768" in text
+
+
+class TestFromMeasurements:
+    def test_builds_frontier_from_external_times(self):
+        meas = {
+            (64, 16): {"two_phase_bruck": 1.0, "padded_bruck": 0.5,
+                       "vendor": 2.0},
+            (64, 256): {"two_phase_bruck": 1.0, "padded_bruck": 3.0,
+                        "vendor": 2.0},
+            (64, 1024): {"two_phase_bruck": 5.0, "padded_bruck": 9.0,
+                         "vendor": 2.0},
+        }
+        model = PerformanceModel.from_measurements(THETA, meas)
+        assert model.two_phase_frontier == [CrossoverPoint(64, 256)]
+        assert model.padded_frontier == [CrossoverPoint(64, 16)]
+        assert model.recommend(64, 100) == "two_phase_bruck"
+        assert model.recommend(64, 2048) == "vendor"
+
+    def test_missing_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            PerformanceModel.from_measurements(
+                THETA, {(64, 16): {"two_phase_bruck": 1.0}})

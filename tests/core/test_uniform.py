@@ -1,0 +1,189 @@
+"""Correctness and structure tests for every uniform all-to-all variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.common import num_steps, send_block_distances
+from repro.core.uniform import UNIFORM_ALGORITHMS, alltoall
+from repro.simmpi import LOCAL, THETA, run_spmd
+
+from ..conftest import SMALL_PROCS
+
+ALGORITHMS = sorted(UNIFORM_ALGORITHMS) + ["vendor"]
+
+
+def fill_pattern(rank, dest, n):
+    return np.full(n, (rank * 31 + dest * 7 + 3) % 256, dtype=np.uint8)
+
+
+def uniform_prog(algorithm, n):
+    def prog(comm):
+        p, r = comm.size, comm.rank
+        send = np.concatenate([fill_pattern(r, j, n) for j in range(p)]) \
+            if n else np.zeros(0, dtype=np.uint8)
+        recv = np.zeros(p * n, dtype=np.uint8)
+        alltoall(comm, send, recv, n, algorithm=algorithm)
+        for j in range(p):
+            expect = fill_pattern(j, r, n)
+            got = recv[j * n:(j + 1) * n]
+            assert np.array_equal(got, expect), (
+                f"rank {r}: block from {j} wrong")
+        return True
+    return prog
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("p", SMALL_PROCS)
+    def test_delivery(self, algorithm, p):
+        res = run_spmd(uniform_prog(algorithm, 5), p)
+        assert all(res.returns)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_single_byte_blocks(self, algorithm):
+        run_spmd(uniform_prog(algorithm, 1), 7)
+
+    @pytest.mark.parametrize("algorithm", sorted(UNIFORM_ALGORITHMS))
+    def test_zero_byte_blocks_noop(self, algorithm):
+        def prog(comm):
+            recv = np.full(comm.size, 9, dtype=np.uint8)
+            alltoall(comm, np.zeros(comm.size, dtype=np.uint8), recv, 0,
+                     algorithm=algorithm)
+            assert (recv == 9).all()  # untouched
+        run_spmd(prog, 4)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_larger_blocks(self, algorithm):
+        run_spmd(uniform_prog(algorithm, 257), 6)
+
+    def test_unknown_algorithm(self):
+        def prog(comm):
+            alltoall(comm, np.zeros(4, dtype=np.uint8),
+                     np.zeros(4, dtype=np.uint8), 1, algorithm="nope")
+        with pytest.raises(KeyError, match="nope"):
+            run_spmd(prog, 2)
+
+    def test_sendbuf_not_modified(self):
+        def prog(comm):
+            p = comm.size
+            send = np.arange(p * 4, dtype=np.uint8)
+            orig = send.copy()
+            recv = np.zeros(p * 4, dtype=np.uint8)
+            alltoall(comm, send, recv, 4, algorithm="zero_rotation_bruck")
+            assert np.array_equal(send, orig)
+        run_spmd(prog, 5)
+
+    @given(p=st.integers(2, 12), n=st.integers(1, 40),
+           seed=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_random_payload_roundtrip_zero_rotation(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, size=(p, p, n)).astype(np.uint8)
+
+        def prog(comm):
+            r = comm.rank
+            send = data[r].reshape(-1).copy()
+            recv = np.zeros(p * n, dtype=np.uint8)
+            alltoall(comm, send, recv, n, algorithm="zero_rotation_bruck")
+            assert np.array_equal(recv.reshape(p, n), data[:, r, :])
+        run_spmd(prog, p)
+
+
+class TestMessageStructure:
+    """The traced message sequence must match the Bruck schedule."""
+
+    @pytest.mark.parametrize("p", [4, 5, 8, 13])
+    def test_bruck_message_counts(self, p):
+        n = 8
+        res = run_spmd(uniform_prog("zero_rotation_bruck", n), p,
+                       machine=LOCAL)
+        steps = num_steps(p)
+        for trace in res.traces:
+            # one message per step per rank
+            assert trace.message_count == steps
+            for k, event in enumerate(trace.sends):
+                m = len(send_block_distances(k, p))
+                assert event.nbytes == m * n
+                assert event.dst == (trace.rank - (1 << k)) % p
+
+    @pytest.mark.parametrize("p", [4, 7, 8])
+    def test_basic_bruck_sends_to_positive_direction(self, p):
+        res = run_spmd(uniform_prog("basic_bruck", 4), p, machine=LOCAL)
+        for trace in res.traces:
+            for k, event in enumerate(trace.sends):
+                assert event.dst == (trace.rank + (1 << k)) % p
+
+    def test_spread_out_message_counts(self):
+        p = 6
+        res = run_spmd(uniform_prog("spread_out", 4), p, machine=LOCAL)
+        for trace in res.traces:
+            assert trace.message_count == p - 1
+            assert all(e.nbytes == 4 for e in trace.sends)
+            assert sorted(e.dst for e in trace.sends) == \
+                sorted(q for q in range(p) if q != trace.rank)
+
+    def test_total_bruck_volume_exceeds_spread_out(self):
+        # Bruck trades bytes for latency: it must move more data.
+        p, n = 16, 32
+        bruck = run_spmd(uniform_prog("zero_rotation_bruck", n), p,
+                         machine=LOCAL)
+        so = run_spmd(uniform_prog("spread_out", n), p, machine=LOCAL)
+        assert bruck.total_bytes > so.total_bytes
+        assert bruck.total_messages < so.total_messages
+
+
+class TestPhaseStructure:
+    def test_basic_has_both_rotations(self):
+        res = run_spmd(uniform_prog("basic_bruck", 8), 8, machine=THETA)
+        phases = res.phase_times()
+        assert phases["initial_rotation"] > 0
+        assert phases["final_rotation"] > 0
+        assert phases["communication"] > 0
+
+    def test_modified_drops_final_rotation(self):
+        res = run_spmd(uniform_prog("modified_bruck", 8), 8, machine=THETA)
+        phases = res.phase_times()
+        assert "final_rotation" not in phases
+        assert phases["initial_rotation"] > 0
+
+    def test_zero_rotation_drops_both(self):
+        res = run_spmd(uniform_prog("zero_rotation_bruck", 8), 8,
+                       machine=THETA)
+        phases = res.phase_times()
+        assert "initial_rotation" not in phases
+        assert "final_rotation" not in phases
+        assert phases["index_setup"] > 0
+
+    def test_rotation_cost_ordering(self):
+        # Fig. 2b: basic > modified > zero-rotation in non-comm overhead.
+        n, p = 32, 16
+        totals = {}
+        for alg in ("basic_bruck", "modified_bruck", "zero_rotation_bruck"):
+            res = run_spmd(uniform_prog(alg, n), p, machine=THETA)
+            totals[alg] = res.elapsed
+        assert totals["zero_rotation_bruck"] < totals["modified_bruck"] \
+            < totals["basic_bruck"]
+
+
+class TestDatatypeVariants:
+    @pytest.mark.parametrize("pair", [
+        ("basic_bruck", "basic_bruck_dt"),
+        ("modified_bruck", "modified_bruck_dt"),
+    ])
+    def test_dt_slower_for_small_blocks(self, pair):
+        # The paper's consistent observation at N = 32 B.
+        plain, dt = pair
+        p, n = 16, 32
+        t_plain = run_spmd(uniform_prog(plain, n), p, machine=THETA).elapsed
+        t_dt = run_spmd(uniform_prog(dt, n), p, machine=THETA).elapsed
+        assert t_dt > t_plain
+
+    def test_dt_variants_use_datatype_engine(self):
+        res = run_spmd(uniform_prog("modified_bruck_dt", 16), 8,
+                       machine=THETA)
+        assert all(t.datatype_ops for t in res.traces)
+        res_plain = run_spmd(uniform_prog("modified_bruck", 16), 8,
+                             machine=THETA)
+        assert all(not t.datatype_ops for t in res_plain.traces)

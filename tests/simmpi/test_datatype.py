@@ -1,0 +1,121 @@
+"""Tests for the derived-datatype emulation, incl. property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.datatype import IndexedBlocks
+
+
+class TestConstruction:
+    def test_basic(self):
+        blocks = IndexedBlocks([(0, 4), (10, 2)])
+        assert blocks.nblocks == 2
+        assert blocks.nbytes == 6
+
+    def test_empty(self):
+        blocks = IndexedBlocks([])
+        assert blocks.nblocks == 0
+        assert blocks.nbytes == 0
+        assert blocks.pack(np.zeros(4, dtype=np.uint8)).size == 0
+
+    def test_zero_length_blocks_allowed(self):
+        blocks = IndexedBlocks([(0, 0), (5, 3), (20, 0)])
+        assert blocks.nbytes == 3
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            IndexedBlocks([(0, -1)])
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            IndexedBlocks([(-4, 2)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            IndexedBlocks([(0, 5), (3, 5)])
+
+    def test_unsorted_disjoint_extents_allowed(self):
+        # Bruck enumerates blocks in rotated (non-monotonic) order.
+        blocks = IndexedBlocks([(10, 4), (0, 4), (20, 4)])
+        buf = np.arange(32, dtype=np.uint8)
+        packed = blocks.pack(buf)
+        assert packed.tolist() == (list(range(10, 14)) + list(range(0, 4))
+                                   + list(range(20, 24)))
+
+    def test_adjacent_extents_are_not_overlapping(self):
+        IndexedBlocks([(0, 4), (4, 4)])  # must not raise
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        buf = np.arange(64, dtype=np.uint8)
+        blocks = IndexedBlocks([(8, 8), (40, 16)])
+        packed = blocks.pack(buf)
+        out = np.zeros(64, dtype=np.uint8)
+        blocks.unpack(out, packed)
+        assert np.array_equal(out[8:16], buf[8:16])
+        assert np.array_equal(out[40:56], buf[40:56])
+        assert out[:8].sum() == 0
+
+    def test_pack_returns_copy(self):
+        buf = np.arange(16, dtype=np.uint8)
+        blocks = IndexedBlocks([(0, 8)])
+        packed = blocks.pack(buf)
+        buf[:] = 0
+        assert packed[:8].tolist() == list(range(8))
+
+    def test_unpack_size_mismatch(self):
+        blocks = IndexedBlocks([(0, 8)])
+        with pytest.raises(ValueError, match="bytes"):
+            blocks.unpack(np.zeros(16, dtype=np.uint8),
+                          np.zeros(4, dtype=np.uint8))
+
+    def test_bounds_check(self):
+        blocks = IndexedBlocks([(12, 8)])
+        with pytest.raises(ValueError, match="buffer"):
+            blocks.pack(np.zeros(16, dtype=np.uint8))
+
+    def test_non_uint8_buffer_viewed_as_bytes(self):
+        buf = np.arange(8, dtype=np.int64)  # 64 bytes
+        blocks = IndexedBlocks([(0, 8), (16, 8)])
+        packed = blocks.pack(buf)
+        assert packed.nbytes == 16
+
+    def test_non_array_rejected(self):
+        blocks = IndexedBlocks([(0, 1)])
+        with pytest.raises(TypeError):
+            blocks.pack([1, 2, 3])
+
+
+@st.composite
+def disjoint_extents(draw):
+    """Random disjoint (offset, length) extents inside a 256-byte buffer."""
+    n = draw(st.integers(0, 8))
+    cuts = sorted(draw(st.lists(st.integers(0, 255), min_size=2 * n,
+                                max_size=2 * n, unique=True)))
+    extents = [(cuts[2 * i], cuts[2 * i + 1] - cuts[2 * i])
+               for i in range(n)]
+    order = draw(st.permutations(range(n)))
+    return [extents[i] for i in order]
+
+
+class TestProperties:
+    @given(extents=disjoint_extents())
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_identity(self, extents):
+        blocks = IndexedBlocks(extents)
+        buf = np.random.default_rng(0).integers(
+            0, 256, size=256).astype(np.uint8)
+        out = np.zeros(256, dtype=np.uint8)
+        blocks.unpack(out, blocks.pack(buf))
+        for off, ln in extents:
+            assert np.array_equal(out[off:off + ln], buf[off:off + ln])
+
+    @given(extents=disjoint_extents())
+    @settings(max_examples=60, deadline=None)
+    def test_packed_size_is_sum_of_lengths(self, extents):
+        blocks = IndexedBlocks(extents)
+        assert blocks.nbytes == sum(ln for _, ln in extents)
+        assert blocks.pack(np.zeros(256, dtype=np.uint8)).size == blocks.nbytes

@@ -1,0 +1,117 @@
+"""Unit tests for machine profiles and their cost primitives."""
+
+import math
+
+import pytest
+
+from repro.simmpi import CORI, LOCAL, PROFILES, STAMPEDE2, THETA, MachineProfile, get_profile
+
+from ..conftest import ALL_MACHINES
+
+
+class TestProfileValidation:
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            MachineProfile(name="bad", alpha=-1.0, beta=1e-9,
+                           o_send=1e-6, o_recv=1e-6)
+
+    def test_zero_eager_threshold_rejected(self):
+        with pytest.raises(ValueError, match="eager_threshold"):
+            MachineProfile(name="bad", alpha=1e-6, beta=1e-9,
+                           o_send=1e-6, o_recv=1e-6, eager_threshold=0)
+
+    def test_eager_factor_below_one_rejected(self):
+        with pytest.raises(ValueError, match="eager_factor"):
+            MachineProfile(name="bad", alpha=1e-6, beta=1e-9,
+                           o_send=1e-6, o_recv=1e-6, eager_factor=0.5)
+
+    def test_non_positive_congestion_rejected(self):
+        with pytest.raises(ValueError, match="congestion"):
+            MachineProfile(name="bad", alpha=1e-6, beta=1e-9,
+                           o_send=1e-6, o_recv=1e-6, congestion_procs=0)
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            THETA.alpha = 0.0  # type: ignore[misc]
+
+
+class TestCostPrimitives:
+    @pytest.mark.parametrize("m", ALL_MACHINES, ids=lambda m: m.name)
+    def test_congestion_grows_linearly(self, m):
+        assert m.congestion(0) == pytest.approx(1.0)
+        c1, c2 = m.congestion(1024), m.congestion(2048)
+        assert c2 - 1.0 == pytest.approx(2 * (c1 - 1.0))
+
+    @pytest.mark.parametrize("m", ALL_MACHINES, ids=lambda m: m.name)
+    def test_beta_eff_above_base(self, m):
+        assert m.beta_eff(4096) > m.beta
+
+    def test_head_latency_protocol_switch(self):
+        m = THETA
+        assert m.head_latency(m.eager_threshold) == pytest.approx(m.alpha)
+        assert m.head_latency(m.eager_threshold + 1) == pytest.approx(2 * m.alpha)
+
+    def test_serial_time_eager_penalty(self):
+        m = THETA
+        n = m.eager_threshold
+        eager = m.serial_time(n, 64)
+        assert eager == pytest.approx(m.beta_eff(64) * m.eager_factor * n)
+        # Just above the threshold, the streaming path is *cheaper* per
+        # byte — the protocol-switch discontinuity.
+        streaming = m.serial_time(n + 1, 64)
+        assert streaming < eager
+
+    def test_wire_time_is_head_plus_serial(self):
+        m = CORI
+        for n in (0, 1, 100, m.eager_threshold, m.eager_threshold * 4):
+            assert m.wire_time(n, 128) == pytest.approx(
+                m.head_latency(n) + m.serial_time(n, 128))
+
+    def test_copy_time_zero_bytes_free(self):
+        assert THETA.copy_time(0) == 0.0
+        assert THETA.copy_time(-5) == 0.0
+
+    def test_copy_time_affine(self):
+        m = LOCAL
+        assert m.copy_time(1000) == pytest.approx(
+            m.kappa_mem + 1000 * m.gamma_mem)
+
+    def test_datatype_time_zero_blocks_free(self):
+        assert THETA.datatype_time(0, 0) == 0.0
+
+    def test_datatype_beats_memcpy_only_for_large_blocks(self):
+        # The Fig. 2 finding: the datatype engine loses for small blocks.
+        m = THETA
+        small = 32
+        assert m.datatype_time(1, small) > m.copy_time(small)
+        large = 4096
+        assert m.datatype_time(1, large) < m.copy_time(large)
+
+    def test_message_time_includes_cpu_overheads(self):
+        m = STAMPEDE2
+        assert m.message_time(100, 64) == pytest.approx(
+            m.o_send + m.o_recv + m.wire_time(100, 64))
+
+    def test_peak_bandwidth(self):
+        assert THETA.peak_bandwidth == pytest.approx(1.0 / THETA.beta)
+        free = THETA.with_overrides(beta=0.0)
+        assert math.isinf(free.peak_bandwidth)
+
+
+class TestOverridesAndRegistry:
+    def test_with_overrides_returns_new_profile(self):
+        m2 = THETA.with_overrides(alpha=1.0e-9)
+        assert m2.alpha == 1.0e-9
+        assert THETA.alpha != 1.0e-9
+        assert m2.beta == THETA.beta
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("THETA") is THETA
+        assert get_profile("Cori") is CORI
+
+    def test_get_profile_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="theta"):
+            get_profile("summit")
+
+    def test_registry_complete(self):
+        assert set(PROFILES) == {"theta", "cori", "stampede2", "local"}

@@ -1,0 +1,146 @@
+"""Unit tests for the network fabric: matching, FIFO, failure paths."""
+
+import threading
+
+import pytest
+
+from repro.simmpi import LOCAL, THETA
+from repro.simmpi.errors import CommAbortedError, RankFailedError
+from repro.simmpi.network import Envelope, Network
+
+
+def make_net(nprocs=4, machine=LOCAL):
+    return Network(nprocs, machine)
+
+
+class TestPostCollect:
+    def test_roundtrip(self):
+        net = make_net()
+        net.post(Envelope(0, 1, 7, b"hello", depart=1.0))
+        env = net.collect(0, 1, 7)
+        assert env.payload == b"hello"
+        assert env.depart == 1.0
+        assert env.nbytes == 5
+
+    def test_fifo_per_channel(self):
+        net = make_net()
+        for i in range(5):
+            net.post(Envelope(0, 1, 3, bytes([i]), depart=float(i)))
+        got = [net.collect(0, 1, 3).payload[0] for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_channels_are_independent(self):
+        net = make_net()
+        net.post(Envelope(0, 1, 1, b"a", 0.0))
+        net.post(Envelope(0, 1, 2, b"b", 0.0))
+        net.post(Envelope(2, 1, 1, b"c", 0.0))
+        assert net.collect(2, 1, 1).payload == b"c"
+        assert net.collect(0, 1, 2).payload == b"b"
+        assert net.collect(0, 1, 1).payload == b"a"
+
+    def test_collect_blocks_until_post(self):
+        net = make_net()
+        result = []
+
+        def receiver():
+            result.append(net.collect(0, 1, 0).payload)
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        net.post(Envelope(0, 1, 0, b"x", 0.0))
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert result == [b"x"]
+
+    def test_collect_timeout_raises(self):
+        net = make_net()
+        with pytest.raises(CommAbortedError, match="timed out"):
+            net.collect(0, 1, 0, timeout=0.05)
+
+    def test_statistics(self):
+        net = make_net()
+        net.post(Envelope(0, 1, 0, b"abc", 0.0))
+        net.post(Envelope(1, 0, 0, b"defg", 0.0))
+        assert net.total_messages == 2
+        assert net.total_bytes == 7
+
+
+class TestProbe:
+    def test_probe_empty(self):
+        net = make_net()
+        assert net.probe(0, 1, 0) is None
+
+    def test_probe_returns_head_size(self):
+        net = make_net()
+        net.post(Envelope(0, 1, 0, b"ab", 0.0))
+        net.post(Envelope(0, 1, 0, b"cdef", 0.0))
+        assert net.probe(0, 1, 0) == 2  # head of the FIFO
+
+    def test_probe_does_not_consume(self):
+        net = make_net()
+        net.post(Envelope(0, 1, 0, b"ab", 0.0))
+        net.probe(0, 1, 0)
+        assert net.collect(0, 1, 0).payload == b"ab"
+
+
+class TestTiming:
+    def test_head_time(self):
+        net = make_net(machine=THETA)
+        env = Envelope(0, 1, 0, b"x" * 100, depart=2.0)
+        assert net.head_time(env) == pytest.approx(2.0 + THETA.head_latency(100))
+
+    def test_serial_time_uses_job_size_congestion(self):
+        small = Network(2, THETA)
+        big = Network(2048, THETA)
+        env = Envelope(0, 1, 0, b"x" * 1000, 0.0)
+        assert big.serial_time(env) > small.serial_time(env)
+
+
+class TestFailurePaths:
+    def test_abort_wakes_blocked_collect(self):
+        net = make_net()
+        caught = []
+
+        def receiver():
+            try:
+                net.collect(0, 1, 0)
+            except RankFailedError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        net.abort(3, ValueError("boom"))
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert caught and caught[0].failed_rank == 3
+
+    def test_post_after_shutdown_raises(self):
+        net = make_net()
+        net.shutdown()
+        with pytest.raises(CommAbortedError):
+            net.post(Envelope(0, 1, 0, b"x", 0.0))
+
+    def test_collect_after_shutdown_raises(self):
+        net = make_net()
+        net.shutdown()
+        with pytest.raises(CommAbortedError):
+            net.collect(0, 1, 0)
+
+    def test_first_abort_wins(self):
+        net = make_net()
+        net.abort(1, ValueError("first"))
+        net.abort(2, ValueError("second"))
+        with pytest.raises(RankFailedError, match="rank 1"):
+            net.collect(0, 1, 0)
+
+    def test_pending_summary_lists_channels(self):
+        net = make_net()
+        assert "no pending" in net.pending_summary()
+        net.post(Envelope(0, 1, 5, b"xyz", 0.0))
+        summary = net.pending_summary()
+        assert "src=0 dst=1 tag=5" in summary
+        assert "3 byte" in summary
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            Network(0, LOCAL)

@@ -1,0 +1,59 @@
+"""Unit tests for the tracing layer."""
+
+import pytest
+
+from repro.simmpi.tracing import NullTrace, PhaseEvent, RankTrace
+
+
+class TestRankTrace:
+    def test_send_recv_accounting(self):
+        tr = RankTrace(3)
+        tr.record_send(3, 1, 0, 100, 1.0)
+        tr.record_send(3, 2, 0, 50, 2.0)
+        tr.record_recv(0, 3, 0, 70, 3.0)
+        assert tr.bytes_sent == 150
+        assert tr.bytes_received == 70
+        assert tr.message_count == 2
+
+    def test_copy_accounting(self):
+        tr = RankTrace(0)
+        tr.record_copy(10, 0.5)
+        tr.record_copy(20, 0.6)
+        assert tr.bytes_copied == 30
+
+    def test_messages_iterator(self):
+        tr = RankTrace(0)
+        tr.record_send(0, 2, 7, 16, 1.0)
+        assert list(tr.messages()) == [(2, 7, 16)]
+
+    def test_nested_phases(self):
+        tr = RankTrace(0)
+        tr.phase_begin("outer", 0.0)
+        tr.phase_begin("inner", 1.0)
+        tr.phase_end(2.0)
+        tr.phase_end(5.0)
+        times = tr.phase_times()
+        assert times == {"inner": 1.0, "outer": 5.0}
+
+    def test_repeated_phase_accumulates(self):
+        tr = RankTrace(0)
+        for start in (0.0, 10.0):
+            tr.phase_begin("step", start)
+            tr.phase_end(start + 2.0)
+        assert tr.phase_times()["step"] == pytest.approx(4.0)
+
+    def test_phase_event_duration(self):
+        ev = PhaseEvent("x", 1.0, 3.5)
+        assert ev.duration == 2.5
+
+
+class TestNullTrace:
+    def test_all_hooks_are_noops(self):
+        nt = NullTrace(5)
+        nt.record_send(5, 0, 0, 10, 1.0)
+        nt.record_recv(0, 5, 0, 10, 1.0)
+        nt.record_copy(10, 1.0)
+        nt.record_datatype("pack", 1, 10, 1.0)
+        nt.phase_begin("x", 0.0)
+        nt.phase_end(1.0)
+        assert nt.rank == 5

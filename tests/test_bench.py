@@ -1,0 +1,124 @@
+"""Tests for the benchmark harness: runner, reporting, figure drivers."""
+
+import pytest
+
+from repro.bench import (
+    FigureData,
+    fig2a_uniform_variants,
+    fig2b_phase_breakdown,
+    fig6_data_scaling,
+    fig7_weak_scaling,
+    fig8_sensitivity,
+    fig10_distributions,
+    fig13_other_machines,
+    format_series_table,
+    format_speedup,
+    format_table,
+    run_iterations,
+)
+from repro.simmpi import CORI, THETA
+from repro.stats import Summary
+
+
+class TestRunner:
+    def test_distinct_seeds(self):
+        seen = []
+        run_iterations(lambda s: seen.append(s) or float(s), 5, base_seed=10)
+        assert seen == [10, 11, 12, 13, 14]
+
+    def test_summary_of_values(self):
+        s = run_iterations(lambda seed: float(seed % 3), 9)
+        assert isinstance(s, Summary)
+        assert s.iterations == 9
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            run_iterations(lambda s: 0.0, 0)
+
+
+class TestReporting:
+    def test_format_table_marks_winner(self):
+        cell = {("r1", "a"): 0.002, ("r1", "b"): 0.001}
+        text = format_table("T", "alg", "row", ["a", "b"], ["r1"], cell)
+        assert "1.000*" in text
+        assert "2.000 " in text
+
+    def test_format_table_missing_cell(self):
+        text = format_table("T", "alg", "row", ["a", "b"], ["r1"],
+                            {("r1", "a"): 0.001})
+        assert "-" in text
+
+    def test_format_series_accepts_summary(self):
+        s = Summary(median=0.003, mad=0.0, iterations=3, minimum=0.003,
+                    maximum=0.003)
+        text = format_series_table("T", "x", {"alg": {1: s}}, [1])
+        assert "3.000" in text
+
+    def test_format_speedup_both_directions(self):
+        a = format_speedup("fast", 0.5, "slow", 1.0)
+        assert "fast is 50.0% faster" in a
+        b = format_speedup("slow", 1.0, "fast", 0.5)
+        assert "fast is 50.0% faster" in b
+
+
+class TestFigureDrivers:
+    def test_fig2a_structure(self):
+        fd = fig2a_uniform_variants(procs=(64, 256))
+        assert isinstance(fd, FigureData)
+        assert set(fd.xs) == {64, 256}
+        assert len(fd.series) == 6
+        # zero-rotation must be the fastest variant everywhere (Fig. 2a).
+        for p in fd.xs:
+            assert fd.winner(p) == "zero_rotation_bruck"
+
+    def test_fig2b_breakdown_shares(self):
+        out = fig2b_phase_breakdown(procs=(1024,))
+        basic = out[1024]["basic_bruck"]
+        zero = out[1024]["zero_rotation_bruck"]
+        assert basic["final_rotation"] > 0
+        assert zero["final_rotation"] == 0
+        assert zero["initial_rotation"] == 0
+        # comm roughly equal among non-dt variants (paper's observation)
+        assert basic["communication"] == pytest.approx(
+            zero["communication"], rel=0.15)
+
+    def test_fig6_small(self):
+        out = fig6_data_scaling(procs=(256,), blocks=(16, 512),
+                                iterations=2)
+        fd = out[256]
+        assert set(fd.series) == {"padded_bruck", "two_phase_bruck",
+                                  "padded_alltoall", "spread_out",
+                                  "vendor_alltoallv"}
+        # small-block regime at 256 ranks: Bruck-family wins
+        assert fd.winner(16) in ("padded_bruck", "two_phase_bruck")
+
+    def test_fig7_weak_scaling_monotone(self):
+        fd = fig7_weak_scaling(procs=(128, 1024, 8192), iterations=2)
+        for name, pts in fd.series.items():
+            vals = [pts[p].median for p in fd.xs]
+            assert vals == sorted(vals), f"{name} not monotone in P"
+
+    def test_fig8_sensitivity_keys(self):
+        out = fig8_sensitivity(nprocs=512, blocks=(16, 256),
+                               r_values=(100, 50), iterations=1)
+        assert set(out) == {(16, 100), (16, 50), (256, 100), (256, 50)}
+        # narrower window (r=50) means larger average load -> slower
+        assert out[(256, 50)]["two_phase_bruck"].median > \
+            out[(256, 100)]["two_phase_bruck"].median
+
+    def test_fig10_includes_all_distributions(self):
+        out = fig10_distributions(procs=(512,), blocks=(64,), iterations=1)
+        labels = {label for (label, _p) in out}
+        assert labels == {"power_law_0.99", "power_law_0.999", "normal"}
+
+    def test_fig13_machines(self):
+        out = fig13_other_machines(machines=(CORI,), procs=(128, 1024),
+                                   iterations=1)
+        fd = out["cori"]
+        # the generality claim: two-phase beats vendor on other machines
+        assert fd.winner(1024) == "two_phase_bruck"
+
+    def test_winner_unknown_x(self):
+        fd = fig2a_uniform_variants(procs=(64,))
+        with pytest.raises(KeyError):
+            fd.winner(999)

@@ -1,0 +1,56 @@
+"""Tests for the calibration tool and the shipped profile's fit."""
+
+import pytest
+
+from repro.bench.calibrate import (
+    PAPER_TARGETS,
+    CalibrationTargets,
+    calibrate,
+    score_profile,
+)
+from repro.simmpi import THETA
+
+
+class TestScoring:
+    @pytest.fixture(scope="class")
+    def shipped(self):
+        return score_profile(THETA)
+
+    def test_shipped_profile_scores_well(self, shipped):
+        # Perfect would be 0; the shipped fit stays under 2.5 total error
+        # units (4 crossovers + 4 win factors + 1 anchor).
+        assert shipped.score < 2.5
+
+    def test_shipped_crossovers_exact(self, shipped):
+        for p, n_star in PAPER_TARGETS.crossovers.items():
+            assert shipped.detail[f"crossover_p{p}"] == n_star
+
+    def test_shipped_anchor_close(self, shipped):
+        assert shipped.detail["anchor_seconds"] == pytest.approx(
+            91.6e-3, rel=0.1)
+
+    def test_detuned_profile_scores_worse(self, shipped):
+        bad = THETA.with_overrides(eager_factor=1.0)
+        assert score_profile(bad).score > 2 * shipped.score
+
+
+class TestCalibrateSearch:
+    def test_tiny_grid_returns_result(self):
+        # A 1-point "grid" around the shipped constants must roughly
+        # recover the shipped fit (beta gets re-anchored).
+        result = calibrate(o_grid=(THETA.o_send,),
+                           eager_grid=(THETA.eager_factor,),
+                           congestion_grid=(THETA.congestion_procs,))
+        assert result.score < 2.5
+        assert result.profile.beta == pytest.approx(THETA.beta, rel=0.1)
+
+    def test_custom_targets(self):
+        # Calibration is data-driven: absurd targets give a poor score.
+        targets = CalibrationTargets(
+            crossovers={4096: 8},       # pretend Bruck almost never wins
+            win_at_256={512: -0.5},
+            absolute_anchor=(4096, 512, 91.6e-3),
+            blocks=(8, 64, 512),
+        )
+        result = score_profile(THETA, targets)
+        assert result.score > 5

@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_predict_args(self):
+        args = build_parser().parse_args(
+            ["predict", "-a", "two_phase_bruck", "-p", "64", "-n", "32"])
+        assert args.algorithm == "two_phase_bruck"
+        assert args.nprocs == 64
+        assert args.machine == "theta"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["predict", "-a", "bogus", "-p", "4", "-n", "8"])
+
+
+class TestCommands:
+    def test_predict(self, capsys):
+        assert main(["predict", "-a", "two_phase_bruck", "-p", "256",
+                     "-n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated ms" in out
+        assert "exact mode" in out
+
+    def test_predict_clt_at_scale(self, capsys):
+        assert main(["predict", "-a", "vendor", "-p", "8192",
+                     "-n", "64"]) == 0
+        assert "clt mode" in capsys.readouterr().out
+
+    def test_predict_sloav_refused(self, capsys):
+        assert main(["predict", "-a", "sloav", "-p", "64", "-n", "8"]) == 2
+
+    def test_run_verifies_delivery(self, capsys):
+        assert main(["run", "-a", "two_phase_bruck", "-p", "8", "-n", "32",
+                     "--machine", "local"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-verified" in out
+
+    def test_run_rejects_huge_p(self, capsys):
+        assert main(["run", "-a", "vendor", "-p", "100000", "-n", "8"]) == 2
+
+    def test_run_distributions(self, capsys):
+        for dist in ("normal", "power_law"):
+            assert main(["run", "-a", "sloav", "-p", "6", "-n", "24",
+                         "--dist", dist, "--machine", "local"]) == 0
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("theta", "cori", "stampede2", "local"):
+            assert name in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "-p", "128", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "two_phase_bruck" in out
+        assert "data scaling" in out.lower()

@@ -1,0 +1,198 @@
+"""End-to-end shape assertions for the paper's headline claims.
+
+Each test pins one qualitative result the paper reports (who wins, which
+direction a trend moves, roughly what factor).  Together they are the
+"reproduction succeeded" checklist that EXPERIMENTS.md walks through.
+"""
+
+import pytest
+
+from repro.bench import fig9_performance_model
+from repro.simmpi import THETA
+from repro.timing import predict_alltoallv, predict_uniform
+from repro.workloads import NormalBlocks, PowerLawBlocks, UniformBlocks
+
+
+def t(algorithm, p, n_or_dist, mode="auto", seed=1):
+    dist = (UniformBlocks(n_or_dist) if isinstance(n_or_dist, int)
+            else n_or_dist)
+    return predict_alltoallv(algorithm, THETA, p, dist, seed=seed,
+                             mode=mode).elapsed
+
+
+class TestFig2Claims:
+    """§2.2: uniform variant comparison at N = 32 B."""
+
+    @pytest.mark.parametrize("p", [256, 1024, 4096])
+    def test_zero_rotation_fastest(self, p):
+        times = {alg: predict_uniform(alg, THETA, p, 32).total
+                 for alg in ("basic_bruck", "modified_bruck",
+                             "zero_rotation_bruck", "basic_bruck_dt",
+                             "modified_bruck_dt", "zero_copy_bruck_dt")}
+        assert min(times, key=times.get) == "zero_rotation_bruck"
+
+    @pytest.mark.parametrize("p", [256, 1024, 4096])
+    def test_datatype_variants_consistently_slower(self, p):
+        for plain, dt in (("basic_bruck", "basic_bruck_dt"),
+                          ("modified_bruck", "modified_bruck_dt")):
+            assert predict_uniform(dt, THETA, p, 32).total > \
+                predict_uniform(plain, THETA, p, 32).total
+
+    def test_zero_rotation_speedup_magnitude(self):
+        # Paper: zero-rotation is 39.64% faster than basic at P=256 and
+        # 7.13% at P=4096.  (Note the paper's own tension: it also states
+        # the rotation *share* grows with P, which implies the gain should
+        # grow too — as it does in our model.  We assert positive gains in
+        # a loose band; see EXPERIMENTS.md.)
+        def gain(p):
+            basic = predict_uniform("basic_bruck", THETA, p, 32).total
+            zero = predict_uniform("zero_rotation_bruck", THETA, p, 32).total
+            return 1 - zero / basic
+        assert 0.01 < gain(256) < 0.6
+        assert 0.01 < gain(4096) < 0.6
+
+    def test_rotation_share_grows_with_p(self):
+        # §2.2: "time percentages of the two rotation phases increase
+        # with the number of processes" — relative to basic's total.
+        def share(p):
+            timing = predict_uniform("basic_bruck", THETA, p, 32)
+            return (timing.initial_rotation + timing.final_rotation) \
+                / timing.total
+        assert share(4096) > share(256)
+
+
+class TestFig6Claims:
+    """§4.1 data scaling."""
+
+    def test_two_phase_beats_vendor_small_to_moderate_n(self):
+        for p in (256, 512, 1024, 2048, 4096):
+            assert t("two_phase_bruck", p, 256) < t("vendor", p, 256)
+
+    def test_vendor_wins_large_n_at_scale(self):
+        assert t("vendor", 4096, 2048) < t("two_phase_bruck", 4096, 2048)
+
+    def test_crossover_ladder_matches_paper(self):
+        """The headline Fig. 6/9 result: N* = 1024/512/256/128 at
+        P = 4096/8192/16384/32768."""
+        for p, n_star in ((4096, 1024), (8192, 512), (16384, 256),
+                          (32768, 128)):
+            assert t("two_phase_bruck", p, n_star) < t("vendor", p, n_star), \
+                f"two-phase should still win at (P={p}, N={n_star})"
+            assert t("two_phase_bruck", p, 2 * n_star) > \
+                t("vendor", p, 2 * n_star), \
+                f"vendor should win at (P={p}, N={2 * n_star})"
+
+    def test_win_factor_at_n256(self):
+        # Paper: 50.1% / 38.5% / 35.8% / 30.8% faster at P = 512..4096.
+        # Assert the band (25%..60%) and the declining trend.
+        gains = []
+        for p in (512, 1024, 2048, 4096):
+            gains.append(1 - t("two_phase_bruck", p, 256) / t("vendor", p, 256))
+        assert all(0.20 < g < 0.65 for g in gains), gains
+        assert gains[0] > gains[-1]
+
+    def test_padded_transmits_double_so_loses_at_moderate_n(self):
+        # Paper's N=512, P=4096 example: padded ~2.2x slower (202.9 vs
+        # 91.6 ms).
+        ratio = t("padded_bruck", 4096, 512) / t("two_phase_bruck", 4096, 512)
+        assert 1.5 < ratio < 3.0
+
+    def test_absolute_magnitude_anchor(self):
+        # two-phase at (P=4096, N=512) ≈ 91.6 ms on Theta (paper).  Our
+        # calibrated profile must land within 25%.
+        assert t("two_phase_bruck", 4096, 512) == pytest.approx(
+            91.6e-3, rel=0.25)
+
+
+class TestFig7Claims:
+    """§4.1 weak scaling."""
+
+    def test_n64_two_phase_wins_through_32k(self):
+        for p in (128, 1024, 8192, 32768):
+            assert t("two_phase_bruck", p, 64) < t("vendor", p, 64)
+
+    def test_n512_two_phase_wins_only_through_8k(self):
+        assert t("two_phase_bruck", 8192, 512) < t("vendor", 8192, 512)
+        assert t("two_phase_bruck", 32768, 512) > t("vendor", 32768, 512)
+
+    def test_time_grows_with_p(self):
+        times = [t("two_phase_bruck", p, 64) for p in (128, 1024, 8192)]
+        assert times == sorted(times)
+
+
+class TestFig8Claims:
+    """§4.2 sensitivity at P = 4096."""
+
+    def test_two_phase_wins_all_windows_up_to_512(self):
+        from repro.workloads import WindowedUniformBlocks
+        for n in (16, 256, 512):
+            for r in (100, 60, 20):
+                dist = WindowedUniformBlocks(n, r)
+                assert t("two_phase_bruck", 4096, dist) < \
+                    t("vendor", 4096, dist), (n, r)
+
+    def test_time_shrinks_with_wider_window(self):
+        from repro.workloads import WindowedUniformBlocks
+        narrow = t("two_phase_bruck", 4096, WindowedUniformBlocks(512, 20))
+        wide = t("two_phase_bruck", 4096, WindowedUniformBlocks(512, 100))
+        assert wide < narrow  # smaller average load -> faster
+
+
+class TestFig9Claims:
+    """§4.1 empirical performance model."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return fig9_performance_model(
+            procs=(128, 1024, 4096, 8192, 16384, 32768),
+            blocks=(16, 64, 128, 256, 512, 1024, 2048))
+
+    def test_frontier_declines_at_scale(self, model):
+        ns = {c.nprocs: c.max_block for c in model.two_phase_frontier}
+        assert ns[4096] >= 512
+        assert ns[32768] <= 256
+        assert ns[32768] >= 64  # "even at 32K there are sizes where we win"
+
+    def test_padded_niche(self, model):
+        padded = {c.nprocs: c.max_block for c in model.padded_frontier}
+        assert padded[128] > 0
+
+
+class TestFig10Claims:
+    """§4.3 standard distributions at P = 4096/8192."""
+
+    def test_power_law_wins_to_larger_n_than_normal(self):
+        # Paper: power-law crossover ≈ 1024, normal ≈ 512 (lighter total
+        # load keeps Bruck competitive longer).
+        p = 8192
+        pl = PowerLawBlocks(1024, base=0.99)
+        assert t("two_phase_bruck", p, pl) < t("vendor", p, pl)
+        nm = NormalBlocks(2048)
+        assert t("two_phase_bruck", p, nm) > t("vendor", p, nm)
+
+    def test_base_099_lighter_than_0999(self):
+        p = 4096
+        light = t("two_phase_bruck", p, PowerLawBlocks(1024, base=0.99))
+        heavy = t("two_phase_bruck", p, PowerLawBlocks(1024, base=0.999))
+        assert light < heavy
+
+    def test_normal_heavier_than_power_law(self):
+        # Paper: per-process volume ~8x higher under normal than
+        # power-law(0.99) at N≈1024-2048.
+        assert NormalBlocks(1024).mean > 4 * PowerLawBlocks(1024, 0.99).mean
+
+
+class TestFig13Claims:
+    """§7 generality: the win carries to Cori and Stampede2 profiles."""
+
+    @pytest.mark.parametrize("machine_name", ["cori", "stampede2"])
+    def test_two_phase_beats_vendor_elsewhere(self, machine_name):
+        from repro.simmpi import get_profile
+        machine = get_profile(machine_name)
+        dist = NormalBlocks(64)
+        for p in (512, 4096):
+            tp = predict_alltoallv("two_phase_bruck", machine, p, dist,
+                                   seed=1).elapsed
+            vendor = predict_alltoallv("vendor", machine, p, dist,
+                                       seed=1).elapsed
+            assert tp < vendor

@@ -1,0 +1,67 @@
+"""Tests for the statistics helpers (the paper's median/MAD reporting)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import Summary, mad, max_order_statistic_quantile, median, summarize
+
+
+class TestMedianMad:
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_mad_constant_is_zero(self):
+        assert mad([5, 5, 5]) == 0.0
+
+    def test_mad_known_value(self):
+        # values 1..7: median 4, |x-4| = 3,2,1,0,1,2,3 -> median 2
+        assert mad([1, 2, 3, 4, 5, 6, 7]) == 2.0
+
+    def test_mad_robust_to_outlier(self):
+        base = [10.0] * 9
+        assert mad(base + [1e6]) == 0.0  # one outlier cannot move it
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+        with pytest.raises(ValueError):
+            mad([])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_mad_nonnegative_and_median_in_range(self, xs):
+        assert mad(xs) >= 0
+        assert min(xs) <= median(xs) <= max(xs)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([4.0, 1.0, 3.0, 2.0])
+        assert s.median == 2.5
+        assert s.iterations == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_str_contains_counts(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text
+
+
+class TestMaxOrderStatistic:
+    def test_solves_u_pow_count(self):
+        u = max_order_statistic_quantile(100, 0.5)
+        assert u ** 100 == pytest.approx(0.5)
+
+    def test_large_count_near_one(self):
+        assert max_order_statistic_quantile(10 ** 9) > 0.999999999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_order_statistic_quantile(0)
+        with pytest.raises(ValueError):
+            max_order_statistic_quantile(10, 1.5)

@@ -1,0 +1,95 @@
+"""Unit tests for the vectorized clock primitives."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import LOCAL, THETA
+from repro.timing.engine import (
+    bruck_step,
+    copy_time_blocks,
+    copy_time_vec,
+    datatype_time_vec,
+    dissemination_allreduce_cost,
+    head_latency_vec,
+    sendrecv_rounds,
+    serial_time_vec,
+    wire_time_vec,
+)
+
+
+class TestVectorizedCosts:
+    @pytest.mark.parametrize("n", [0, 1, 100, 8192, 8193, 10 ** 6])
+    def test_match_scalar_machine_methods(self, n):
+        for m in (THETA, LOCAL):
+            assert head_latency_vec(m, n) == pytest.approx(m.head_latency(n))
+            assert serial_time_vec(m, n, 64) == pytest.approx(
+                m.serial_time(n, 64))
+            assert wire_time_vec(m, n, 64) == pytest.approx(
+                m.wire_time(n, 64))
+            assert copy_time_vec(m, n) == pytest.approx(m.copy_time(n))
+
+    def test_array_inputs(self):
+        ns = np.array([0, 100, 9000])
+        out = serial_time_vec(THETA, ns, 128)
+        assert out.shape == (3,)
+        assert out[0] == 0.0
+
+    def test_copy_time_blocks_additive(self):
+        m = THETA
+        # 3 copies of 100 bytes == copy_time_blocks(3, 300)
+        assert copy_time_blocks(m, 3, 300) == pytest.approx(
+            3 * m.copy_time(100))
+
+    def test_datatype_vec_matches_scalar(self):
+        assert datatype_time_vec(THETA, 5, 200) == pytest.approx(
+            THETA.datatype_time(5, 200))
+        assert datatype_time_vec(THETA, 0, 0) == 0.0
+
+
+class TestClockRecurrences:
+    def test_bruck_step_symmetric_case(self):
+        # Equal clocks + equal sizes: everyone advances identically by
+        # o_send + max(o_recv, head) + serial.
+        m = THETA
+        p = 8
+        clocks = np.full(p, 5.0)
+        out = bruck_step(clocks, m, p, 1, 100.0)
+        expect = 5.0 + m.o_send + max(m.o_recv, m.head_latency(100)) \
+            + m.serial_time(100, p)
+        assert np.allclose(out, expect)
+
+    def test_bruck_step_straggler_propagates(self):
+        # One slow rank delays exactly its downstream receiver.
+        m = LOCAL
+        p = 4
+        clocks = np.zeros(p)
+        clocks[2] = 1.0  # straggler
+        out = bruck_step(clocks, m, p, 1, 10.0)
+        # rank 1 receives from rank 2 => inherits the delay
+        assert out[1] > 1.0
+        assert out[0] < 1.0 and out[3] < 1.0
+
+    def test_sendrecv_rounds_orientation(self):
+        # Dissemination receives from (p - offset): the straggler delays
+        # rank (straggler + offset).
+        m = LOCAL
+        p = 4
+        clocks = np.zeros(p)
+        clocks[1] = 1.0
+        out = sendrecv_rounds(clocks, m, p, 2, 8.0)
+        assert out[3] > 1.0          # 3 receives from (3 - 2) = 1
+        assert out[0] < 1.0
+
+    def test_allreduce_cost_rounds(self):
+        m = LOCAL
+        for p in (2, 3, 8, 13):
+            out = dissemination_allreduce_cost(np.zeros(p), m, p)
+            # ceil(log2 P) rounds, all ranks symmetric
+            rounds = (p - 1).bit_length()
+            per_round = m.o_send + max(m.o_recv, m.head_latency(8)) \
+                + m.serial_time(8, p)
+            assert np.allclose(out, rounds * per_round)
+
+    def test_allreduce_single_rank_noop(self):
+        out = dissemination_allreduce_cost(np.ones(1), LOCAL, 1)
+        assert out.tolist() == [1.0]
