@@ -20,6 +20,10 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.core.registry import get_algorithm
+from repro.simmpi import THETA, MachineProfile, format_summary, run_spmd
+from repro.workloads import build_vargs
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -36,3 +40,26 @@ def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark (drivers are too
     heavy for repeated rounds) and return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_alltoallv(algorithm: str, sizes, machine: MachineProfile = THETA,
+                  trace=True, timeout: float = 300.0, **kwargs):
+    """Functional run of one registered non-uniform algorithm.
+
+    ``algorithm`` resolves through :mod:`repro.core.registry`; extra
+    keyword arguments go to the implementation (e.g. ``group_size`` for
+    the grouped scheme).  Returns the :class:`~repro.simmpi.SPMDResult`.
+    """
+    fn = get_algorithm(algorithm, kind="nonuniform").fn
+
+    def prog(comm):
+        vargs = build_vargs(comm.rank, sizes)
+        fn(comm, *vargs.as_tuple(), **kwargs)
+
+    return run_spmd(prog, sizes.shape[0], machine=machine, trace=trace,
+                    timeout=timeout)
+
+
+def summarize(result, title: str = "") -> str:
+    """Shared plain-text per-phase / per-step summary of one run."""
+    return format_summary(result, title)

@@ -12,11 +12,9 @@ only for *fixed, repeated* communication plans where the plan cost is
 amortized.
 """
 
-from repro.core.nonuniform import alltoallv
-from repro.simmpi import THETA, run_spmd
-from repro.workloads import UniformBlocks, block_size_matrix, build_vargs
+from repro.workloads import UniformBlocks, block_size_matrix
 
-from _common import once, save_report
+from _common import once, run_alltoallv, save_report, summarize
 
 P = 64
 N = 64
@@ -24,15 +22,7 @@ GROUPS = (2, 4, 8, 16)
 
 
 def _run(algorithm, sizes, **kwargs):
-    def prog(comm):
-        args = build_vargs(comm.rank, sizes)
-        if algorithm == "grouped":
-            from repro.core.nonuniform.grouped import grouped_alltoallv
-            grouped_alltoallv(comm, *args.as_tuple(), **kwargs)
-        else:
-            alltoallv(comm, *args.as_tuple(), algorithm=algorithm)
-    return run_spmd(prog, sizes.shape[0], machine=THETA, trace=True,
-                    timeout=300)
+    return run_alltoallv(algorithm, sizes, **kwargs)
 
 
 def test_grouped_comparison(benchmark):
@@ -61,4 +51,7 @@ def test_grouped_comparison(benchmark):
         > rows["spread_out"].total_bytes
     # ...so Bruck stays the better general-purpose choice here.
     assert rows["two_phase_bruck"].elapsed < rows["grouped(g=8)"].elapsed
+    lines.append("")
+    lines.append(summarize(rows["two_phase_bruck"],
+                           title="two_phase_bruck run detail:"))
     save_report("grouped_related_work", "\n".join(lines))

@@ -9,21 +9,16 @@ overheads grow with the data volume (extra copy passes), two-phase's
 fixed cost is one allreduce, so two-phase pulls ahead as P·N grows.
 """
 
-from repro.core.nonuniform import alltoallv
-from repro.simmpi import THETA, run_spmd
-from repro.workloads import UniformBlocks, block_size_matrix, build_vargs
+from repro.simmpi import format_phase_table
+from repro.workloads import UniformBlocks, block_size_matrix
 
-from _common import once, save_report
+from _common import once, run_alltoallv, save_report
 
 CONFIGS = ((32, 64), (64, 256), (128, 1024), (256, 2048))
 
 
 def _run(algorithm, sizes, trace=False):
-    def prog(comm):
-        args = build_vargs(comm.rank, sizes)
-        alltoallv(comm, *args.as_tuple(), algorithm=algorithm)
-    return run_spmd(prog, sizes.shape[0], machine=THETA, trace=trace,
-                    timeout=300)
+    return run_alltoallv(algorithm, sizes, trace=trace)
 
 
 def test_sloav_vs_two_phase(benchmark):
@@ -62,12 +57,12 @@ def test_sloav_overhead_phases(benchmark):
         return sloav.phase_times(), tp.phase_times()
 
     sloav_phases, tp_phases = once(benchmark, run)
-    lines = ["SLOAV phase split (max over ranks, ms):"]
-    for name, t in sorted(sloav_phases.items()):
-        lines.append(f"  {name:>18}: {t * 1e3:8.4f}")
-    lines.append("two-phase phase split (ms):")
-    for name, t in sorted(tp_phases.items()):
-        lines.append(f"  {name:>18}: {t * 1e3:8.4f}")
+    lines = [
+        format_phase_table(sloav_phases,
+                           header="SLOAV phase split (max over ranks, ms):"),
+        format_phase_table(tp_phases,
+                           header="two-phase phase split (ms):"),
+    ]
     assert sloav_phases["final_rotation"] > 0
     assert sloav_phases["scan"] > 0
     assert "final_rotation" not in tp_phases

@@ -4,6 +4,7 @@ Commands
 --------
 ``predict``    analytic simulated time of one alltoallv configuration
 ``run``        functional (thread-simulator) run with byte verification
+``trace``      functional run exported as a Chrome/Perfetto timeline
 ``recommend``  the Fig. 9 advisor: which algorithm for (P, N)?
 ``profiles``   list the machine profiles and their constants
 ``sweep``      a data-scaling sweep (one Fig. 6 panel) as a table
@@ -14,6 +15,8 @@ Examples
 
     python -m repro predict -a two_phase_bruck -p 8192 -n 256
     python -m repro run -a padded_bruck -p 32 -n 64 --machine local
+    python -m repro trace --algorithm two_phase_bruck --nprocs 64 \\
+        --out trace.json
     python -m repro recommend -p 350 -n 800
     python -m repro sweep -p 4096
 """
@@ -25,7 +28,8 @@ import sys
 from typing import List, Optional
 
 from .bench import fig6_data_scaling, format_series_table
-from .core import NONUNIFORM_ALGORITHMS, PerformanceModel, alltoallv
+from .core import PerformanceModel, alltoallv
+from .core.registry import list_algorithms
 from .simmpi import PROFILES, get_profile, run_spmd
 from .timing import predict_alltoallv
 from .workloads import (
@@ -35,7 +39,7 @@ from .workloads import (
     verify_recv,
 )
 
-ALGORITHM_CHOICES = sorted(NONUNIFORM_ALGORITHMS) + ["vendor"]
+ALGORITHM_CHOICES = list_algorithms("nonuniform")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -88,6 +92,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.nprocs > 256:
+        print("error: traced runs are thread-per-rank; use <= 256 ranks",
+              file=sys.stderr)
+        return 2
+    machine = get_profile(args.machine)
+    dist = distribution_by_name(args.dist, args.max_block)
+    sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
+
+    def prog(comm):
+        vargs = build_vargs(comm.rank, sizes)
+        alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
+        verify_recv(comm.rank, sizes, vargs.recvbuf)
+
+    result = run_spmd(prog, args.nprocs, machine=machine, trace=True)
+    print(result.summary(
+        title=f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
+              f"({args.dist}, {machine.name}):"))
+    if args.out:
+        result.export_chrome_trace(args.out)
+        print(f"timeline written to {args.out} — load it in "
+              f"chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def cmd_recommend(args: argparse.Namespace) -> int:
     machine = get_profile(args.machine)
     print(f"fitting the empirical model on {machine.name}...",
@@ -129,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("predict", help="analytic simulated time")
     p.add_argument("-a", "--algorithm", required=True,
-                   choices=ALGORITHM_CHOICES + ["sloav"])
+                   choices=ALGORITHM_CHOICES)
     _add_common(p)
     p.set_defaults(fn=cmd_predict)
 
@@ -138,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=ALGORITHM_CHOICES)
     _add_common(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "trace", help="functional run exported as a Chrome/Perfetto trace")
+    p.add_argument("-a", "--algorithm", default="two_phase_bruck",
+                   choices=ALGORITHM_CHOICES)
+    p.add_argument("-p", "--nprocs", type=int, required=True,
+                   help="number of ranks")
+    p.add_argument("-n", "--max-block", type=int, default=64,
+                   help="maximum block size N in bytes (default: 64)")
+    p.add_argument("--dist", default="uniform",
+                   choices=["uniform", "normal", "power_law"],
+                   help="block-size distribution (default: uniform)")
+    p.add_argument("--machine", default="theta", choices=sorted(PROFILES))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the trace-event JSON here "
+                        "(omit to print the summary only)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("recommend", help="Fig. 9 advisor")
     p.add_argument("-p", "--nprocs", type=int, required=True)

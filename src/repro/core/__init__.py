@@ -32,6 +32,12 @@ from .nonuniform import (
     spread_out_v,
     two_phase_bruck,
 )
+from .registry import (
+    Algorithm,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+)
 from .selector import CrossoverPoint, PerformanceModel
 from .uniform import (
     UNIFORM_ALGORITHMS,
@@ -46,6 +52,10 @@ from .uniform import (
 )
 
 __all__ = [
+    "Algorithm",
+    "get_algorithm",
+    "list_algorithms",
+    "register_algorithm",
     "num_steps",
     "send_block_distances",
     "block_moved_before",

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Sequence
 import numpy as np
 
 from ...simmpi.communicator import Communicator
+from ..registry import get_algorithm, register_algorithm
 from .grouped import grouped_alltoallv
 from .padded import padded_alltoall, padded_bruck
 from .sloav import sloav_alltoallv
@@ -36,8 +37,26 @@ __all__ = [
 
 AlltoallvFn = Callable[..., None]
 
-#: Registry of every non-uniform scheme in the paper's evaluation
-#: (Fig. 6 compares exactly these plus the vendor library).
+for _name, _fn, _desc in (
+    ("padded_bruck", padded_bruck,
+     "pad blocks to the global max, run uniform Bruck, compact"),
+    ("padded_alltoall", padded_alltoall,
+     "pad blocks to the global max, run the builtin alltoall, compact"),
+    ("two_phase_bruck", two_phase_bruck,
+     "the paper's two-phase Bruck (metadata exchange + packed payloads)"),
+    ("spread_out", spread_out_v,
+     "pairwise Isend/Irecv spread-out baseline (alltoallv)"),
+    ("sloav", sloav_alltoallv,
+     "send-layout-optimized alltoallv variant"),
+    ("grouped", grouped_alltoallv,
+     "group-wise staged alltoallv variant"),
+):
+    register_algorithm(_name, "nonuniform", _fn, _desc)
+
+#: Deprecated alias of :mod:`repro.core.registry` — kept for backward
+#: compatibility; new code should use ``get_algorithm(name, "nonuniform")``
+#: or ``list_algorithms("nonuniform")``.  Note it excludes ``"vendor"``,
+#: which the registry does carry.
 NONUNIFORM_ALGORITHMS: Dict[str, AlltoallvFn] = {
     "padded_bruck": padded_bruck,
     "padded_alltoall": padded_alltoall,
@@ -53,17 +72,11 @@ def alltoallv(comm: Communicator, sendbuf: np.ndarray,
               recvbuf: np.ndarray, recvcounts: Sequence[int],
               rdispls: Sequence[int], *,
               algorithm: str = "two_phase_bruck", tag_base: int = 0) -> None:
-    """Non-uniform all-to-all dispatching on ``algorithm`` name."""
-    if algorithm == "vendor":
-        comm.alltoallv(sendbuf, sendcounts, sdispls, recvbuf, recvcounts,
-                       rdispls)
-        return
-    try:
-        fn = NONUNIFORM_ALGORITHMS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(NONUNIFORM_ALGORITHMS) + ["vendor"])
-        raise KeyError(
-            f"unknown non-uniform algorithm {algorithm!r}; known: {known}"
-        ) from None
+    """Non-uniform all-to-all dispatching on ``algorithm`` name.
+
+    Names resolve through :mod:`repro.core.registry`; ``"vendor"`` is the
+    stand-in for the vendor-optimized ``MPI_Alltoallv``.
+    """
+    fn = get_algorithm(algorithm, kind="nonuniform").fn
     fn(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
        tag_base=tag_base)

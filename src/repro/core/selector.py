@@ -26,6 +26,14 @@ from typing import Dict, List, Sequence, Tuple
 from ..simmpi.machine import THETA, MachineProfile
 from ..workloads.distributions import UniformBlocks
 from .cost_model import crossover_block_size
+from .registry import get_algorithm
+
+# The three contenders of the Fig. 9 chart, resolved through the central
+# registry so a rename there fails loudly here.
+def _contenders() -> Tuple[str, str, str]:
+    return (get_algorithm("two_phase_bruck", kind="nonuniform").name,
+            get_algorithm("padded_bruck", kind="nonuniform").name,
+            get_algorithm("vendor", kind="nonuniform").name)
 
 __all__ = ["CrossoverPoint", "PerformanceModel"]
 
@@ -68,17 +76,18 @@ class PerformanceModel:
         """
         from ..timing import predict_alltoallv  # local import: avoid cycle
 
+        tp_name, padded_name, vendor_name = _contenders()
         model = cls(machine=machine)
         for p in procs:
             largest_tp = 0
             largest_padded = 0
             for n in sorted(blocks):
                 dist = UniformBlocks(n)
-                tp = predict_alltoallv("two_phase_bruck", machine, p, dist,
+                tp = predict_alltoallv(tp_name, machine, p, dist,
                                        seed=seed).elapsed
-                vendor = predict_alltoallv("vendor", machine, p, dist,
+                vendor = predict_alltoallv(vendor_name, machine, p, dist,
                                            seed=seed).elapsed
-                padded = predict_alltoallv("padded_bruck", machine, p, dist,
+                padded = predict_alltoallv(padded_name, machine, p, dist,
                                            seed=seed).elapsed
                 if tp < vendor:
                     largest_tp = n
@@ -105,12 +114,12 @@ class PerformanceModel:
         by_p: Dict[int, List[Tuple[int, Dict[str, float]]]] = {}
         for (p, n), times in measurements.items():
             by_p.setdefault(p, []).append((n, times))
+        required = set(_contenders())
         for p in sorted(by_p):
             largest_tp = 0
             largest_padded = 0
             for n, times in sorted(by_p[p]):
-                missing = {"two_phase_bruck", "padded_bruck", "vendor"} \
-                    - set(times)
+                missing = required - set(times)
                 if missing:
                     raise ValueError(
                         f"measurement ({p}, {n}) missing algorithms: "

@@ -15,6 +15,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from ...simmpi.communicator import Communicator
+from ..registry import get_algorithm, register_algorithm
 from .basic import basic_bruck, basic_bruck_dt
 from .modified import modified_bruck, modified_bruck_dt
 from .spread_out import spread_out
@@ -35,8 +36,24 @@ __all__ = [
 
 AlltoallFn = Callable[..., None]
 
-#: Registry of every uniform variant evaluated in Fig. 2, plus the
-#: spread-out baseline.
+for _name, _fn, _desc in (
+    ("basic_bruck", basic_bruck, "Fig. 2 basic Bruck (explicit copies)"),
+    ("basic_bruck_dt", basic_bruck_dt, "basic Bruck, derived datatypes"),
+    ("modified_bruck", modified_bruck, "basic Bruck minus final rotation"),
+    ("modified_bruck_dt", modified_bruck_dt,
+     "modified Bruck, derived datatypes"),
+    ("zero_copy_bruck_dt", zero_copy_bruck_dt,
+     "zero-copy Bruck over two working buffers"),
+    ("zero_rotation_bruck", zero_rotation_bruck,
+     "the paper's zero-rotation Bruck (index arithmetic, no rotations)"),
+    ("spread_out", spread_out, "pairwise Isend/Irecv spread-out baseline"),
+):
+    register_algorithm(_name, "uniform", _fn, _desc)
+
+#: Deprecated alias of :mod:`repro.core.registry` — kept for backward
+#: compatibility; new code should use ``get_algorithm(name, "uniform")``
+#: or ``list_algorithms("uniform")``.  Note it excludes ``"vendor"``,
+#: which the registry does carry.
 UNIFORM_ALGORITHMS: Dict[str, AlltoallFn] = {
     "basic_bruck": basic_bruck,
     "basic_bruck_dt": basic_bruck_dt,
@@ -53,17 +70,9 @@ def alltoall(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,
              tag_base: int = 0) -> None:
     """Uniform all-to-all dispatching on ``algorithm`` name.
 
-    ``"vendor"`` routes to the communicator's builtin (spread-out) alltoall,
-    mirroring a call to the MPI library's own ``MPI_Alltoall``.
+    Names resolve through :mod:`repro.core.registry`; ``"vendor"`` routes
+    to the communicator's builtin (spread-out) alltoall, mirroring a call
+    to the MPI library's own ``MPI_Alltoall``.
     """
-    if algorithm == "vendor":
-        comm.alltoall(sendbuf, recvbuf, block_nbytes)
-        return
-    try:
-        fn = UNIFORM_ALGORITHMS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(UNIFORM_ALGORITHMS) + ["vendor"])
-        raise KeyError(
-            f"unknown uniform algorithm {algorithm!r}; known: {known}"
-        ) from None
+    fn = get_algorithm(algorithm, kind="uniform").fn
     fn(comm, sendbuf, recvbuf, block_nbytes, tag_base=tag_base)

@@ -30,18 +30,28 @@ from .errors import (
     SimMPIError,
     TruncationError,
 )
-from .executor import SPMDResult, run_spmd
+from .executor import TRACE_MODES, SPMDResult, run_spmd
 from .machine import CORI, LOCAL, PROFILES, STAMPEDE2, THETA, MachineProfile, get_profile
+from .metrics import Counter, Histogram, MetricsRegistry, RunMetrics
 from .network import Envelope, Network
 from .request import RecvRequest, Request, SendRequest, waitall
+from .trace_export import (
+    chrome_trace,
+    export_chrome_trace,
+    format_phase_table,
+    format_summary,
+)
 from .tracing import (
+    CollectiveEvent,
     CopyEvent,
     DatatypeEvent,
+    MetricsTrace,
     NullTrace,
     PhaseEvent,
     RankTrace,
     RecvEvent,
     SendEvent,
+    TraceBase,
 )
 
 __all__ = [
@@ -57,6 +67,7 @@ __all__ = [
     "CommAbortedError",
     "run_spmd",
     "SPMDResult",
+    "TRACE_MODES",
     "MachineProfile",
     "get_profile",
     "PROFILES",
@@ -70,11 +81,22 @@ __all__ = [
     "SendRequest",
     "RecvRequest",
     "waitall",
+    "TraceBase",
     "RankTrace",
     "NullTrace",
+    "MetricsTrace",
     "SendEvent",
     "RecvEvent",
     "CopyEvent",
     "DatatypeEvent",
     "PhaseEvent",
+    "CollectiveEvent",
+    "MetricsRegistry",
+    "RunMetrics",
+    "Counter",
+    "Histogram",
+    "chrome_trace",
+    "export_chrome_trace",
+    "format_summary",
+    "format_phase_table",
 ]

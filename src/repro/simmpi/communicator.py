@@ -35,7 +35,7 @@ from .errors import InvalidRankError, InvalidTagError
 from .machine import MachineProfile
 from .network import Envelope, Network
 from .request import RecvRequest, Request, SendRequest, waitall
-from .tracing import NullTrace, RankTrace
+from .tracing import TraceBase
 
 __all__ = ["Communicator", "MAX_USER_TAG"]
 
@@ -51,7 +51,7 @@ class Communicator:
     """One rank's endpoint in the simulated job."""
 
     def __init__(self, network: Network, rank: int,
-                 trace: Union[RankTrace, NullTrace],
+                 trace: TraceBase,
                  recv_timeout: Optional[float] = 60.0) -> None:
         if not 0 <= rank < network.nprocs:
             raise InvalidRankError(rank, network.nprocs)
@@ -81,7 +81,7 @@ class Communicator:
         return self._clock
 
     @property
-    def trace(self) -> Union[RankTrace, NullTrace]:
+    def trace(self) -> TraceBase:
         return self._trace
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -113,10 +113,12 @@ class Communicator:
         return self._isend_raw(_payload_of(buf), dest, tag)
 
     def _isend_raw(self, payload: bytes, dest: int, tag: int) -> SendRequest:
+        begin = self._clock
         self._clock += self.machine.o_send
         depart = self._clock
         self._network.post(Envelope(self._rank, dest, tag, payload, depart))
-        self._trace.record_send(self._rank, dest, tag, len(payload), depart)
+        self._trace.record_send(self._rank, dest, tag, len(payload), depart,
+                                begin=begin)
         return SendRequest(self, depart, len(payload))
 
     def irecv(self, buf: Buffer, source: int, tag: int = 0) -> RecvRequest:
@@ -191,10 +193,15 @@ class Communicator:
         self._clock += self.machine.o_recv
         env = self._network.collect(source, self._rank, tag,
                                     timeout=self._recv_timeout)
-        self._clock = (max(self._clock, self._network.head_time(env))
-                       + self._network.serial_time(env))
+        head = self._network.head_time(env)
+        landing_start = max(self._clock, head)
+        metrics = self._network.metrics
+        if metrics is not None:
+            metrics.on_retire(queue_wait=max(0.0, self._clock - head),
+                              recv_wait=max(0.0, head - self._clock))
+        self._clock = landing_start + self._network.serial_time(env)
         self._trace.record_recv(env.src, env.dst, env.tag, env.nbytes,
-                                self._clock)
+                                self._clock, begin=landing_start)
         return pickle.loads(env.payload)
 
     # ------------------------------------------------------------------
@@ -210,25 +217,28 @@ class Communicator:
         """Charge one explicit contiguous memory copy of ``nbytes`` bytes."""
         if nbytes <= 0:
             return
+        begin = self._clock
         self._clock += self.machine.copy_time(int(nbytes))
-        self._trace.record_copy(int(nbytes), self._clock)
+        self._trace.record_copy(int(nbytes), self._clock, begin=begin)
 
     def pack(self, buffer: Buffer, blocks: IndexedBlocks) -> np.ndarray:
         """Datatype-engine pack: gather ``blocks`` of ``buffer``, charging
         the derived-datatype cost (used by the ``-dt`` Bruck variants)."""
         data = blocks.pack(buffer)
+        begin = self._clock
         self._clock += self.machine.datatype_time(blocks.nblocks, blocks.nbytes)
         self._trace.record_datatype("pack", blocks.nblocks, blocks.nbytes,
-                                    self._clock)
+                                    self._clock, begin=begin)
         return data
 
     def unpack(self, buffer: Buffer, blocks: IndexedBlocks,
                data: np.ndarray) -> None:
         """Datatype-engine unpack: scatter ``data`` into ``blocks``."""
         blocks.unpack(buffer, data)
+        begin = self._clock
         self._clock += self.machine.datatype_time(blocks.nblocks, blocks.nbytes)
         self._trace.record_datatype("unpack", blocks.nblocks, blocks.nbytes,
-                                    self._clock)
+                                    self._clock, begin=begin)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -238,6 +248,15 @@ class Communicator:
             yield
         finally:
             self._trace.phase_end(self._clock)
+
+    @contextmanager
+    def _collective(self, name: str) -> Iterator[None]:
+        """Record one collective invocation as a traced interval."""
+        self._trace.collective_begin(name, self._clock)
+        try:
+            yield
+        finally:
+            self._trace.collective_end(self._clock)
 
     # ------------------------------------------------------------------
     # collectives
@@ -254,40 +273,42 @@ class Communicator:
 
     def barrier(self) -> None:
         """Dissemination barrier: ``ceil(log2 P)`` pairwise rounds."""
-        p, rank = self.size, self._rank
-        if p == 1:
-            return
-        tag = self._next_coll_tags()
-        token = np.zeros(1, dtype=np.uint8)
-        scratch = np.zeros(1, dtype=np.uint8)
-        k = 1
-        while k < p:
-            self._sendrecv_internal(token, (rank + k) % p, tag,
-                                    scratch, (rank - k) % p, tag)
-            k <<= 1
+        with self._collective("barrier"):
+            p, rank = self.size, self._rank
+            if p == 1:
+                return
+            tag = self._next_coll_tags()
+            token = np.zeros(1, dtype=np.uint8)
+            scratch = np.zeros(1, dtype=np.uint8)
+            k = 1
+            while k < p:
+                self._sendrecv_internal(token, (rank + k) % p, tag,
+                                        scratch, (rank - k) % p, tag)
+                k <<= 1
 
     def bcast(self, buf: Buffer, root: int = 0) -> None:
         """Binomial-tree broadcast of ``buf`` (in place on non-roots)."""
-        p = self.size
-        root = self._check_peer(root, "root")
-        if p == 1:
-            return
-        tag = self._next_coll_tags()
-        # Rotate ranks so the tree is rooted at 0.
-        vrank = (self._rank - root) % p
-        mask = 1
-        while mask < p:
-            if vrank & mask:
-                src = ((vrank ^ mask) + root) % p
-                self._recv_internal(buf, src, tag)
-                break
-            mask <<= 1
-        mask >>= 1
-        while mask > 0:
-            if vrank + mask < p:
-                dst = ((vrank | mask) + root) % p
-                self._send_internal(buf, dst, tag)
+        with self._collective("bcast"):
+            p = self.size
+            root = self._check_peer(root, "root")
+            if p == 1:
+                return
+            tag = self._next_coll_tags()
+            # Rotate ranks so the tree is rooted at 0.
+            vrank = (self._rank - root) % p
+            mask = 1
+            while mask < p:
+                if vrank & mask:
+                    src = ((vrank ^ mask) + root) % p
+                    self._recv_internal(buf, src, tag)
+                    break
+                mask <<= 1
             mask >>= 1
+            while mask > 0:
+                if vrank + mask < p:
+                    dst = ((vrank | mask) + root) % p
+                    self._send_internal(buf, dst, tag)
+                mask >>= 1
 
     def allreduce(self, value: Union[int, float], op: str = "max") -> Union[int, float]:
         """Allreduce of one scalar with ``op`` in {"max", "min", "sum"}.
@@ -298,9 +319,12 @@ class Communicator:
         pre/post folding of the remainder ranks.
         """
         if op in ("max", "min"):
-            return self._allreduce_idempotent(value, max if op == "max" else min)
+            with self._collective("allreduce"):
+                return self._allreduce_idempotent(
+                    value, max if op == "max" else min)
         if op == "sum":
-            return self._allreduce_sum(value)
+            with self._collective("allreduce"):
+                return self._allreduce_sum(value)
         raise ValueError(f"unsupported allreduce op {op!r}")
 
     def _allreduce_idempotent(self, value: Union[int, float],
@@ -364,20 +388,21 @@ class Communicator:
 
         Returns an array of shape ``(size,) + value.shape``.
         """
-        p, rank = self.size, self._rank
-        value = np.ascontiguousarray(value)
-        out = np.empty((p,) + value.shape, dtype=value.dtype)
-        out[rank] = value
-        if p == 1:
+        with self._collective("allgather"):
+            p, rank = self.size, self._rank
+            value = np.ascontiguousarray(value)
+            out = np.empty((p,) + value.shape, dtype=value.dtype)
+            out[rank] = value
+            if p == 1:
+                return out
+            tag = self._next_coll_tags()
+            right, left = (rank + 1) % p, (rank - 1) % p
+            for step in range(p - 1):
+                send_idx = (rank - step) % p
+                recv_idx = (rank - step - 1) % p
+                self._sendrecv_internal(out[send_idx], right, tag,
+                                        out[recv_idx], left, tag)
             return out
-        tag = self._next_coll_tags()
-        right, left = (rank + 1) % p, (rank - 1) % p
-        for step in range(p - 1):
-            send_idx = (rank - step) % p
-            recv_idx = (rank - step - 1) % p
-            self._sendrecv_internal(out[send_idx], right, tag,
-                                    out[recv_idx], left, tag)
-        return out
 
     # -- builtin all-to-all (the spread-out "vendor" baseline) ----------
     def alltoall(self, sendbuf: Buffer, recvbuf: Buffer, block_nbytes: int) -> None:
@@ -386,28 +411,30 @@ class Communicator:
 
         ``sendbuf``/``recvbuf`` are flat byte buffers of ``P * block_nbytes``.
         """
-        p, rank = self.size, self._rank
-        sview = _byte_view(sendbuf)
-        rview = _byte_view(recvbuf)
-        n = int(block_nbytes)
-        if sview.nbytes < p * n or rview.nbytes < p * n:
-            raise ValueError(
-                f"alltoall buffers need {p * n} bytes "
-                f"(send has {sview.nbytes}, recv has {rview.nbytes})"
-            )
-        tag = self._next_coll_tags()
-        # Self block: local copy.
-        rview[rank * n:(rank + 1) * n] = sview[rank * n:(rank + 1) * n]
-        self.charge_copy(n)
-        reqs: List[Request] = []
-        for off in range(1, p):
-            src = (rank - off) % p
-            reqs.append(self._irecv_raw(rview[src * n:(src + 1) * n], src, tag))
-        for off in range(1, p):
-            dst = (rank + off) % p
-            reqs.append(self._isend_raw(
-                _payload_of(sview[dst * n:(dst + 1) * n]), dst, tag))
-        waitall(reqs)
+        with self._collective("alltoall"):
+            p, rank = self.size, self._rank
+            sview = _byte_view(sendbuf)
+            rview = _byte_view(recvbuf)
+            n = int(block_nbytes)
+            if sview.nbytes < p * n or rview.nbytes < p * n:
+                raise ValueError(
+                    f"alltoall buffers need {p * n} bytes "
+                    f"(send has {sview.nbytes}, recv has {rview.nbytes})"
+                )
+            tag = self._next_coll_tags()
+            # Self block: local copy.
+            rview[rank * n:(rank + 1) * n] = sview[rank * n:(rank + 1) * n]
+            self.charge_copy(n)
+            reqs: List[Request] = []
+            for off in range(1, p):
+                src = (rank - off) % p
+                reqs.append(self._irecv_raw(rview[src * n:(src + 1) * n],
+                                            src, tag))
+            for off in range(1, p):
+                dst = (rank + off) % p
+                reqs.append(self._isend_raw(
+                    _payload_of(sview[dst * n:(dst + 1) * n]), dst, tag))
+            waitall(reqs)
 
     def alltoallv(self, sendbuf: Buffer, sendcounts: Sequence[int],
                   sdispls: Sequence[int], recvbuf: Buffer,
@@ -417,36 +444,40 @@ class Communicator:
 
         All counts/displacements are in bytes over flat byte buffers.
         """
-        p, rank = self.size, self._rank
-        sview = _byte_view(sendbuf)
-        rview = _byte_view(recvbuf)
-        sendcounts = np.asarray(sendcounts, dtype=np.int64)
-        recvcounts = np.asarray(recvcounts, dtype=np.int64)
-        sdispls = np.asarray(sdispls, dtype=np.int64)
-        rdispls = np.asarray(rdispls, dtype=np.int64)
-        for name, arr in (("sendcounts", sendcounts), ("recvcounts", recvcounts),
-                          ("sdispls", sdispls), ("rdispls", rdispls)):
-            if len(arr) != p:
-                raise ValueError(f"{name} must have length {p}, got {len(arr)}")
-        tag = self._next_coll_tags()
-        # Self block.
-        n_self = int(sendcounts[rank])
-        if n_self:
-            rview[rdispls[rank]:rdispls[rank] + n_self] = \
-                sview[sdispls[rank]:sdispls[rank] + n_self]
-            self.charge_copy(n_self)
-        reqs: List[Request] = []
-        for off in range(1, p):
-            src = (rank - off) % p
-            cnt = int(recvcounts[src])
-            reqs.append(self._irecv_raw(
-                rview[rdispls[src]:rdispls[src] + cnt], src, tag))
-        for off in range(1, p):
-            dst = (rank + off) % p
-            cnt = int(sendcounts[dst])
-            reqs.append(self._isend_raw(
-                _payload_of(sview[sdispls[dst]:sdispls[dst] + cnt]), dst, tag))
-        waitall(reqs)
+        with self._collective("alltoallv"):
+            p, rank = self.size, self._rank
+            sview = _byte_view(sendbuf)
+            rview = _byte_view(recvbuf)
+            sendcounts = np.asarray(sendcounts, dtype=np.int64)
+            recvcounts = np.asarray(recvcounts, dtype=np.int64)
+            sdispls = np.asarray(sdispls, dtype=np.int64)
+            rdispls = np.asarray(rdispls, dtype=np.int64)
+            for name, arr in (("sendcounts", sendcounts),
+                              ("recvcounts", recvcounts),
+                              ("sdispls", sdispls), ("rdispls", rdispls)):
+                if len(arr) != p:
+                    raise ValueError(
+                        f"{name} must have length {p}, got {len(arr)}")
+            tag = self._next_coll_tags()
+            # Self block.
+            n_self = int(sendcounts[rank])
+            if n_self:
+                rview[rdispls[rank]:rdispls[rank] + n_self] = \
+                    sview[sdispls[rank]:sdispls[rank] + n_self]
+                self.charge_copy(n_self)
+            reqs: List[Request] = []
+            for off in range(1, p):
+                src = (rank - off) % p
+                cnt = int(recvcounts[src])
+                reqs.append(self._irecv_raw(
+                    rview[rdispls[src]:rdispls[src] + cnt], src, tag))
+            for off in range(1, p):
+                dst = (rank + off) % p
+                cnt = int(sendcounts[dst])
+                reqs.append(self._isend_raw(
+                    _payload_of(sview[sdispls[dst]:sdispls[dst] + cnt]),
+                    dst, tag))
+            waitall(reqs)
 
 
 def _byte_view(buffer: Buffer) -> np.ndarray:

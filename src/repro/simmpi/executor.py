@@ -19,16 +19,34 @@ structure (see :mod:`repro.simmpi.network`), never on OS scheduling, so
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .communicator import Communicator
 from .errors import DeadlockError, SimMPIError
 from .machine import LOCAL, MachineProfile
+from .metrics import MetricsRegistry, RunMetrics
 from .network import Network
-from .tracing import NullTrace, RankTrace
+from .tracing import MetricsTrace, NullTrace, RankTrace, TraceBase
 
-__all__ = ["run_spmd", "SPMDResult"]
+__all__ = ["run_spmd", "SPMDResult", "TRACE_MODES"]
+
+#: Accepted values of ``run_spmd``'s ``trace`` parameter.  Booleans remain
+#: valid: ``True`` maps to ``"full"`` (events + metrics) and ``False`` to
+#: ``"off"``.
+TRACE_MODES = ("off", "events", "metrics", "full")
+
+
+def _resolve_trace_mode(trace: Union[bool, str, None]) -> str:
+    if trace is None or trace is False:
+        return "off"
+    if trace is True:
+        return "full"
+    if isinstance(trace, str) and trace in TRACE_MODES:
+        return trace
+    raise ValueError(
+        f"trace must be a bool or one of {TRACE_MODES}, got {trace!r}"
+    )
 
 
 @dataclass
@@ -42,6 +60,7 @@ class SPMDResult:
     traces: Optional[List[RankTrace]]
     total_messages: int
     total_bytes: int
+    metrics: Optional[RunMetrics] = field(default=None)
 
     @property
     def elapsed(self) -> float:
@@ -52,22 +71,59 @@ class SPMDResult:
         """Max-over-ranks simulated time per phase name.
 
         The max (not mean) matches how a phase bounds a bulk-synchronous
-        program: everyone waits for the slowest rank.
+        program: everyone waits for the slowest rank.  Works from event
+        traces when present, else from the metrics snapshot
+        (``trace="metrics"``).
         """
-        if self.traces is None:
-            raise ValueError("run was executed with trace=False")
-        out: Dict[str, float] = {}
-        for tr in self.traces:
-            for name, t in tr.phase_times().items():
-                out[name] = max(out.get(name, 0.0), t)
-        return out
+        if self.traces is not None:
+            out: Dict[str, float] = {}
+            for tr in self.traces:
+                for name, t in tr.phase_times().items():
+                    out[name] = max(out.get(name, 0.0), t)
+            return out
+        if self.metrics is not None:
+            return dict(self.metrics.phase_times)
+        raise ValueError(
+            "phase data unavailable: the run was executed with trace=False; "
+            "re-run with trace=True, trace='events' or trace='metrics'"
+        )
+
+    def collective_times(self) -> Dict[str, float]:
+        """Max-over-ranks simulated time per builtin-collective name."""
+        if self.traces is not None:
+            out: Dict[str, float] = {}
+            for tr in self.traces:
+                for name, t in tr.collective_times().items():
+                    out[name] = max(out.get(name, 0.0), t)
+            return out
+        if self.metrics is not None:
+            return dict(self.metrics.collective_times)
+        raise ValueError(
+            "collective data unavailable: the run was executed with "
+            "trace=False; re-run with trace=True, trace='events' or "
+            "trace='metrics'"
+        )
+
+    def export_chrome_trace(self, path: Optional[str] = None) -> dict:
+        """Render this run to Chrome/Perfetto trace-event JSON.
+
+        Needs event traces (``trace=True`` or ``trace="events"``).  Writes
+        the document to ``path`` when given; always returns it.
+        """
+        from .trace_export import export_chrome_trace
+        return export_chrome_trace(self, path)
+
+    def summary(self, title: str = "") -> str:
+        """Plain-text per-phase / per-step accounting of this run."""
+        from .trace_export import format_summary
+        return format_summary(self, title)
 
 
 def run_spmd(fn: Callable[..., Any], nprocs: int, *,
              machine: MachineProfile = LOCAL,
              args: Sequence[Any] = (),
              rank_args: Optional[Sequence[Sequence[Any]]] = None,
-             trace: bool = True,
+             trace: Union[bool, str, None] = True,
              timeout: float = 120.0) -> SPMDResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
 
@@ -84,7 +140,13 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
     machine:
         Cost-model profile; defaults to the forgiving ``LOCAL`` profile.
     trace:
-        Record per-rank event traces (cheap; disable for big sweeps).
+        Observability mode.  ``True`` (the default) records per-rank event
+        traces *and* aggregate metrics; ``False``/``None`` disables both
+        (for big sweeps).  The string forms select one channel:
+        ``"events"`` (per-event traces only), ``"metrics"`` (aggregate
+        counters only — ``result.traces`` is ``None`` but
+        ``result.metrics`` is populated), or ``"full"`` (same as
+        ``True``).
     timeout:
         Watchdog in seconds; a blocked job raises :class:`DeadlockError`.
 
@@ -100,20 +162,28 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
             f"({nprocs}), got {len(rank_args)}"
         )
 
-    network = Network(nprocs, machine)
-    traces: Optional[List[RankTrace]] = (
-        [RankTrace(r) for r in range(nprocs)] if trace else None
-    )
+    mode = _resolve_trace_mode(trace)
+    events_on = mode in ("full", "events")
+    metrics_on = mode in ("full", "metrics")
+
+    registry = MetricsRegistry(nprocs) if metrics_on else None
+    network = Network(nprocs, machine, metrics=registry)
+    tracers: List[TraceBase]
+    if events_on:
+        tracers = [RankTrace(r) for r in range(nprocs)]
+    elif metrics_on:
+        tracers = [MetricsTrace(r) for r in range(nprocs)]
+    else:
+        tracers = [NullTrace(r) for r in range(nprocs)]
+    traces: Optional[List[RankTrace]] = tracers if events_on else None
     returns: List[Any] = [None] * nprocs
     clocks: List[float] = [0.0] * nprocs
     failures: List[tuple] = []
     failure_lock = threading.Lock()
 
     def worker(rank: int) -> None:
-        tr: Union[RankTrace, NullTrace] = (
-            traces[rank] if traces is not None else NullTrace(rank)
-        )
-        comm = Communicator(network, rank, tr, recv_timeout=timeout)
+        comm = Communicator(network, rank, tracers[rank],
+                            recv_timeout=timeout)
         try:
             call_args = rank_args[rank] if rank_args is not None else args
             returns[rank] = fn(comm, *call_args)
@@ -159,6 +229,18 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
             raise exc
         raise wrapped from exc
 
+    metrics: Optional[RunMetrics] = None
+    if registry is not None:
+        phase_times: Dict[str, float] = {}
+        coll_times: Dict[str, float] = {}
+        for tr in tracers:
+            for name, t in tr.phase_times().items():
+                phase_times[name] = max(phase_times.get(name, 0.0), t)
+            for name, t in tr.collective_times().items():
+                coll_times[name] = max(coll_times.get(name, 0.0), t)
+        metrics = registry.snapshot(phase_times=phase_times,
+                                    collective_times=coll_times)
+
     return SPMDResult(
         nprocs=nprocs,
         machine=machine,
@@ -167,4 +249,5 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         traces=traces,
         total_messages=network.total_messages,
         total_bytes=network.total_bytes,
+        metrics=metrics,
     )

@@ -1,0 +1,280 @@
+"""Counters/histograms registry for the simulated runtime.
+
+The :class:`MetricsRegistry` is the aggregate observability channel of an
+SPMD run: while :mod:`repro.simmpi.tracing` records *per-event* logs, the
+registry keeps cheap running aggregates —
+
+* message and byte totals, plus a power-of-two **message-size histogram**;
+* per-link ``(src, dst)`` traffic and the **maximum number of in-flight
+  messages** per link and globally (the congestion signal the paper's
+  Fig. 8 sensitivity study reasons about);
+* per-step (per-tag) message/byte/in-flight aggregates — the Bruck
+  algorithms use one tag per exchange step, so this is the per-step
+  congestion table;
+* simulated **queue-wait** time: how long retired messages sat delivered
+  in their channel before the receiver got to them, and how long receivers
+  idled waiting for the wire.
+
+The :class:`~repro.simmpi.network.Network` feeds the registry from
+``post``/``collect`` under its existing lock; the communicator feeds the
+receive-wait decomposition from the rank threads through
+:meth:`MetricsRegistry.on_retire` (guarded by the registry's own lock).
+When metrics are disabled the network holds ``None`` and pays a single
+``is not None`` branch per message — near-zero overhead.
+
+After a run the executor freezes the registry into a :class:`RunMetrics`
+snapshot exposed as ``SPMDResult.metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "LinkStats",
+    "StepStats",
+    "MetricsRegistry",
+    "RunMetrics",
+]
+
+
+class Counter:
+    """A named monotonically-increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Power-of-two bucketed histogram of non-negative integer samples.
+
+    Bucket ``i >= 1`` holds samples in ``[2**(i-1) + 1, 2**i]``; bucket 0
+    holds samples in ``[0, 1]``.  Powers of two match how message sizes
+    cluster around the eager/rendezvous protocol tiers.
+    """
+
+    __slots__ = ("name", "_counts", "count", "total", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+    def add(self, value: int) -> None:
+        bucket = int(value - 1).bit_length() if value > 0 else 0
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[int, int, int]]:
+        """Sorted ``(low, high, count)`` rows for every non-empty bucket."""
+        rows = []
+        for b in sorted(self._counts):
+            low = 0 if b == 0 else (1 << (b - 1)) + 1
+            high = 1 if b == 0 else 1 << b
+            rows.append((low, high, self._counts[b]))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count}, sum={self.total})"
+
+
+@dataclass
+class LinkStats:
+    """Aggregates for one directed ``(src, dst)`` link."""
+
+    messages: int = 0
+    nbytes: int = 0
+    in_flight: int = 0
+    max_in_flight: int = 0
+
+    def on_post(self, nbytes: int) -> None:
+        self.messages += 1
+        self.nbytes += nbytes
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+
+    def on_deliver(self) -> None:
+        self.in_flight -= 1
+
+
+@dataclass
+class StepStats:
+    """Aggregates for one tag (one exchange step of an algorithm)."""
+
+    messages: int = 0
+    nbytes: int = 0
+    in_flight: int = 0
+    max_in_flight: int = 0
+
+    def on_post(self, nbytes: int) -> None:
+        self.messages += 1
+        self.nbytes += nbytes
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+
+    def on_deliver(self) -> None:
+        self.in_flight -= 1
+
+
+class MetricsRegistry:
+    """Live aggregates of one SPMD run.
+
+    The network-facing hooks (:meth:`on_post` / :meth:`on_deliver`) are
+    invoked under the network's lock, so they need no synchronization of
+    their own; :meth:`on_retire` is invoked concurrently from rank threads
+    and takes the registry lock.
+    """
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self.messages = Counter("messages")
+        self.wire_bytes = Counter("wire_bytes")
+        self.message_sizes = Histogram("message_nbytes")
+        self.per_link: Dict[Tuple[int, int], LinkStats] = {}
+        self.per_step: Dict[int, StepStats] = {}
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self.queue_wait_total = 0.0
+        self.queue_wait_max = 0.0
+        self.recv_wait_total = 0.0
+        self.recv_wait_max = 0.0
+        self._lock = threading.Lock()
+
+    # -- network-side hooks (called under the network lock) --------------
+    def on_post(self, src: int, dst: int, tag: int, nbytes: int) -> None:
+        """One message entered its channel."""
+        self.messages.add()
+        self.wire_bytes.add(nbytes)
+        self.message_sizes.add(nbytes)
+        link = self.per_link.get((src, dst))
+        if link is None:
+            link = self.per_link[(src, dst)] = LinkStats()
+        link.on_post(nbytes)
+        step = self.per_step.get(tag)
+        if step is None:
+            step = self.per_step[tag] = StepStats()
+        step.on_post(nbytes)
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+
+    def on_deliver(self, src: int, dst: int, tag: int, nbytes: int) -> None:
+        """One message left its channel (popped by a receiver)."""
+        self.per_link[(src, dst)].on_deliver()
+        self.per_step[tag].on_deliver()
+        self.in_flight -= 1
+
+    # -- communicator-side hook (called from rank threads) ---------------
+    def on_retire(self, queue_wait: float, recv_wait: float) -> None:
+        """Account one completed receive's simulated wait decomposition.
+
+        ``queue_wait`` — time the message sat arrived-but-unretired in its
+        channel (receiver was busy); ``recv_wait`` — time the receiver
+        idled before the message's first byte arrived.  Exactly one of the
+        two is non-zero per receive.
+        """
+        with self._lock:
+            self.queue_wait_total += queue_wait
+            if queue_wait > self.queue_wait_max:
+                self.queue_wait_max = queue_wait
+            self.recv_wait_total += recv_wait
+            if recv_wait > self.recv_wait_max:
+                self.recv_wait_max = recv_wait
+
+    # -- snapshot ---------------------------------------------------------
+    def snapshot(self, phase_times: Optional[Dict[str, float]] = None,
+                 collective_times: Optional[Dict[str, float]] = None,
+                 ) -> "RunMetrics":
+        """Freeze the registry into an immutable-by-convention snapshot."""
+        per_link = {
+            link: (s.messages, s.nbytes, s.max_in_flight)
+            for link, s in self.per_link.items()
+        }
+        per_step = {
+            tag: (s.messages, s.nbytes, s.max_in_flight)
+            for tag, s in self.per_step.items()
+        }
+        return RunMetrics(
+            nprocs=self.nprocs,
+            total_messages=self.messages.value,
+            total_bytes=self.wire_bytes.value,
+            message_size_buckets=self.message_sizes.buckets(),
+            max_message_nbytes=self.message_sizes.max_value,
+            max_in_flight=self.max_in_flight,
+            per_link=per_link,
+            per_step=per_step,
+            queue_wait_total=self.queue_wait_total,
+            queue_wait_max=self.queue_wait_max,
+            recv_wait_total=self.recv_wait_total,
+            recv_wait_max=self.recv_wait_max,
+            phase_times=dict(phase_times or {}),
+            collective_times=dict(collective_times or {}),
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Frozen aggregates of one SPMD run (``SPMDResult.metrics``).
+
+    ``per_link``/``per_step`` values are ``(messages, nbytes,
+    max_in_flight)`` tuples; ``phase_times`` is the max-over-ranks table
+    (the bulk-synchronous bound: everyone waits for the slowest rank).
+    """
+
+    nprocs: int
+    total_messages: int
+    total_bytes: int
+    message_size_buckets: List[Tuple[int, int, int]]
+    max_message_nbytes: int
+    max_in_flight: int
+    per_link: Dict[Tuple[int, int], Tuple[int, int, int]]
+    per_step: Dict[int, Tuple[int, int, int]]
+    queue_wait_total: float
+    queue_wait_max: float
+    recv_wait_total: float
+    recv_wait_max: float
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    collective_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_in_flight_per_link(self) -> int:
+        """Largest concurrent queue depth observed on any single link."""
+        if not self.per_link:
+            return 0
+        return max(stats[2] for stats in self.per_link.values())
+
+    def busiest_links(self, limit: int = 5) -> List[Tuple[Tuple[int, int],
+                                                          Tuple[int, int, int]]]:
+        """The ``limit`` links carrying the most bytes, descending."""
+        ranked = sorted(self.per_link.items(),
+                        key=lambda kv: (-kv[1][1], kv[0]))
+        return ranked[:limit]
+
+    def step_table(self) -> List[Tuple[int, int, int, int]]:
+        """Per-step rows ``(tag, messages, nbytes, max_in_flight)``,
+        ordered by tag (the algorithms' step order)."""
+        return [(tag,) + self.per_step[tag] for tag in sorted(self.per_step)]

@@ -30,6 +30,7 @@ from typing import Deque, Dict, Optional, Tuple
 
 from .errors import CommAbortedError, RankFailedError
 from .machine import MachineProfile
+from .metrics import MetricsRegistry
 
 __all__ = ["Envelope", "Network"]
 
@@ -59,11 +60,15 @@ class Envelope:
 class Network:
     """Shared mailbox fabric with deterministic simulated-time semantics."""
 
-    def __init__(self, nprocs: int, machine: MachineProfile) -> None:
+    def __init__(self, nprocs: int, machine: MachineProfile,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if nprocs <= 0:
             raise ValueError(f"nprocs must be positive, got {nprocs}")
         self.nprocs = nprocs
         self.machine = machine
+        #: Optional aggregate-metrics sink; ``None`` keeps the hot path to
+        #: a single branch per message.
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._channels: Dict[Tuple[int, int, int], Deque[Envelope]] = {}
@@ -83,6 +88,8 @@ class Network:
             self._channels.setdefault(key, deque()).append(env)
             self.total_messages += 1
             self.total_bytes += env.nbytes
+            if self.metrics is not None:
+                self.metrics.on_post(env.src, env.dst, env.tag, env.nbytes)
             self._cond.notify_all()
 
     def collect(self, src: int, dst: int, tag: int,
@@ -109,6 +116,9 @@ class Network:
                     env = chan.popleft()
                     if not chan:
                         del self._channels[key]
+                    if self.metrics is not None:
+                        self.metrics.on_deliver(env.src, env.dst, env.tag,
+                                                env.nbytes)
                     return env
                 if not self._cond.wait(timeout=timeout):
                     raise CommAbortedError(

@@ -1,0 +1,211 @@
+"""Render SPMD runs to the Chrome/Perfetto trace-event format and to
+plain-text summaries.
+
+``chrome://tracing`` and https://ui.perfetto.dev both load the JSON
+*trace event format* (one object per event).  :func:`chrome_trace` turns
+an :class:`~repro.simmpi.executor.SPMDResult` into that format:
+
+* one track (process) per rank, named ``rank N``;
+* complete-duration slices (``"ph": "X"``) for phases, collectives,
+  sends (injection overhead), receives (landing/serialization time),
+  copies and datatype-engine operations;
+* **flow arrows** (``"ph": "s"`` / ``"ph": "f"``) connecting each send
+  slice to the matching receive slice on the destination rank, so message
+  routes are visible as arrows in the timeline.
+
+All timestamps are *simulated* microseconds — the exported timeline is
+deterministic and bit-reproducible, like the simulation itself.
+
+:func:`format_summary` renders the shared plain-text per-phase / per-step
+accounting table used by ``SPMDResult.summary()``, the ``python -m repro
+trace`` subcommand, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .executor import SPMDResult
+
+__all__ = ["chrome_trace", "export_chrome_trace", "format_summary",
+           "format_phase_table"]
+
+_US = 1e6  # simulated seconds -> trace-event microseconds
+
+
+def _slice(name: str, cat: str, pid: int, start: float, end: float,
+           args: Optional[dict] = None) -> dict:
+    ev = {"name": name, "cat": cat, "ph": "X", "pid": pid, "tid": 0,
+          "ts": start * _US, "dur": max(0.0, (end - start)) * _US}
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def chrome_trace(result: "SPMDResult") -> dict:
+    """Build the trace-event JSON document for one SPMD run.
+
+    Requires event traces — run with ``trace=True`` or ``trace="events"``.
+    """
+    if result.traces is None:
+        raise ValueError(
+            "chrome_trace needs per-event traces; re-run with trace=True "
+            "or trace='events' (this run used trace=False or "
+            "trace='metrics')"
+        )
+    events: List[dict] = []
+    for rank in range(result.nprocs):
+        events.append({"name": "process_name", "ph": "M", "pid": rank,
+                       "tid": 0, "args": {"name": f"rank {rank}"}})
+        events.append({"name": "process_sort_index", "ph": "M", "pid": rank,
+                       "tid": 0, "args": {"sort_index": rank}})
+
+    # Flow-arrow ids: the i-th send on a (src, dst, tag) channel matches
+    # the i-th receive on it (the network delivers per-channel FIFO).
+    flow_ids: Dict[tuple, int] = {}
+
+    def flow_id(src: int, dst: int, tag: int, seq: int) -> int:
+        key = (src, dst, tag, seq)
+        if key not in flow_ids:
+            flow_ids[key] = len(flow_ids) + 1
+        return flow_ids[key]
+
+    for tr in result.traces:
+        rank = tr.rank
+        for ph in tr.phases:
+            events.append(_slice(ph.name, "phase", rank, ph.start, ph.end))
+        for coll in tr.collectives:
+            events.append(_slice(coll.name, "collective", rank,
+                                 coll.start, coll.end))
+        send_seq: Dict[tuple, int] = {}
+        for e in tr.sends:
+            chan = (e.src, e.dst, e.tag)
+            seq = send_seq.get(chan, 0)
+            send_seq[chan] = seq + 1
+            fid = flow_id(e.src, e.dst, e.tag, seq)
+            events.append(_slice(f"send->{e.dst}", "comm", rank,
+                                 e.start, e.end,
+                                 {"dst": e.dst, "tag": e.tag,
+                                  "nbytes": e.nbytes}))
+            events.append({"name": "msg", "cat": "flow", "ph": "s",
+                           "id": fid, "pid": rank, "tid": 0,
+                           "ts": e.end * _US})
+        recv_seq: Dict[tuple, int] = {}
+        for e in tr.recvs:
+            chan = (e.src, e.dst, e.tag)
+            seq = recv_seq.get(chan, 0)
+            recv_seq[chan] = seq + 1
+            fid = flow_id(e.src, e.dst, e.tag, seq)
+            events.append(_slice(f"recv<-{e.src}", "comm", rank,
+                                 e.start, e.end,
+                                 {"src": e.src, "tag": e.tag,
+                                  "nbytes": e.nbytes}))
+            events.append({"name": "msg", "cat": "flow", "ph": "f",
+                           "bp": "e", "id": fid, "pid": rank, "tid": 0,
+                           "ts": e.end * _US})
+        for e in tr.copies:
+            events.append(_slice("copy", "memory", rank, e.start, e.end,
+                                 {"nbytes": e.nbytes}))
+        for e in tr.datatype_ops:
+            events.append(_slice(f"dt_{e.kind}", "memory", rank,
+                                 e.start, e.end,
+                                 {"nblocks": e.nblocks, "nbytes": e.nbytes}))
+
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "nprocs": result.nprocs,
+            "machine": result.machine.name,
+            "total_messages": result.total_messages,
+            "total_bytes": result.total_bytes,
+            "simulated_makespan_s": result.elapsed,
+        },
+    }
+    return doc
+
+
+def export_chrome_trace(result: "SPMDResult",
+                        path: Optional[str] = None) -> dict:
+    """Render ``result`` to trace-event JSON; write it to ``path`` if given.
+
+    The file loads directly in ``chrome://tracing`` or Perfetto
+    (https://ui.perfetto.dev -> "Open trace file").
+    """
+    doc = chrome_trace(result)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, separators=(",", ":"))
+    return doc
+
+
+# ----------------------------------------------------------------------
+# plain-text summaries
+# ----------------------------------------------------------------------
+
+def format_phase_table(phase_times: Mapping[str, float],
+                       header: str = "phases (max over ranks, ms):") -> str:
+    """Aligned per-phase table in milliseconds, ordered by time desc."""
+    if not phase_times:
+        return f"{header} none recorded"
+    width = max(len(name) for name in phase_times)
+    lines = [header]
+    for name, t in sorted(phase_times.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:>{width}}: {t * 1e3:10.4f}")
+    return "\n".join(lines)
+
+
+def _step_table(metrics, limit: int = 16) -> List[str]:
+    rows = metrics.step_table()
+    lines = [f"{'step(tag)':>10} {'messages':>9} {'bytes':>12} "
+             f"{'max in-flight':>14}"]
+    shown = rows
+    if len(rows) > limit:
+        shown = sorted(rows, key=lambda r: -r[2])[:limit]
+        shown.sort(key=lambda r: r[0])
+    for tag, msgs, nbytes, mif in shown:
+        lines.append(f"{tag:>10} {msgs:>9} {nbytes:>12} {mif:>14}")
+    if len(rows) > limit:
+        lines.append(f"  ({len(rows) - limit} smaller steps elided)")
+    return lines
+
+
+def format_summary(result: "SPMDResult", title: str = "") -> str:
+    """Shared per-phase / per-step accounting of one SPMD run.
+
+    Works with whatever the run recorded: phase breakdowns come from event
+    traces or the metrics phase table; congestion and queue-wait rows need
+    ``result.metrics`` (``trace=True`` or ``trace="metrics"``).
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"SPMD run: P={result.nprocs}, machine={result.machine.name}, "
+        f"simulated makespan {result.elapsed * 1e3:.4f} ms")
+    lines.append(f"wire traffic: {result.total_messages} messages, "
+                 f"{result.total_bytes} bytes")
+    m = result.metrics
+    if m is not None:
+        lines.append(
+            f"congestion: max in-flight {m.max_in_flight} globally, "
+            f"{m.max_in_flight_per_link} on the busiest link")
+        lines.append(
+            f"receive waits: {m.queue_wait_total * 1e3:.4f} ms queued "
+            f"(max {m.queue_wait_max * 1e3:.4f}), "
+            f"{m.recv_wait_total * 1e3:.4f} ms idle "
+            f"(max {m.recv_wait_max * 1e3:.4f})")
+    try:
+        phases = result.phase_times()
+    except ValueError:
+        phases = {}
+    if phases:
+        lines.append(format_phase_table(phases))
+    if m is not None and m.collective_times:
+        lines.append(format_phase_table(
+            m.collective_times, header="collectives (max over ranks, ms):"))
+    if m is not None and m.per_step:
+        lines.extend(_step_table(m))
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.common import num_steps, send_block_distances
+from ..core.registry import get_algorithm
 from ..simmpi.machine import MachineProfile
 from ..workloads.distributions import BlockSizeDistribution
 from .engine import (
@@ -78,13 +79,18 @@ def predict_alltoallv(algorithm: str, machine: MachineProfile, nprocs: int,
         ``"exact"``, ``"clt"``, or ``"auto"`` (exact up to ``exact_limit``
         ranks, CLT beyond).
     """
-    if algorithm == "vendor":
-        algorithm = "spread_out"
-    if algorithm not in ("two_phase_bruck", "padded_bruck",
-                         "padded_alltoall", "spread_out"):
+    # Resolve through the central registry so unknown names fail the same
+    # way as the dispatchers do; vendor MPI_Alltoallv is spread-out based.
+    name = get_algorithm(algorithm, kind="nonuniform").name
+    if name == "vendor":
+        name = "spread_out"
+    if name not in ("two_phase_bruck", "padded_bruck",
+                    "padded_alltoall", "spread_out"):
         raise KeyError(
-            f"unknown algorithm {algorithm!r}; known: {NONUNIFORM_PREDICTABLE}"
+            f"no analytic predictor for {algorithm!r}; "
+            f"predictable: {NONUNIFORM_PREDICTABLE}"
         )
+    algorithm = name
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
     if mode == "auto":

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from ..core.common import num_steps, send_block_distances
+from ..core.registry import get_algorithm
 from ..simmpi.machine import MachineProfile
 
 __all__ = ["UniformTiming", "predict_uniform", "UNIFORM_PREDICTORS"]
@@ -171,12 +172,15 @@ def predict_uniform(algorithm: str, machine: MachineProfile, nprocs: int,
     Matches ``run_spmd`` + the functional algorithm exactly (same cost
     constants, same recurrence) — validated by tests at small ``P``.
     """
+    # Resolve through the central registry so unknown names fail the same
+    # way as the dispatchers do.
+    name = get_algorithm(algorithm, kind="uniform").name
     try:
-        fn = UNIFORM_PREDICTORS[algorithm]
+        fn = UNIFORM_PREDICTORS[name]
     except KeyError:
         raise KeyError(
-            f"unknown uniform algorithm {algorithm!r}; known: "
-            f"{sorted(UNIFORM_PREDICTORS)}"
+            f"no analytic predictor for uniform algorithm {algorithm!r}; "
+            f"predictable: {sorted(UNIFORM_PREDICTORS)}"
         ) from None
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")

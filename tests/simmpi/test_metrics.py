@@ -1,0 +1,182 @@
+"""Tests for the aggregate metrics registry and the trace modes."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    LOCAL,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    MetricsTrace,
+    NullTrace,
+    RankTrace,
+    TraceBase,
+    run_spmd,
+)
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("messages")
+        assert c.value == 0
+        c.add()
+        c.add(5)
+        assert c.value == 6
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("sizes")
+        for v in (0, 1, 2, 3, 4, 5, 1024):
+            h.add(v)
+        rows = {(low, high): count for low, high, count in h.buckets()}
+        assert rows[(0, 1)] == 2       # 0 and 1
+        assert rows[(2, 2)] == 1       # 2
+        assert rows[(3, 4)] == 2       # 3, 4
+        assert rows[(5, 8)] == 1       # 5
+        assert rows[(513, 1024)] == 1  # 1024
+        assert h.count == 7
+        assert h.total == 1039
+        assert h.max_value == 1024
+
+    def test_bucket_edges_consistent(self):
+        # Every sample must fall inside its reported bucket range.
+        for v in range(0, 130):
+            h = Histogram("x")
+            h.add(v)
+            ((low, high, count),) = h.buckets()
+            assert count == 1
+            assert low <= v <= high, v
+
+    def test_mean_empty(self):
+        assert Histogram("x").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_in_flight_tracking(self):
+        reg = MetricsRegistry(nprocs=2)
+        reg.on_post(0, 1, 7, 100)
+        reg.on_post(0, 1, 7, 50)
+        assert reg.max_in_flight == 2
+        reg.on_deliver(0, 1, 7, 100)
+        reg.on_post(1, 0, 7, 10)
+        assert reg.max_in_flight == 2  # never exceeded two concurrently
+        reg.on_deliver(0, 1, 7, 50)
+        reg.on_deliver(1, 0, 7, 10)
+        snap = reg.snapshot()
+        assert snap.total_messages == 3
+        assert snap.total_bytes == 160
+        assert snap.per_link[(0, 1)] == (2, 150, 2)
+        assert snap.per_link[(1, 0)] == (1, 10, 1)
+        assert snap.per_step[7] == (3, 160, 2)
+
+    def test_retire_waits(self):
+        reg = MetricsRegistry(nprocs=1)
+        reg.on_retire(queue_wait=0.5, recv_wait=0.0)
+        reg.on_retire(queue_wait=0.0, recv_wait=0.25)
+        snap = reg.snapshot()
+        assert snap.queue_wait_total == 0.5
+        assert snap.queue_wait_max == 0.5
+        assert snap.recv_wait_total == 0.25
+        assert snap.recv_wait_max == 0.25
+
+    def test_busiest_links_and_step_table(self):
+        reg = MetricsRegistry(nprocs=4)
+        reg.on_post(0, 1, 2, 100)
+        reg.on_post(2, 3, 1, 999)
+        snap = reg.snapshot()
+        assert snap.busiest_links(1)[0][0] == (2, 3)
+        assert [row[0] for row in snap.step_table()] == [1, 2]
+        assert snap.max_in_flight_per_link == 1
+
+
+def _pingpong(comm):
+    buf = np.zeros(64, dtype=np.uint8)
+    with comm.phase("exchange"):
+        if comm.rank == 0:
+            comm.send(buf, 1, tag=3)
+            comm.recv(buf, 1, tag=4)
+        else:
+            comm.recv(buf, 0, tag=3)
+            comm.send(buf, 0, tag=4)
+    comm.barrier()
+    return comm.rank
+
+
+class TestTraceModes:
+    def test_full_records_both(self):
+        res = run_spmd(_pingpong, 2, machine=LOCAL, trace=True)
+        assert res.traces is not None
+        assert res.metrics is not None
+
+    def test_events_only(self):
+        res = run_spmd(_pingpong, 2, machine=LOCAL, trace="events")
+        assert res.traces is not None
+        assert res.metrics is None
+
+    def test_metrics_only(self):
+        res = run_spmd(_pingpong, 2, machine=LOCAL, trace="metrics")
+        assert res.traces is None
+        assert res.metrics is not None
+        # Phase/collective tables still work, fed by the MetricsTrace.
+        full = run_spmd(_pingpong, 2, machine=LOCAL, trace=True)
+        assert res.phase_times() == pytest.approx(full.phase_times())
+        assert res.collective_times() == \
+            pytest.approx(full.collective_times())
+
+    def test_off(self):
+        res = run_spmd(_pingpong, 2, machine=LOCAL, trace=False)
+        assert res.traces is None
+        assert res.metrics is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="trace"):
+            run_spmd(_pingpong, 2, machine=LOCAL, trace="everything")
+
+    def test_totals_agree_with_network(self):
+        res = run_spmd(_pingpong, 2, machine=LOCAL, trace=True)
+        assert res.metrics.total_messages == res.total_messages
+        assert res.metrics.total_bytes == res.total_bytes
+
+    def test_wait_decomposition_nonnegative(self):
+        res = run_spmd(_pingpong, 2, machine=LOCAL, trace="metrics")
+        m = res.metrics
+        assert m.queue_wait_total >= 0.0
+        assert m.recv_wait_total >= 0.0
+        assert m.queue_wait_max <= m.queue_wait_total + 1e-18
+        assert m.recv_wait_max <= m.recv_wait_total + 1e-18
+
+    def test_metrics_do_not_perturb_clocks(self):
+        # The cost model must be identical with observability on and off.
+        for mode in (False, "events", "metrics", True):
+            res = run_spmd(_pingpong, 2, machine=LOCAL, trace=mode)
+            assert res.clocks == \
+                run_spmd(_pingpong, 2, machine=LOCAL, trace=True).clocks
+
+
+class TestTracerHierarchy:
+    def test_abstract_base(self):
+        with pytest.raises(TypeError):
+            TraceBase(0)
+
+    def test_concrete_tracers_are_tracebases(self):
+        for cls in (RankTrace, NullTrace, MetricsTrace):
+            assert issubclass(cls, TraceBase)
+
+    def test_metrics_trace_counts(self):
+        tr = MetricsTrace(0)
+        tr.record_send(0, 1, 5, 100, 1.0, begin=0.5)
+        tr.record_recv(1, 0, 5, 40, 2.0, begin=1.5)
+        tr.record_copy(8, 3.0, begin=2.5)
+        tr.record_datatype("pack", 4, 64, 4.0, begin=3.5)
+        tr.phase_begin("p", 0.0)
+        tr.phase_end(1.0)
+        tr.collective_begin("barrier", 1.0)
+        tr.collective_end(1.5)
+        assert tr.message_count == 1
+        assert tr.bytes_sent == 100
+        assert tr.bytes_received == 40
+        assert tr.bytes_copied == 8
+        assert tr.phase_times() == {"p": 1.0}
+        assert tr.collective_times() == {"barrier": 0.5}

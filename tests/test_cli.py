@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -64,3 +66,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "two_phase_bruck" in out
         assert "data scaling" in out.lower()
+
+    def test_trace_writes_perfetto_json(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--algorithm", "two_phase_bruck",
+                     "--nprocs", "8", "--machine", "local",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wire traffic" in out
+        assert str(out_path) in out
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert {e["pid"] for e in events if e["ph"] == "X"} == set(range(8))
+        assert any(e.get("cat") == "phase" for e in events)
+
+    def test_trace_summary_only(self, capsys):
+        assert main(["trace", "-p", "4", "--machine", "local"]) == 0
+        out = capsys.readouterr().out
+        assert "congestion" in out
+        assert "step(tag)" in out
+
+    def test_trace_rejects_huge_p(self, capsys):
+        assert main(["trace", "-p", "100000"]) == 2
