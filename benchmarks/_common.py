@@ -43,12 +43,14 @@ def once(benchmark, fn):
 
 
 def run_alltoallv(algorithm: str, sizes, machine: MachineProfile = THETA,
-                  trace=True, timeout: float = 300.0, **kwargs):
+                  trace=True, timeout: float = 300.0,
+                  backend: str = "threads", **kwargs):
     """Functional run of one registered non-uniform algorithm.
 
     ``algorithm`` resolves through :mod:`repro.core.registry`; extra
     keyword arguments go to the implementation (e.g. ``group_size`` for
-    the grouped scheme).  Returns the :class:`~repro.simmpi.SPMDResult`.
+    the grouped scheme).  ``backend`` selects the executor (``"coop"``
+    for large-P runs).  Returns the :class:`~repro.simmpi.SPMDResult`.
     """
     fn = get_algorithm(algorithm, kind="nonuniform").fn
 
@@ -57,7 +59,7 @@ def run_alltoallv(algorithm: str, sizes, machine: MachineProfile = THETA,
         fn(comm, *vargs.as_tuple(), **kwargs)
 
     return run_spmd(prog, sizes.shape[0], machine=machine, trace=trace,
-                    timeout=timeout)
+                    timeout=timeout, backend=backend)
 
 
 def summarize(result, title: str = "") -> str:

@@ -1,0 +1,63 @@
+"""Executor scaling — thread-per-rank vs the cooperative scheduler.
+
+Host wall-clock time of the same functional two-phase Bruck run under
+both ``run_spmd`` backends across P.  Expected shape: comparable cost at
+small P (the coop backend's handoff switches vs the thread backend's
+condition-variable wakeups roughly cancel), then the thread backend's
+O(P) ``notify_all`` storms and scheduler pressure blow up while the coop
+backend keeps scaling — it alone reaches the P ≥ 512 region (the thread
+backend is not even attempted past ``THREAD_MAX``, matching the CLI's
+practical cap).  Simulated clocks are asserted bit-identical wherever
+both backends run: the speedup is free of semantic drift.
+"""
+
+import time
+
+from repro.workloads import PowerLawBlocks, block_size_matrix
+
+from _common import once, run_alltoallv, save_report
+
+N = 32
+PROCS = (32, 64, 128, 256, 512)
+THREAD_MAX = 256
+ALGORITHM = "two_phase_bruck"
+
+
+def _timed(algorithm, sizes, backend):
+    start = time.perf_counter()
+    result = run_alltoallv(algorithm, sizes, trace=False, backend=backend)
+    return time.perf_counter() - start, result
+
+
+def test_backend_scaling(benchmark):
+    def run():
+        rows = []
+        for p in PROCS:
+            sizes = block_size_matrix(PowerLawBlocks(N), p, seed=3)
+            coop_wall, coop_res = _timed(ALGORITHM, sizes, "coop")
+            if p <= THREAD_MAX:
+                thr_wall, thr_res = _timed(ALGORITHM, sizes, "threads")
+                assert thr_res.clocks == coop_res.clocks
+            else:
+                thr_wall = None
+            rows.append((p, thr_wall, coop_wall, coop_res))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [f"executor scaling: {ALGORITHM}, power-law N={N} "
+             f"(Theta profile, host wall seconds)",
+             f"{'P':>6} {'threads(s)':>11} {'coop(s)':>9} "
+             f"{'simulated(ms)':>14} {'messages':>9}"]
+    for p, thr_wall, coop_wall, res in rows:
+        thr = f"{thr_wall:.3f}" if thr_wall is not None else "n/a"
+        lines.append(f"{p:>6} {thr:>11} {coop_wall:>9.3f} "
+                     f"{res.elapsed * 1e3:>14.4f} {res.total_messages:>9}")
+    lines.append("")
+    lines.append(f"threads backend not attempted past P={THREAD_MAX} "
+                 f"(practical thread-per-rank limit); the coop backend "
+                 f"continues to P={PROCS[-1]} and beyond (CI smokes "
+                 f"P=1024).")
+
+    # The whole point: the coop backend completes the out-of-reach sizes.
+    assert rows[-1][0] > THREAD_MAX and rows[-1][2] > 0
+    save_report("backend_scaling", "\n".join(lines))

@@ -3,7 +3,7 @@
 Commands
 --------
 ``predict``    analytic simulated time of one alltoallv configuration
-``run``        functional (thread-simulator) run with byte verification
+``run``        functional simulator run with byte verification
 ``trace``      functional run exported as a Chrome/Perfetto timeline
 ``recommend``  the Fig. 9 advisor: which algorithm for (P, N)?
 ``profiles``   list the machine profiles and their constants
@@ -15,6 +15,7 @@ Examples
 
     python -m repro predict -a two_phase_bruck -p 8192 -n 256
     python -m repro run -a padded_bruck -p 32 -n 64 --machine local
+    python -m repro run -a two_phase_bruck -p 1024 -n 8 --backend coop
     python -m repro trace --algorithm two_phase_bruck --nprocs 64 \\
         --out trace.json
     python -m repro recommend -p 350 -n 800
@@ -30,7 +31,7 @@ from typing import List, Optional
 from .bench import fig6_data_scaling, format_series_table
 from .core import PerformanceModel, alltoallv
 from .core.registry import list_algorithms
-from .simmpi import PROFILES, get_profile, run_spmd
+from .simmpi import BACKENDS, PROFILES, get_profile, run_spmd
 from .timing import predict_alltoallv
 from .workloads import (
     block_size_matrix,
@@ -66,11 +67,22 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_backend_limits(backend: str, nprocs: int) -> Optional[str]:
+    """Per-backend practical rank caps for functional (simulator) runs."""
+    if backend == "threads" and nprocs > 256:
+        return ("functional runs on the thread backend are practical up "
+                "to 256 ranks; pass --backend coop for thousands of "
+                "ranks, or use `predict` beyond that")
+    if backend == "coop" and nprocs > 4096:
+        return ("functional runs are practical up to 4096 ranks even on "
+                "the coop backend; use `predict` beyond that")
+    return None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.nprocs > 256:
-        print("error: functional runs are thread-per-rank; use <= 256 "
-              "ranks (the `predict` command scales further)",
-              file=sys.stderr)
+    error = _check_backend_limits(args.backend, args.nprocs)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     machine = get_profile(args.machine)
     dist = distribution_by_name(args.dist, args.max_block)
@@ -83,9 +95,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         verify_recv(comm.rank, sizes, vargs.recvbuf)
         return comm.clock - start
 
-    result = run_spmd(prog, args.nprocs, machine=machine)
+    # Per-event traces at thousands of ranks are pure overhead here;
+    # aggregate metrics keep large-P runs fast.
+    trace = "metrics" if args.nprocs > 256 else True
+    result = run_spmd(prog, args.nprocs, machine=machine, trace=trace,
+                      backend=args.backend, timeout=600.0)
     print(f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
-          f"({args.dist}, {machine.name}): "
+          f"({args.dist}, {machine.name}, {args.backend} backend): "
           f"{max(result.returns) * 1e3:.4f} simulated ms, "
           f"{result.total_messages} messages, {result.total_bytes} bytes "
           f"on the wire; delivery byte-verified on every rank")
@@ -94,7 +110,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.nprocs > 256:
-        print("error: traced runs are thread-per-rank; use <= 256 ranks",
+        print("error: per-event traced runs are practical up to 256 ranks "
+              "(use `run --backend coop` for large-P functional runs)",
               file=sys.stderr)
         return 2
     machine = get_profile(args.machine)
@@ -106,7 +123,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
         verify_recv(comm.rank, sizes, vargs.recvbuf)
 
-    result = run_spmd(prog, args.nprocs, machine=machine, trace=True)
+    result = run_spmd(prog, args.nprocs, machine=machine, trace=True,
+                      backend=args.backend)
     print(result.summary(
         title=f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
               f"({args.dist}, {machine.name}):"))
@@ -162,10 +180,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(fn=cmd_predict)
 
-    p = sub.add_parser("run", help="functional thread-simulator run")
+    p = sub.add_parser("run", help="functional simulator run")
     p.add_argument("-a", "--algorithm", required=True,
                    choices=ALGORITHM_CHOICES)
     _add_common(p)
+    p.add_argument("--backend", default="threads", choices=BACKENDS,
+                   help="executor backend: threads (default, <= 256 ranks) "
+                        "or coop (cooperative scheduler, thousands of "
+                        "ranks)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -181,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="block-size distribution (default: uniform)")
     p.add_argument("--machine", default="theta", choices=sorted(PROFILES))
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default="threads", choices=BACKENDS,
+                   help="executor backend (default: threads)")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="write the trace-event JSON here "
                         "(omit to print the summary only)")

@@ -1,9 +1,12 @@
 """Simulated MPI substrate.
 
 A deterministic, in-process stand-in for an MPI runtime: SPMD programs run
-one thread per rank against a shared :class:`~repro.simmpi.network.Network`
-whose simulated clocks follow a LogGP-style cost model parameterized by
-:class:`~repro.simmpi.machine.MachineProfile`.
+against a shared :class:`~repro.simmpi.network.Network` whose simulated
+clocks follow a LogGP-style cost model parameterized by
+:class:`~repro.simmpi.machine.MachineProfile`.  Two executor backends with
+bit-identical simulated clocks: thread-per-rank (default, up to a few
+hundred ranks) and the cooperative scheduler (``backend="coop"``,
+thousands of ranks; see :mod:`repro.simmpi.scheduler`).
 
 Quick start::
 
@@ -30,10 +33,11 @@ from .errors import (
     SimMPIError,
     TruncationError,
 )
-from .executor import TRACE_MODES, SPMDResult, run_spmd
+from .executor import BACKENDS, TRACE_MODES, SPMDResult, run_spmd
 from .machine import CORI, LOCAL, PROFILES, STAMPEDE2, THETA, MachineProfile, get_profile
 from .metrics import Counter, Histogram, MetricsRegistry, RunMetrics
 from .network import Envelope, Network
+from .scheduler import CoopNetwork, CoopScheduler
 from .request import RecvRequest, Request, SendRequest, waitall
 from .trace_export import (
     chrome_trace,
@@ -68,6 +72,9 @@ __all__ = [
     "run_spmd",
     "SPMDResult",
     "TRACE_MODES",
+    "BACKENDS",
+    "CoopScheduler",
+    "CoopNetwork",
     "MachineProfile",
     "get_profile",
     "PROFILES",

@@ -61,6 +61,9 @@ class Communicator:
         self._clock = 0.0
         self._coll_seq = 0
         self._recv_timeout = recv_timeout
+        # Backend hook: the cooperative scheduler reads this rank's clock
+        # through the fabric to order its run queue.
+        network.register_rank(rank, self)
 
     # -- identity -------------------------------------------------------
     @property
@@ -193,6 +196,16 @@ class Communicator:
         self._clock += self.machine.o_recv
         env = self._network.collect(source, self._rank, tag,
                                     timeout=self._recv_timeout)
+        self._complete_recv(env)
+        return pickle.loads(env.payload)
+
+    def _complete_recv(self, env: Envelope) -> None:
+        """Land one delivered message on this rank's simulated clock.
+
+        The one place the receive-side timing rule lives (both backends,
+        both the object and the buffer transport): completion is
+        ``max(clock, head arrival) + serial landing time``.
+        """
         head = self._network.head_time(env)
         landing_start = max(self._clock, head)
         metrics = self._network.metrics
@@ -202,7 +215,6 @@ class Communicator:
         self._clock = landing_start + self._network.serial_time(env)
         self._trace.record_recv(env.src, env.dst, env.tag, env.nbytes,
                                 self._clock, begin=landing_start)
-        return pickle.loads(env.payload)
 
     # ------------------------------------------------------------------
     # simulated-cost hooks for algorithm implementations

@@ -1,35 +1,53 @@
 """SPMD launcher: run one Python function as ``P`` simulated MPI ranks.
 
-``run_spmd(fn, nprocs)`` spawns one thread per rank, hands each a
-:class:`~repro.simmpi.communicator.Communicator`, and returns an
+``run_spmd(fn, nprocs)`` hands each rank a
+:class:`~repro.simmpi.communicator.Communicator` and returns an
 :class:`SPMDResult` with per-rank return values, per-rank simulated clocks,
 and (optionally) per-rank event traces.
 
+Two execution backends share identical semantics and bit-identical
+simulated clocks:
+
+* ``backend="threads"`` (default) — one OS thread per rank against the
+  locking :class:`Network`; practical up to a few hundred ranks.
+* ``backend="coop"`` — the deterministic cooperative scheduler
+  (:mod:`repro.simmpi.scheduler`): a single-runner event loop switching
+  ranks at communication points, ordered by simulated clock.  No lock
+  contention, exact (immediate) deadlock detection, practical to
+  thousands of ranks.
+
 Failure semantics: if any rank raises, the network is aborted so blocked
-peers wake with :class:`RankFailedError`, and the *original* exception is
-re-raised on the calling thread with the failing rank identified.  A
-watchdog timeout converts genuine deadlocks into
-:class:`DeadlockError` with a dump of pending messages.
+peers wake with :class:`RankFailedError` (and further sends fail the same
+way), and the *original* exception is re-raised on the calling thread with
+the failing rank identified.  Deadlocks raise :class:`DeadlockError` with
+a dump of pending messages — detected by a wall-clock watchdog under the
+thread backend, and exactly (no timeout involved) under the coop backend.
 
 Determinism: simulated clocks depend only on the program's communication
 structure (see :mod:`repro.simmpi.network`), never on OS scheduling, so
-``SPMDResult.elapsed`` values are reproducible across runs and machines.
+``SPMDResult.elapsed`` values are reproducible across runs, machines, and
+backends.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from time import monotonic
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .communicator import Communicator
-from .errors import DeadlockError, SimMPIError
+from .errors import CommAbortedError, DeadlockError, RankFailedError, SimMPIError
 from .machine import LOCAL, MachineProfile
 from .metrics import MetricsRegistry, RunMetrics
 from .network import Network
+from .scheduler import CoopNetwork, CoopScheduler
 from .tracing import MetricsTrace, NullTrace, RankTrace, TraceBase
 
-__all__ = ["run_spmd", "SPMDResult", "TRACE_MODES"]
+__all__ = ["run_spmd", "SPMDResult", "TRACE_MODES", "BACKENDS"]
+
+#: Accepted values of ``run_spmd``'s ``backend`` parameter.
+BACKENDS = ("threads", "coop")
 
 #: Accepted values of ``run_spmd``'s ``trace`` parameter.  Booleans remain
 #: valid: ``True`` maps to ``"full"`` (events + metrics) and ``False`` to
@@ -124,7 +142,8 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
              args: Sequence[Any] = (),
              rank_args: Optional[Sequence[Sequence[Any]]] = None,
              trace: Union[bool, str, None] = True,
-             timeout: float = 120.0) -> SPMDResult:
+             timeout: float = 120.0,
+             backend: str = "threads") -> SPMDResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
 
     Parameters
@@ -135,8 +154,9 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         rank can receive its own inputs (e.g. its row of a block-size
         matrix).
     nprocs:
-        Number of simulated ranks (one OS thread each; practical up to a
-        few hundred — use :mod:`repro.timing` beyond that).
+        Number of simulated ranks.  The thread backend is practical up to
+        a few hundred; ``backend="coop"`` scales to thousands (use
+        :mod:`repro.timing` beyond that).
     machine:
         Cost-model profile; defaults to the forgiving ``LOCAL`` profile.
     trace:
@@ -148,7 +168,13 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         ``result.metrics`` is populated), or ``"full"`` (same as
         ``True``).
     timeout:
-        Watchdog in seconds; a blocked job raises :class:`DeadlockError`.
+        Watchdog in wall-clock seconds for the thread backend; a blocked
+        job raises :class:`DeadlockError`.  The deadline is shared by the
+        whole job, not per rank.  The coop backend ignores it — a stuck
+        job is detected exactly, the instant no rank can progress.
+    backend:
+        ``"threads"`` (default) or ``"coop"``; see the module docstring.
+        Both produce bit-identical simulated clocks.
 
     Returns
     -------
@@ -161,13 +187,23 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
             f"rank_args must have one entry per rank "
             f"({nprocs}), got {len(rank_args)}"
         )
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
 
     mode = _resolve_trace_mode(trace)
     events_on = mode in ("full", "events")
     metrics_on = mode in ("full", "metrics")
 
     registry = MetricsRegistry(nprocs) if metrics_on else None
-    network = Network(nprocs, machine, metrics=registry)
+    scheduler: Optional[CoopScheduler] = None
+    if backend == "coop":
+        scheduler = CoopScheduler(nprocs)
+        network: Network = CoopNetwork(nprocs, machine, metrics=registry,
+                                       scheduler=scheduler)
+        recv_timeout = None  # stalls are caught exactly, not by the clock
+    else:
+        network = Network(nprocs, machine, metrics=registry)
+        recv_timeout = timeout
     tracers: List[TraceBase]
     if events_on:
         tracers = [RankTrace(r) for r in range(nprocs)]
@@ -178,12 +214,12 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
     traces: Optional[List[RankTrace]] = tracers if events_on else None
     returns: List[Any] = [None] * nprocs
     clocks: List[float] = [0.0] * nprocs
-    failures: List[tuple] = []
+    failures: List[Tuple[int, BaseException]] = []
     failure_lock = threading.Lock()
 
     def worker(rank: int) -> None:
         comm = Communicator(network, rank, tracers[rank],
-                            recv_timeout=timeout)
+                            recv_timeout=recv_timeout)
         try:
             call_args = rank_args[rank] if rank_args is not None else args
             returns[rank] = fn(comm, *call_args)
@@ -193,41 +229,13 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
                 failures.append((rank, exc))
             network.abort(rank, exc)
 
-    threads = [
-        threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}",
-                         daemon=True)
-        for r in range(nprocs)
-    ]
-    for t in threads:
-        t.start()
-    deadline_hit = False
-    for t in threads:
-        t.join(timeout=timeout)
-        if t.is_alive():
-            deadline_hit = True
-            break
-    if deadline_hit:
-        network.shutdown()  # wake anything still blocked
-        for t in threads:
-            t.join(timeout=5.0)
-        blocked = [t.name for t in threads if t.is_alive()]
-        raise DeadlockError(
-            f"SPMD run made no progress within {timeout}s; "
-            f"still-blocked threads: {blocked or 'none (woke on shutdown)'}; "
-            f"{network.pending_summary()}"
-        )
+    if scheduler is not None:
+        scheduler.run(network, worker)  # DeadlockError propagates directly
+    else:
+        _run_threaded(worker, nprocs, network, timeout)
 
     network.shutdown()
-    if failures:
-        failures.sort(key=lambda f: f[0])
-        rank, exc = failures[0]
-        if isinstance(exc, SimMPIError):
-            raise exc
-        try:
-            wrapped = type(exc)(f"[simulated rank {rank}] {exc}")
-        except Exception:  # exotic exception signature: re-raise as-is
-            raise exc
-        raise wrapped from exc
+    _raise_first_failure(failures)
 
     metrics: Optional[RunMetrics] = None
     if registry is not None:
@@ -251,3 +259,61 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         total_bytes=network.total_bytes,
         metrics=metrics,
     )
+
+
+def _run_threaded(worker: Callable[[int], None], nprocs: int,
+                  network: Network, timeout: float) -> None:
+    """Thread-per-rank execution with a *shared* watchdog deadline.
+
+    One deadline covers the whole job: every join waits only for the
+    remaining budget, so a hung job is declared dead after ``timeout``
+    seconds total — not up to ``nprocs * timeout`` as a fresh-per-join
+    timeout would allow.
+    """
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}",
+                         daemon=True)
+        for r in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    deadline = monotonic() + timeout
+    deadline_hit = False
+    for t in threads:
+        t.join(timeout=max(0.0, deadline - monotonic()))
+        if t.is_alive():
+            deadline_hit = True
+            break
+    if deadline_hit:
+        network.shutdown()  # wake anything still blocked
+        for t in threads:
+            t.join(timeout=5.0)
+        blocked = [t.name for t in threads if t.is_alive()]
+        raise DeadlockError(
+            f"SPMD run made no progress within {timeout}s; "
+            f"still-blocked threads: {blocked or 'none (woke on shutdown)'}; "
+            f"{network.pending_summary()}"
+        )
+
+
+def _raise_first_failure(failures: List[Tuple[int, BaseException]]) -> None:
+    """Re-raise the root cause of a failed run, tagged with its rank.
+
+    Secondary casualties — ranks that died of :class:`RankFailedError` or
+    :class:`CommAbortedError` *because* a peer failed first — never mask
+    the original exception; they are only reported when no primary failure
+    exists (e.g. a receive timeout was the first thing to go wrong).
+    """
+    if not failures:
+        return
+    primary = [f for f in failures
+               if not isinstance(f[1], (RankFailedError, CommAbortedError))]
+    pool = primary or failures
+    rank, exc = min(pool, key=lambda f: f[0])
+    if isinstance(exc, SimMPIError):
+        raise exc
+    try:
+        wrapped = type(exc)(f"[simulated rank {rank}] {exc}")
+    except Exception:  # exotic exception signature: re-raise as-is
+        raise exc
+    raise wrapped from exc

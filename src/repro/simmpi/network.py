@@ -19,6 +19,16 @@ timings.
 The network also provides the failure path: when a rank thread dies, it
 calls :meth:`Network.abort`, which wakes every blocked receiver with
 :class:`RankFailedError` so the whole job tears down instead of hanging.
+Symmetrically, a *send* posted after the job aborted raises
+:class:`RankFailedError` immediately — survivors must not keep injecting
+traffic (and inflating ``total_messages``) into a dead job.
+
+Synchronization is a backend concern, not a matching concern: the channel
+bookkeeping lives in lock-free ``_deposit`` / ``_take`` helpers that
+:class:`Network` wraps in a mutex + condition variable for the default
+thread-per-rank executor, while the cooperative backend's
+:class:`~repro.simmpi.scheduler.CoopNetwork` subclass calls them directly
+(exactly one rank runs at a time there, so the hot path takes no locks).
 """
 
 from __future__ import annotations
@@ -26,13 +36,20 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from time import monotonic
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
 from .errors import CommAbortedError, RankFailedError
 from .machine import MachineProfile
 from .metrics import MetricsRegistry
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .communicator import Communicator
+
 __all__ = ["Envelope", "Network"]
+
+#: Channel key: ``(source, dest, tag)``.
+ChannelKey = Tuple[int, int, int]
 
 
 @dataclass
@@ -71,7 +88,7 @@ class Network:
         self.metrics = metrics
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._channels: Dict[Tuple[int, int, int], Deque[Envelope]] = {}
+        self._channels: Dict[ChannelKey, Deque[Envelope]] = {}
         self._aborted: Optional[RankFailedError] = None
         self._shutdown = False
         # Statistics (under lock); handy for tests and sanity checks.
@@ -79,22 +96,71 @@ class Network:
         self.total_bytes = 0
 
     # ------------------------------------------------------------------
+    # backend hooks
+    # ------------------------------------------------------------------
+    def register_rank(self, rank: int, comm: "Communicator") -> None:
+        """Attach one rank's communicator to the fabric.
+
+        The thread backend needs nothing from it; the cooperative backend
+        overrides this to learn each rank's simulated clock for its
+        clock-ordered run queue.
+        """
+
+    # ------------------------------------------------------------------
+    # lock-free bookkeeping shared by both backends.  Callers provide the
+    # synchronization: the thread backend holds ``_cond``, the cooperative
+    # backend is single-runner by construction.
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        """Raise if the job aborted or the fabric was torn down."""
+        if self._aborted is not None:
+            raise self._aborted
+        if self._shutdown:
+            raise CommAbortedError("network is shut down")
+
+    def _deposit(self, key: ChannelKey, env: Envelope) -> None:
+        self._channels.setdefault(key, deque()).append(env)
+        self.total_messages += 1
+        self.total_bytes += env.nbytes
+        if self.metrics is not None:
+            self.metrics.on_post(env.src, env.dst, env.tag, env.nbytes)
+
+    def _take(self, key: ChannelKey) -> Optional[Envelope]:
+        chan = self._channels.get(key)
+        if not chan:
+            return None
+        env = chan.popleft()
+        if not chan:
+            del self._channels[key]
+        if self.metrics is not None:
+            self.metrics.on_deliver(env.src, env.dst, env.tag, env.nbytes)
+        return env
+
+    # ------------------------------------------------------------------
     def post(self, env: Envelope) -> None:
-        """Deposit a message into its channel and wake blocked receivers."""
-        key = (env.src, env.dst, env.tag)
+        """Deposit a message into its channel and wake blocked receivers.
+
+        Raises
+        ------
+        RankFailedError
+            if the job already aborted — a survivor must not keep sending
+            (successfully) into a dead job.
+        CommAbortedError
+            if the network was shut down.
+        """
         with self._cond:
-            if self._shutdown:
-                raise CommAbortedError("network is shut down")
-            self._channels.setdefault(key, deque()).append(env)
-            self.total_messages += 1
-            self.total_bytes += env.nbytes
-            if self.metrics is not None:
-                self.metrics.on_post(env.src, env.dst, env.tag, env.nbytes)
+            self._check_open()
+            self._deposit((env.src, env.dst, env.tag), env)
             self._cond.notify_all()
 
     def collect(self, src: int, dst: int, tag: int,
                 timeout: Optional[float] = None) -> Envelope:
         """Block until the next message on ``(src, dst, tag)`` and pop it.
+
+        ``timeout`` is an *absolute* budget for this receive: the deadline
+        is fixed on entry, so wakeups caused by traffic on unrelated
+        channels only re-wait for the remainder instead of restarting the
+        full timeout.
 
         Raises
         ------
@@ -105,25 +171,23 @@ class Network:
             executor's watchdog uses this to convert hangs into errors).
         """
         key = (src, dst, tag)
+        deadline = None if timeout is None else monotonic() + timeout
         with self._cond:
             while True:
-                if self._aborted is not None:
-                    raise self._aborted
-                if self._shutdown:
-                    raise CommAbortedError("network is shut down")
-                chan = self._channels.get(key)
-                if chan:
-                    env = chan.popleft()
-                    if not chan:
-                        del self._channels[key]
-                    if self.metrics is not None:
-                        self.metrics.on_deliver(env.src, env.dst, env.tag,
-                                                env.nbytes)
+                self._check_open()
+                env = self._take(key)
+                if env is not None:
                     return env
-                if not self._cond.wait(timeout=timeout):
-                    raise CommAbortedError(
-                        f"receive (src={src}, dst={dst}, tag={tag}) timed out"
-                    )
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        raise CommAbortedError(
+                            f"receive (src={src}, dst={dst}, tag={tag}) "
+                            f"timed out after {timeout}s"
+                        )
+                    self._cond.wait(timeout=remaining)
 
     def probe(self, src: int, dst: int, tag: int) -> Optional[int]:
         """Return the size of the next matching message, or ``None``."""

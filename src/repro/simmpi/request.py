@@ -94,15 +94,7 @@ class RecvRequest(Request):
             raise TruncationError(view.nbytes, payload.nbytes,
                                   self.source, self.tag)
         view[: payload.nbytes] = payload
-        head = comm._network.head_time(env)
-        landing_start = max(comm._clock, head)
-        metrics = comm._network.metrics
-        if metrics is not None:
-            metrics.on_retire(queue_wait=max(0.0, comm._clock - head),
-                              recv_wait=max(0.0, head - comm._clock))
-        comm._clock = landing_start + comm._network.serial_time(env)
-        comm._trace.record_recv(env.src, env.dst, env.tag, env.nbytes,
-                                comm._clock, begin=landing_start)
+        comm._complete_recv(env)
         self._result_nbytes = payload.nbytes
         self._done = True
         return self.buffer

@@ -1,0 +1,308 @@
+"""Deterministic cooperative scheduler: the ``backend="coop"`` executor core.
+
+The thread-per-rank executor stops being practical at a few hundred ranks:
+every rank owns a full OS thread, every message post storms a shared
+condition variable with ``notify_all`` (an O(P) thundering herd), and
+deadlock detection degrades to a wall-clock watchdog.  This module replaces
+all of that with a *cooperative* design:
+
+* Each rank is a **tasklet** — a suspended continuation of the rank's
+  program.  CPython cannot suspend an arbitrary call stack from pure Python
+  (that is what C extensions like ``greenlet`` exist for), so each tasklet
+  carries its stack on a parked daemon thread with a tiny stack allocation;
+  the thread is purely a continuation holder.  **Exactly one tasklet (or
+  the scheduler loop) runs at any instant** — handoff is two event signals,
+  there is never lock contention, and the network fast path below takes no
+  locks at all.
+* The scheduler's run queue is ordered by **(simulated clock, rank id)**,
+  so execution order is a pure function of the program's communication
+  structure: re-running the same program replays the identical schedule.
+* A rank that blocks on an empty channel yields back to the scheduler; the
+  matching ``post`` makes it runnable again.  When the run queue is empty
+  while unfinished ranks remain, *no* interleaving can make progress —
+  that is an exact deadlock proof, and the scheduler raises
+  :class:`~repro.simmpi.errors.DeadlockError` immediately (with the
+  blocked-rank and pending-message dump) instead of waiting out a
+  wall-clock watchdog.
+
+Simulated clocks are bit-identical to the thread backend's: all timing
+arithmetic lives in :class:`~repro.simmpi.communicator.Communicator` /
+:class:`~repro.simmpi.request.RecvRequest` and depends only on envelope
+departure times and each rank's own operation order, neither of which the
+backend changes.  ``tests/simmpi/test_backend_equivalence.py`` enforces
+this across every registered algorithm.
+
+Practical scale: the coop backend runs thousands of ranks (CI exercises
+P=1024; P=4096 works) where the thread backend is limited to a few
+hundred.  Parked carrier threads cost one small stack each and are created
+lazily, the first time a rank is scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
+
+from .errors import DeadlockError, RankFailedError
+from .machine import MachineProfile
+from .metrics import MetricsRegistry
+from .network import ChannelKey, Envelope, Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .communicator import Communicator
+
+__all__ = ["CoopScheduler", "CoopNetwork"]
+
+#: Stack allocation for carrier threads.  They only ever hold a suspended
+#: rank program (algorithm code + numpy calls, no deep recursion), so 2 MiB
+#: is comfortable while letting thousands of ranks coexist.
+_CARRIER_STACK_BYTES = 2 << 20
+
+
+class _Tasklet:
+    """One rank's suspended continuation.
+
+    The carrier thread is started lazily on first schedule and exits when
+    the rank's program returns or unwinds; in between it is parked on
+    ``resume_evt`` whenever the rank is not the running one.
+    """
+
+    __slots__ = ("rank", "body", "thread", "resume_evt", "started", "finished")
+
+    def __init__(self, rank: int, body: Callable[[], None]) -> None:
+        self.rank = rank
+        self.body = body
+        self.thread: Optional[threading.Thread] = None
+        self.resume_evt = threading.Event()
+        self.started = False
+        self.finished = False
+
+
+class CoopScheduler:
+    """Single-runner event loop driving one tasklet per rank.
+
+    Usage (the executor does this)::
+
+        scheduler = CoopScheduler(nprocs)
+        network = CoopNetwork(nprocs, machine, scheduler=scheduler)
+        scheduler.run(network, worker)   # worker(rank) is the rank program
+
+    ``run`` returns when every rank finished (normally or by unwinding
+    with an exception the worker recorded), or raises
+    :class:`DeadlockError` the moment no rank can make progress.
+    """
+
+    def __init__(self, nprocs: int) -> None:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self._tasklets: List[_Tasklet] = []
+        self._comms: Dict[int, "Communicator"] = {}
+        # Min-heap of (simulated clock, rank) over runnable-but-suspended
+        # ranks; the clock is the rank's clock when it last yielded.
+        self._runnable: List[Tuple[float, int]] = []
+        self._blocked: Dict[ChannelKey, Deque[int]] = {}
+        self._blocked_clock: Dict[int, float] = {}
+        self._unfinished = 0
+        self._current: Optional[_Tasklet] = None
+        self._sched_evt = threading.Event()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # fabric-facing interface (called by CoopNetwork, from the running
+    # tasklet or from the scheduler loop — never concurrently)
+    # ------------------------------------------------------------------
+    def bind_clock(self, rank: int, comm: "Communicator") -> None:
+        """Learn where ``rank``'s simulated clock lives."""
+        self._comms[rank] = comm
+
+    def block_current(self, key: ChannelKey) -> None:
+        """Suspend the running rank until ``notify_key(key)`` (or a global
+        wake) reschedules it.  Returns once the rank runs again; the caller
+        re-checks its channel/abort conditions in a loop."""
+        t = self._current
+        if t is None:
+            raise RuntimeError(
+                "cooperative network used outside a scheduler run"
+            )
+        comm = self._comms.get(t.rank)
+        self._blocked_clock[t.rank] = comm.clock if comm is not None else 0.0
+        self._blocked.setdefault(key, deque()).append(t.rank)
+        # Hand the baton to the scheduler and park.
+        self._sched_evt.set()
+        t.resume_evt.wait()
+        t.resume_evt.clear()
+
+    def notify_key(self, key: ChannelKey) -> None:
+        """A message landed on ``key``: make its oldest waiter runnable."""
+        waiters = self._blocked.get(key)
+        if waiters:
+            rank = waiters.popleft()
+            if not waiters:
+                del self._blocked[key]
+            heapq.heappush(self._runnable,
+                           (self._blocked_clock.pop(rank), rank))
+
+    def wake_all_blocked(self) -> None:
+        """Abort/shutdown path: every blocked rank becomes runnable so it
+        can observe the failure flag and unwind."""
+        for waiters in self._blocked.values():
+            for rank in waiters:
+                heapq.heappush(self._runnable,
+                               (self._blocked_clock.pop(rank), rank))
+        self._blocked.clear()
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self, network: Network, worker: Callable[[int], None]) -> None:
+        """Drive ``worker(rank)`` for every rank to completion."""
+        if self._running:
+            raise RuntimeError("scheduler is already running")
+        self._running = True
+        self._tasklets = [
+            _Tasklet(rank, lambda rank=rank: worker(rank))
+            for rank in range(self.nprocs)
+        ]
+        self._unfinished = self.nprocs
+        self._runnable = [(0.0, rank) for rank in range(self.nprocs)]
+        # Already sorted (equal clocks, ascending rank) — valid heap.
+        old_stack = self._set_carrier_stack_size()
+        try:
+            while self._unfinished:
+                if not self._runnable:
+                    self._raise_deadlock(network)
+                _, rank = heapq.heappop(self._runnable)
+                self._switch_to(self._tasklets[rank])
+        finally:
+            self._restore_stack_size(old_stack)
+            self._running = False
+
+    @staticmethod
+    def _set_carrier_stack_size() -> Optional[int]:
+        """Shrink the stack of subsequently created (carrier) threads.
+
+        Returns the previous size for restoration, or ``None`` if the
+        platform refuses (then carriers just use the default stack).
+        """
+        try:
+            return threading.stack_size(_CARRIER_STACK_BYTES)
+        except (ValueError, RuntimeError, OverflowError):  # pragma: no cover
+            return None
+
+    @staticmethod
+    def _restore_stack_size(old: Optional[int]) -> None:
+        if old is None:  # pragma: no cover - platform-dependent
+            return
+        try:
+            threading.stack_size(old)
+        except (ValueError, RuntimeError, OverflowError):  # pragma: no cover
+            pass
+
+    def _switch_to(self, t: _Tasklet) -> None:
+        """Run ``t`` until it yields (blocks) or finishes."""
+        self._current = t
+        if not t.started:
+            t.started = True
+            t.thread = threading.Thread(
+                target=self._bootstrap, args=(t,),
+                name=f"coop-rank-{t.rank}", daemon=True)
+            t.thread.start()
+        else:
+            t.resume_evt.set()
+        self._sched_evt.wait()
+        self._sched_evt.clear()
+        self._current = None
+
+    def _bootstrap(self, t: _Tasklet) -> None:
+        try:
+            t.body()
+        finally:
+            t.finished = True
+            self._unfinished -= 1
+            self._sched_evt.set()
+
+    # ------------------------------------------------------------------
+    # exact deadlock detection
+    # ------------------------------------------------------------------
+    def _raise_deadlock(self, network: Network) -> None:
+        """No runnable rank, unfinished ranks remain: provably stuck.
+
+        Composes the diagnostic, then tears the job down (shutdown flag +
+        wake) so every parked continuation unwinds and its carrier thread
+        exits before the error propagates.
+        """
+        waits = []
+        for (src, dst, tag), waiters in sorted(self._blocked.items()):
+            for rank in waiters:
+                waits.append(
+                    f"rank {rank} waiting on src={src} tag={tag} "
+                    f"at simulated clock {self._blocked_clock[rank]:.6g}"
+                )
+        message = (
+            f"SPMD run deadlocked ({self._unfinished} of {self.nprocs} "
+            f"ranks blocked with no runnable peer):\n  "
+            + ";\n  ".join(waits)
+            + f"\n{network.pending_summary()}"
+        )
+        network.shutdown()  # flags the fabric; wakes the blocked ranks
+        while self._unfinished and self._runnable:
+            _, rank = heapq.heappop(self._runnable)
+            self._switch_to(self._tasklets[rank])
+        raise DeadlockError(message)
+
+
+class CoopNetwork(Network):
+    """The fabric for the cooperative backend: no locks, exact blocking.
+
+    Because the scheduler guarantees a single runner, ``post``/``collect``
+    touch the channel dictionaries directly — no mutex, no condition
+    variable, no ``notify_all`` storm.  Blocking is a scheduler yield;
+    waking is targeted at the one rank waiting on the posted channel.
+    Matching, FIFO, statistics, and timing rules are all inherited, so the
+    two backends cannot drift apart semantically.
+    """
+
+    def __init__(self, nprocs: int, machine: MachineProfile,
+                 metrics: Optional[MetricsRegistry] = None, *,
+                 scheduler: CoopScheduler) -> None:
+        super().__init__(nprocs, machine, metrics=metrics)
+        if scheduler.nprocs != nprocs:
+            raise ValueError(
+                f"scheduler is sized for {scheduler.nprocs} ranks, "
+                f"network for {nprocs}"
+            )
+        self._scheduler = scheduler
+
+    def register_rank(self, rank: int, comm: "Communicator") -> None:
+        self._scheduler.bind_clock(rank, comm)
+
+    def post(self, env: Envelope) -> None:
+        self._check_open()
+        key = (env.src, env.dst, env.tag)
+        self._deposit(key, env)
+        self._scheduler.notify_key(key)
+
+    def collect(self, src: int, dst: int, tag: int,
+                timeout: Optional[float] = None) -> Envelope:
+        # ``timeout`` is deliberately ignored: wall-clock receive timeouts
+        # exist to approximate deadlock detection under preemptive threads;
+        # here a stuck receive is detected *exactly* by the scheduler.
+        key = (src, dst, tag)
+        while True:
+            self._check_open()
+            env = self._take(key)
+            if env is not None:
+                return env
+            self._scheduler.block_current(key)
+
+    def abort(self, failed_rank: int, exc: BaseException) -> None:
+        if self._aborted is None:
+            self._aborted = RankFailedError(failed_rank, exc)
+        self._scheduler.wake_all_blocked()
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+        self._scheduler.wake_all_blocked()

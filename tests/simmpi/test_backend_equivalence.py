@@ -1,0 +1,74 @@
+"""Cross-backend clock equivalence: threads vs. coop, every algorithm.
+
+The determinism contract says simulated clocks are a pure function of the
+program's communication structure.  The two executor backends schedule
+ranks completely differently (preemptive OS threads vs. a clock-ordered
+cooperative loop), so bit-identical per-rank clocks across backends over
+every registered algorithm is a sharp end-to-end check of that contract —
+any hidden dependence on execution order would split them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import get_algorithm, list_algorithms
+from repro.simmpi import THETA, run_spmd
+from repro.workloads import (
+    block_size_matrix,
+    build_vargs,
+    distribution_by_name,
+    verify_recv,
+)
+
+NPROCS = (4, 16, 64)
+BLOCK = 16  # uniform per-pair block bytes
+MAX_BLOCK = 32  # non-uniform distribution ceiling
+
+
+def _run_uniform(name: str, nprocs: int, backend: str):
+    fn = get_algorithm(name, kind="uniform").fn
+
+    def prog(comm):
+        rng = np.random.default_rng(1234 + comm.rank)
+        send = rng.integers(0, 256, nprocs * BLOCK, dtype=np.uint8)
+        recv = np.zeros(nprocs * BLOCK, dtype=np.uint8)
+        fn(comm, send, recv, BLOCK)
+        return comm.clock
+
+    return run_spmd(prog, nprocs, machine=THETA, backend=backend,
+                    trace=False, timeout=300)
+
+
+def _run_nonuniform(name: str, nprocs: int, backend: str):
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              nprocs, seed=7)
+    fn = get_algorithm(name, kind="nonuniform").fn
+
+    def prog(comm):
+        vargs = build_vargs(comm.rank, sizes)
+        fn(comm, *vargs.as_tuple())
+        verify_recv(comm.rank, sizes, vargs.recvbuf)
+        return comm.clock
+
+    return run_spmd(prog, nprocs, machine=THETA, backend=backend,
+                    trace=False, timeout=300)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+@pytest.mark.parametrize("name", list_algorithms("uniform"))
+def test_uniform_clocks_bit_identical(name, nprocs):
+    threaded = _run_uniform(name, nprocs, "threads")
+    coop = _run_uniform(name, nprocs, "coop")
+    assert threaded.clocks == coop.clocks  # exact, not approx
+    assert threaded.total_messages == coop.total_messages
+    assert threaded.total_bytes == coop.total_bytes
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+@pytest.mark.parametrize("name", list_algorithms("nonuniform"))
+def test_nonuniform_clocks_bit_identical(name, nprocs):
+    threaded = _run_nonuniform(name, nprocs, "threads")
+    coop = _run_nonuniform(name, nprocs, "coop")
+    assert threaded.clocks == coop.clocks
+    assert threaded.total_messages == coop.total_messages
+    assert threaded.total_bytes == coop.total_bytes

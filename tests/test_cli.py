@@ -88,3 +88,35 @@ class TestCommands:
 
     def test_trace_rejects_huge_p(self, capsys):
         assert main(["trace", "-p", "100000"]) == 2
+
+
+class TestBackendSelection:
+    def test_run_coop_backend(self, capsys):
+        assert main(["run", "-a", "two_phase_bruck", "-p", "32", "-n", "16",
+                     "--machine", "local", "--backend", "coop"]) == 0
+        out = capsys.readouterr().out
+        assert "coop backend" in out
+        assert "byte-verified" in out
+
+    def test_run_coop_lifts_thread_limit(self, capsys):
+        # 300 ranks: refused on threads, accepted on coop.
+        assert main(["run", "-a", "vendor", "-p", "300", "-n", "4",
+                     "--machine", "local"]) == 2
+        assert "--backend coop" in capsys.readouterr().err
+        assert main(["run", "-a", "two_phase_bruck", "-p", "300", "-n", "4",
+                     "--machine", "local", "--backend", "coop"]) == 0
+
+    def test_run_coop_has_cap_too(self, capsys):
+        assert main(["run", "-a", "vendor", "-p", "100000", "-n", "4",
+                     "--backend", "coop"]) == 2
+
+    def test_trace_coop_backend(self, capsys):
+        assert main(["trace", "-p", "8", "--machine", "local",
+                     "--backend", "coop"]) == 0
+        assert "step(tag)" in capsys.readouterr().out
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "-a", "vendor", "-p", "4", "-n", "8",
+                 "--backend", "fibers"])
