@@ -44,22 +44,28 @@ def once(benchmark, fn):
 
 def run_alltoallv(algorithm: str, sizes, machine: MachineProfile = THETA,
                   trace=True, timeout: float = 300.0,
-                  backend: str = "threads", **kwargs):
+                  backend: str = "threads", wire: str = "phantom", **kwargs):
     """Functional run of one registered non-uniform algorithm.
 
     ``algorithm`` resolves through :mod:`repro.core.registry`; extra
     keyword arguments go to the implementation (e.g. ``group_size`` for
     the grouped scheme).  ``backend`` selects the executor (``"coop"``
     for large-P runs).  Returns the :class:`~repro.simmpi.SPMDResult`.
+
+    The benchmarks are simulated-clock artifacts, so the default wire
+    mode is ``"phantom"`` (size-only transport; clocks bit-identical to
+    bytes mode, proven by ``tests/simmpi/test_backend_equivalence.py``).
+    Pass ``wire="bytes"`` to move and verify real payload bytes.
     """
     fn = get_algorithm(algorithm, kind="nonuniform").fn
+    fill = wire == "bytes"
 
     def prog(comm):
-        vargs = build_vargs(comm.rank, sizes)
+        vargs = build_vargs(comm.rank, sizes, fill=fill)
         fn(comm, *vargs.as_tuple(), **kwargs)
 
     return run_spmd(prog, sizes.shape[0], machine=machine, trace=trace,
-                    timeout=timeout, backend=backend)
+                    timeout=timeout, backend=backend, wire=wire)
 
 
 def summarize(result, title: str = "") -> str:

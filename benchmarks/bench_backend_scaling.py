@@ -24,8 +24,11 @@ ALGORITHM = "two_phase_bruck"
 
 
 def _timed(algorithm, sizes, backend):
+    # Pinned to the bytes wire: this bench measures how the *executors*
+    # scale under real transport work (bench_wire_modes covers phantom).
     start = time.perf_counter()
-    result = run_alltoallv(algorithm, sizes, trace=False, backend=backend)
+    result = run_alltoallv(algorithm, sizes, trace=False, backend=backend,
+                           wire="bytes")
     return time.perf_counter() - start, result
 
 

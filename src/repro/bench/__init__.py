@@ -22,7 +22,7 @@ from .figures import (
     fig13_other_machines,
 )
 from .reporting import format_series_table, format_speedup, format_table
-from .runner import DEFAULT_ITERATIONS, run_iterations
+from .runner import DEFAULT_ITERATIONS, run_functional_iterations, run_iterations
 
 __all__ = [
     "CalibrationTargets",
@@ -45,5 +45,6 @@ __all__ = [
     "format_series_table",
     "format_speedup",
     "run_iterations",
+    "run_functional_iterations",
     "DEFAULT_ITERATIONS",
 ]

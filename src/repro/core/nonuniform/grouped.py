@@ -101,7 +101,9 @@ def grouped_alltoallv(comm: Communicator, sendbuf: np.ndarray,
     # ------------------------------------------------------------------
     with comm.phase(PHASE_GATHER):
         if not is_leader:
-            comm.send(scounts, leader, t + _TAG_UP_COUNTS)
+            # The count vector is control plane (the leader reads it to
+            # size buffers and route blocks); the data funnel is not.
+            comm.send(scounts, leader, t + _TAG_UP_COUNTS, control=True)
             comm.send(sview[: int(scounts.sum())], leader, t + _TAG_UP_DATA)
         group_counts: Dict[int, np.ndarray] = {}
         group_data: Dict[int, np.ndarray] = {}
@@ -161,15 +163,17 @@ def grouped_alltoallv(comm: Communicator, sendbuf: np.ndarray,
                     for d in dsts:
                         c = int(group_counts[src][d])
                         if c:
-                            off = int(sd[d])
-                            blob[pos:pos + c] = buf[off:off + c]
+                            if comm.payload_enabled:
+                                off = int(sd[d])
+                                blob[pos:pos + c] = buf[off:off + c]
                             comm.charge_copy(c)
                         pos += c
                 out_counts[other_leader] = cnts
                 out_blobs[other_leader] = blob
             for other_leader in out_counts:
                 reqs.append(comm.isend(out_counts[other_leader],
-                                       other_leader, t + _TAG_LL_COUNTS))
+                                       other_leader, t + _TAG_LL_COUNTS,
+                                       control=True))
                 reqs.append(comm.isend(out_blobs[other_leader],
                                        other_leader, t + _TAG_LL_DATA))
             # Receive from every other leader.
@@ -199,22 +203,31 @@ def grouped_alltoallv(comm: Communicator, sendbuf: np.ndarray,
         if is_leader:
             for member in my_members:
                 # Source-ascending concatenation of everything destined
-                # to `member`.
+                # to `member`.  Phantom mode skips the concatenation but
+                # still sizes the blob (from the real count headers) and
+                # charges the same per-block copies.
                 parts = []
+                total = 0
                 for src in range(p):
                     if _group_of(src, g) == my_group:
                         c = int(group_counts[src][member])
                         if c:
-                            off = int(group_displs[src][member])
-                            parts.append(group_data[src][off:off + c])
+                            if comm.payload_enabled:
+                                off = int(group_displs[src][member])
+                                parts.append(group_data[src][off:off + c])
                             comm.charge_copy(c)
-                        else:
-                            parts.append(np.empty(0, dtype=np.uint8))
+                        total += c
                     else:
-                        parts.append(incoming_by_pair.get(
-                            (src, member), np.empty(0, dtype=np.uint8)))
-                blob = (np.concatenate(parts) if parts
-                        else np.empty(0, dtype=np.uint8))
+                        part = incoming_by_pair.get((src, member))
+                        if part is not None:
+                            if comm.payload_enabled:
+                                parts.append(part)
+                            total += part.nbytes
+                if comm.payload_enabled:
+                    blob = (np.concatenate(parts) if parts
+                            else np.empty(0, dtype=np.uint8))
+                else:
+                    blob = np.empty(total, dtype=np.uint8)
                 if member == rank:
                     _place(comm, rview, rcounts, rdis, blob, p)
                 else:
@@ -237,6 +250,7 @@ def _place(comm: Communicator, rview: np.ndarray, rcounts: np.ndarray,
     for src in range(p):
         c = int(rcounts[src])
         if c:
-            rview[rdis[src]:rdis[src] + c] = blob[pos:pos + c]
+            if comm.payload_enabled:
+                rview[rdis[src]:rdis[src] + c] = blob[pos:pos + c]
             comm.charge_copy(c)
         pos += c

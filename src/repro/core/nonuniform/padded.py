@@ -30,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from ...simmpi.communicator import Communicator
+from ...simmpi.datatype import gather_index
 from ..common import as_byte_view, checked_counts_displs
 from ..uniform.zero_rotation import zero_rotation_bruck
 
@@ -57,13 +58,19 @@ def _pad_exchange_scan(comm: Communicator, sendbuf: np.ndarray,
         max_n = int(comm.allreduce(local_max, op="max"))
         if max_n == 0:
             return
-        padded_send = np.zeros(p * max_n, dtype=np.uint8)
-        psend = padded_send.reshape(p, max_n)
-        for j in range(p):
-            cnt = int(scounts[j])
-            if cnt:
-                psend[j, :cnt] = sview[sdis[j]:sdis[j] + cnt]
-                comm.charge_copy(cnt)
+        row_offs = np.arange(p, dtype=np.int64) * max_n
+        # One committed-index gather replaces the per-block padding loop;
+        # the per-block copies are charged in the same order.  Phantom mode
+        # skips the writes (and the zero fill) but keeps the charges.
+        if comm.payload_enabled:
+            padded_send = np.zeros(p * max_n, dtype=np.uint8)
+            nz = scounts > 0
+            if nz.any():
+                padded_send[gather_index(row_offs[nz], scounts[nz])] = \
+                    sview[gather_index(sdis[nz], scounts[nz])]
+        else:
+            padded_send = np.empty(p * max_n, dtype=np.uint8)
+        comm.charge_copies(scounts)
         padded_recv = np.empty(p * max_n, dtype=np.uint8)
 
     if use_vendor_alltoall:
@@ -73,12 +80,12 @@ def _pad_exchange_scan(comm: Communicator, sendbuf: np.ndarray,
                             tag_base=tag_base)
 
     with comm.phase(PHASE_SCAN):
-        precv = padded_recv.reshape(p, max_n)
-        for j in range(p):
-            cnt = int(rcounts[j])
-            if cnt:
-                rview[rdis[j]:rdis[j] + cnt] = precv[j, :cnt]
-                comm.charge_copy(cnt)
+        if comm.payload_enabled:
+            nz = rcounts > 0
+            if nz.any():
+                rview[gather_index(rdis[nz], rcounts[nz])] = \
+                    padded_recv[gather_index(row_offs[nz], rcounts[nz])]
+        comm.charge_copies(rcounts)
 
 
 def padded_bruck(comm: Communicator, sendbuf: np.ndarray,

@@ -142,14 +142,21 @@ def sloav_alltoallv(comm: Communicator, sendbuf: np.ndarray,
                         combined[pos:pos + cnt] = sview[off:off + cnt]
                     comm.charge_copy(cnt)
                 pos += cnt
-            # Header message: the combined buffer's size.
+            # Header message: the combined buffer's size.  Both messages
+            # are control plane — SLOAV couples the size array *into* the
+            # data message (the §6.1(1) flaw), so the receiver must read
+            # the combined buffer's contents to unpack it.  SLOAV therefore
+            # moves real bytes even in phantom wire mode; its clocks match
+            # trivially.
             header_out[0] = combined.nbytes
             header_in = np.empty(1, dtype=_META_DTYPE)
             comm.sendrecv(header_out, dst, tag_base + 2 * k,
-                          header_in, src_rank, tag_base + 2 * k)
+                          header_in, src_rank, tag_base + 2 * k,
+                          control=True)
             incoming = np.empty(int(header_in[0]), dtype=np.uint8)
             comm.sendrecv(combined, dst, tag_base + 2 * k + 1,
-                          incoming, src_rank, tag_base + 2 * k + 1)
+                          incoming, src_rank, tag_base + 2 * k + 1,
+                          control=True)
             # Unpack: separate meta from data (§6.1(1) again), then park
             # every received block in the temp store — SLOAV defers final
             # placement to the scan.

@@ -40,8 +40,9 @@ def spread_out_v(comm: Communicator, sendbuf: np.ndarray,
 
     n_self = int(scounts[rank])
     if n_self:
-        rview[rdis[rank]:rdis[rank] + n_self] = \
-            sview[sdis[rank]:sdis[rank] + n_self]
+        if comm.payload_enabled:
+            rview[rdis[rank]:rdis[rank] + n_self] = \
+                sview[sdis[rank]:sdis[rank] + n_self]
         comm.charge_copy(n_self)
     reqs: List[Request] = []
     for off in range(1, p):

@@ -33,6 +33,7 @@ from typing import Sequence
 import numpy as np
 
 from ...simmpi.communicator import Communicator
+from ...simmpi.datatype import gather_index
 from ..common import (
     as_byte_view,
     checked_counts_displs,
@@ -93,8 +94,9 @@ def two_phase_bruck(comm: Communicator, sendbuf: np.ndarray,
     # Self block: delivered locally, never enters the exchange.
     n_self = int(scounts[rank])
     if n_self:
-        rview[rdis[rank]:rdis[rank] + n_self] = \
-            sview[sdis[rank]:sdis[rank] + n_self]
+        if comm.payload_enabled:
+            rview[rdis[rank]:rdis[rank] + n_self] = \
+                sview[sdis[rank]:sdis[rank] + n_self]
         comm.charge_copy(n_self)
 
     for k in range(num_steps(p)):
@@ -102,38 +104,44 @@ def two_phase_bruck(comm: Communicator, sendbuf: np.ndarray,
         if not dist:
             continue
         m = len(dist)
-        slots = [(i + rank) % p for i in dist]       # sd[] slot indices
-        keys = [int(rot[j]) for j in slots]          # I[sd[i]]
+        dist_arr = np.asarray(dist, dtype=np.int64)
+        slots = (dist_arr + rank) % p                # sd[] slot indices
+        keys = rot[slots]                            # I[sd[i]]
         send_rank = (rank - (1 << k)) % p            # line 14
         recv_rank = (rank + (1 << k)) % p            # line 15
 
         with comm.phase(PHASE_META):
             # Lines 11-13, 16: exchange the sizes of the moving blocks.
-            meta_out = np.asarray([cur_counts[b] for b in keys],
-                                  dtype=_META_DTYPE)
+            # Control plane: the receiver reads these sizes to post its
+            # exact-size data receive, so they carry real bytes even in
+            # phantom wire mode.
+            meta_out = cur_counts[keys].astype(_META_DTYPE)
             meta_in = np.empty(m, dtype=_META_DTYPE)
             comm.sendrecv(meta_out, send_rank, tag_base + 2 * k,
-                          meta_in, recv_rank, tag_base + 2 * k)
+                          meta_in, recv_rank, tag_base + 2 * k,
+                          control=True)
 
         with comm.phase(PHASE_DATA):
             # Lines 17-24: gather the moving blocks into one message,
             # drawing from W (moved before) or the send buffer (fresh).
-            out_total = int(meta_out.sum())
+            # The gather is two committed-index fancy-indexing calls (one
+            # per source buffer) instead of a per-block Python loop; the
+            # per-block copies are charged in the same order as before.
+            counts_out = meta_out.astype(np.int64)
+            out_total = int(counts_out.sum())
             stage = np.empty(out_total, dtype=np.uint8)
-            pos = 0
-            for a in range(m):
-                cnt = int(meta_out[a])
-                if cnt:
-                    if status[keys[a]]:
-                        off = slots[a] * max_n
-                        stage[pos:pos + cnt] = work[off:off + cnt]
-                    else:
-                        off = int(sdis[keys[a]])
-                        stage[pos:pos + cnt] = sview[off:off + cnt]
-                    comm.charge_copy(cnt)
-                pos += cnt
+            if comm.payload_enabled and out_total:
+                out_starts = np.cumsum(counts_out) - counts_out
+                moved = status[keys]
+                src_offs = np.where(moved, slots * max_n, sdis[keys])
+                for grp, src in ((moved, work), (~moved, sview)):
+                    if grp.any():
+                        stage[gather_index(out_starts[grp], counts_out[grp])] = \
+                            src[gather_index(src_offs[grp], counts_out[grp])]
+            comm.charge_copies(counts_out)
             sreq = comm.isend(stage, send_rank, tag_base + 2 * k + 1)
-            in_total = int(meta_in.sum())
+            counts_in = meta_in.astype(np.int64)
+            in_total = int(counts_in.sum())
             incoming = np.empty(in_total, dtype=np.uint8)
             rreq = comm.irecv(incoming, recv_rank, tag_base + 2 * k + 1)
             sreq.wait()
@@ -141,27 +149,25 @@ def two_phase_bruck(comm: Communicator, sendbuf: np.ndarray,
             # Lines 25-33: scatter; finished blocks (no set bit above k in
             # their distance) go straight to their final rdispls position,
             # in-transit blocks park in W at their slot.
-            pos = 0
-            for a in range(m):
-                cnt = int(meta_in[a])
-                finished = dist[a] < (1 << (k + 1))  # line 26
-                if finished and cnt != int(rcounts[slots[a]]):
-                    raise ValueError(
-                        f"rank {rank}: block from source {slots[a]} arrived "
-                        f"with {cnt} bytes but recvcounts promises "
-                        f"{int(rcounts[slots[a]])} (mismatched counts "
-                        f"between sender and receiver)"
-                    )
-                if cnt:
-                    if finished:
-                        # Final layout: the block at slot j comes from
-                        # source j, so rdispls is indexed by the slot.
-                        off = int(rdis[slots[a]])
-                        rview[off:off + cnt] = incoming[pos:pos + cnt]
-                    else:
-                        off = slots[a] * max_n
-                        work[off:off + cnt] = incoming[pos:pos + cnt]
-                    comm.charge_copy(cnt)
-                pos += cnt
-                status[keys[a]] = True               # line 31
-                cur_counts[keys[a]] = cnt            # line 32
+            finished = dist_arr < (1 << (k + 1))     # line 26
+            mismatch = finished & (counts_in != rcounts[slots])
+            if mismatch.any():
+                a = int(np.argmax(mismatch))
+                raise ValueError(
+                    f"rank {rank}: block from source {int(slots[a])} arrived "
+                    f"with {int(counts_in[a])} bytes but recvcounts promises "
+                    f"{int(rcounts[slots[a]])} (mismatched counts "
+                    f"between sender and receiver)"
+                )
+            if comm.payload_enabled and in_total:
+                in_starts = np.cumsum(counts_in) - counts_in
+                # Final layout: the block at slot j comes from source j,
+                # so rdispls is indexed by the slot.
+                dst_offs = np.where(finished, rdis[slots], slots * max_n)
+                for grp, dst in ((finished, rview), (~finished, work)):
+                    if grp.any():
+                        dst[gather_index(dst_offs[grp], counts_in[grp])] = \
+                            incoming[gather_index(in_starts[grp], counts_in[grp])]
+            comm.charge_copies(counts_in)
+            status[keys] = True                      # line 31
+            cur_counts[keys] = counts_in             # line 32

@@ -52,9 +52,9 @@ def basic_bruck(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,
 
     with comm.phase(PHASE_ROTATE_IN):
         src = (rank + np.arange(p)) % p
-        rmat[:] = smat[src]
-        for _ in range(p):
-            comm.charge_copy(n)
+        if comm.payload_enabled:
+            rmat[:] = smat[src]
+        comm.charge_copies(np.full(p, n, dtype=np.int64))
 
     with comm.phase(PHASE_COMM):
         staging = np.empty(((p + 1) // 2) * n, dtype=np.uint8)
@@ -76,24 +76,28 @@ def basic_bruck(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,
                 rreq.wait()
                 comm.unpack(rview, blocks, rbuf)
             else:
-                stage = rmat[slots].reshape(-1)  # explicit pack (copies)
-                for _ in range(m):
-                    comm.charge_copy(n)
+                if comm.payload_enabled:
+                    stage = rmat[slots].reshape(-1)  # explicit pack (copies)
+                else:
+                    stage = np.empty(m * n, dtype=np.uint8)
+                comm.charge_copies(np.full(m, n, dtype=np.int64))
                 sreq = comm.isend(stage, dst, tag=tag_base + k)
                 rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
                 sreq.wait()
                 rreq.wait()
-                rmat[slots] = rbuf.reshape(m, n)  # explicit unpack (copies)
-                for _ in range(m):
-                    comm.charge_copy(n)
+                if comm.payload_enabled:
+                    rmat[slots] = rbuf.reshape(m, n)  # explicit unpack
+                comm.charge_copies(np.full(m, n, dtype=np.int64))
 
     with comm.phase(PHASE_ROTATE_OUT):
-        tmp = rmat.copy()
-        comm.charge_copy(p * n)
         src = (rank - np.arange(p)) % p
-        rmat[:] = tmp[src]
-        for _ in range(p):
-            comm.charge_copy(n)
+        if comm.payload_enabled:
+            tmp = rmat.copy()
+            comm.charge_copy(p * n)
+            rmat[:] = tmp[src]
+        else:
+            comm.charge_copy(p * n)
+        comm.charge_copies(np.full(p, n, dtype=np.int64))
 
 
 def basic_bruck_dt(comm: Communicator, sendbuf: np.ndarray,

@@ -40,9 +40,9 @@ def modified_bruck(comm: Communicator, sendbuf: np.ndarray,
 
     with comm.phase(PHASE_ROTATE_IN):
         src = (2 * rank - np.arange(p)) % p
-        rmat[:] = smat[src]
-        for _ in range(p):
-            comm.charge_copy(n)
+        if comm.payload_enabled:
+            rmat[:] = smat[src]
+        comm.charge_copies(np.full(p, n, dtype=np.int64))
 
     with comm.phase(PHASE_COMM):
         staging = np.empty(((p + 1) // 2) * n, dtype=np.uint8)
@@ -64,16 +64,18 @@ def modified_bruck(comm: Communicator, sendbuf: np.ndarray,
                 rreq.wait()
                 comm.unpack(rview, blocks, rbuf)
             else:
-                stage = rmat[slots].reshape(-1)
-                for _ in range(m):
-                    comm.charge_copy(n)
+                if comm.payload_enabled:
+                    stage = rmat[slots].reshape(-1)
+                else:
+                    stage = np.empty(m * n, dtype=np.uint8)
+                comm.charge_copies(np.full(m, n, dtype=np.int64))
                 sreq = comm.isend(stage, dst, tag=tag_base + k)
                 rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
                 sreq.wait()
                 rreq.wait()
-                rmat[slots] = rbuf.reshape(m, n)
-                for _ in range(m):
-                    comm.charge_copy(n)
+                if comm.payload_enabled:
+                    rmat[slots] = rbuf.reshape(m, n)
+                comm.charge_copies(np.full(m, n, dtype=np.int64))
 
 
 def modified_bruck_dt(comm: Communicator, sendbuf: np.ndarray,

@@ -35,7 +35,8 @@ def spread_out(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,
     if n == 0:
         return
     with comm.phase(PHASE_COMM):
-        rview[rank * n:(rank + 1) * n] = sview[rank * n:(rank + 1) * n]
+        if comm.payload_enabled:
+            rview[rank * n:(rank + 1) * n] = sview[rank * n:(rank + 1) * n]
         comm.charge_copy(n)
         reqs: List[Request] = []
         for off in range(1, p):

@@ -54,7 +54,8 @@ def zero_rotation_bruck(comm: Communicator, sendbuf: np.ndarray,
         comm.charge_compute(p * 1.0e-9)
 
     # Self block goes straight to its final slot.
-    rmat[rank] = smat[rank]
+    if comm.payload_enabled:
+        rmat[rank] = smat[rank]
     comm.charge_copy(n)
 
     with comm.phase(PHASE_COMM):
@@ -73,17 +74,17 @@ def zero_rotation_bruck(comm: Communicator, sendbuf: np.ndarray,
             stage = np.empty((m, n), dtype=np.uint8)
             # Moved blocks live in R at their slot; unmoved blocks are
             # still the caller's original data, addressed through I.
-            if moved.any():
-                stage[moved] = rmat[slots[moved]]
-            if (~moved).any():
-                stage[~moved] = smat[rot[slots[~moved]]]
-            for _ in range(m):
-                comm.charge_copy(n)
+            if comm.payload_enabled:
+                if moved.any():
+                    stage[moved] = rmat[slots[moved]]
+                if (~moved).any():
+                    stage[~moved] = smat[rot[slots[~moved]]]
+            comm.charge_copies(np.full(m, n, dtype=np.int64))
             sreq = comm.isend(stage.reshape(-1), dst, tag=tag_base + k)
             rbuf = staging[: m * n]
             rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
             sreq.wait()
             rreq.wait()
-            rmat[slots] = rbuf.reshape(m, n)
-            for _ in range(m):
-                comm.charge_copy(n)
+            if comm.payload_enabled:
+                rmat[slots] = rbuf.reshape(m, n)
+            comm.charge_copies(np.full(m, n, dtype=np.int64))

@@ -59,14 +59,15 @@ def zero_copy_bruck_dt(comm: Communicator, sendbuf: np.ndarray,
     with comm.phase(PHASE_ROTATE_IN):
         # R[j] / T[j] = S[(2p - j) % P], split by popcount parity of the
         # distance i = (j - p) % P.
-        for j in range(p):
-            i = (j - rank) % p
-            block = smat[(2 * rank - j) % p]
-            if _popcount(i) % 2 == 0:
-                rmat[j] = block
-            else:
-                tmat[j] = block
-            comm.charge_copy(n)
+        if comm.payload_enabled:
+            for j in range(p):
+                i = (j - rank) % p
+                block = smat[(2 * rank - j) % p]
+                if _popcount(i) % 2 == 0:
+                    rmat[j] = block
+                else:
+                    tmat[j] = block
+        comm.charge_copies(np.full(p, n, dtype=np.int64))
 
     with comm.phase(PHASE_COMM):
         staging = np.empty(((p + 1) // 2) * n, dtype=np.uint8)
@@ -85,23 +86,30 @@ def zero_copy_bruck_dt(comm: Communicator, sendbuf: np.ndarray,
             r_extents = [(slots[a] * n, n) for a in range(m) if in_r[a]]
             t_extents = [(slots[a] * n, n) for a in range(m) if not in_r[a]]
             stage = np.empty((m, n), dtype=np.uint8)
+            mask = np.asarray(in_r)
             if r_extents:
                 packed = comm.pack(rview, IndexedBlocks(r_extents))
-                stage[np.asarray(in_r)] = packed.reshape(-1, n)
+                if comm.payload_enabled:
+                    stage[mask] = packed.reshape(-1, n)
             if t_extents:
                 packed = comm.pack(tbuf, IndexedBlocks(t_extents))
-                stage[~np.asarray(in_r)] = packed.reshape(-1, n)
+                if comm.payload_enabled:
+                    stage[~mask] = packed.reshape(-1, n)
             sreq = comm.isend(stage.reshape(-1), dst, tag=tag_base + k)
             rbuf = staging[: m * n]
             rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
             sreq.wait()
             rreq.wait()
             # Incoming block with remaining hops b lands in T when the
-            # *sender* held it in R (b odd), and vice versa.
+            # *sender* held it in R (b odd), and vice versa.  In phantom
+            # mode ``unpack`` ignores its data argument, so the staging
+            # slices are not materialized.
             rmat_in = rbuf.reshape(m, n)
             if t_extents:  # blocks sent from T land in R
                 comm.unpack(rview, IndexedBlocks(t_extents),
-                            rmat_in[~np.asarray(in_r)].reshape(-1))
+                            rmat_in[~mask].reshape(-1)
+                            if comm.payload_enabled else rbuf)
             if r_extents:  # blocks sent from R land in T
                 comm.unpack(tbuf, IndexedBlocks(r_extents),
-                            rmat_in[np.asarray(in_r)].reshape(-1))
+                            rmat_in[mask].reshape(-1)
+                            if comm.payload_enabled else rbuf)

@@ -36,7 +36,7 @@ from .errors import (
 from .executor import BACKENDS, TRACE_MODES, SPMDResult, run_spmd
 from .machine import CORI, LOCAL, PROFILES, STAMPEDE2, THETA, MachineProfile, get_profile
 from .metrics import Counter, Histogram, MetricsRegistry, RunMetrics
-from .network import Envelope, Network
+from .network import WIRE_MODES, Envelope, Network
 from .scheduler import CoopNetwork, CoopScheduler
 from .request import RecvRequest, Request, SendRequest, waitall
 from .trace_export import (
@@ -73,6 +73,7 @@ __all__ = [
     "SPMDResult",
     "TRACE_MODES",
     "BACKENDS",
+    "WIRE_MODES",
     "CoopScheduler",
     "CoopNetwork",
     "MachineProfile",

@@ -35,7 +35,7 @@ from .errors import InvalidRankError, InvalidTagError
 from .machine import MachineProfile
 from .network import Envelope, Network
 from .request import RecvRequest, Request, SendRequest, waitall
-from .tracing import TraceBase
+from .tracing import NullTrace, TraceBase
 
 __all__ = ["Communicator", "MAX_USER_TAG"]
 
@@ -61,6 +61,8 @@ class Communicator:
         self._clock = 0.0
         self._coll_seq = 0
         self._recv_timeout = recv_timeout
+        # Wire mode is fixed per job; cache the flag for the send hot path.
+        self._payload_enabled = network.payload_enabled
         # Backend hook: the cooperative scheduler reads this rank's clock
         # through the fabric to order its run queue.
         network.register_rank(rank, self)
@@ -87,6 +89,21 @@ class Communicator:
     def trace(self) -> TraceBase:
         return self._trace
 
+    @property
+    def wire(self) -> str:
+        """The job's payload transport mode: ``"bytes"`` or ``"phantom"``."""
+        return self._network.wire
+
+    @property
+    def payload_enabled(self) -> bool:
+        """True when data-plane messages carry real bytes.
+
+        Algorithm kernels branch on this to skip host-side data movement
+        (staging copies, buffer fills) in phantom mode while charging the
+        identical simulated costs.
+        """
+        return self._payload_enabled
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Communicator(rank={self._rank}, size={self.size})"
 
@@ -109,20 +126,44 @@ class Communicator:
     # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
-    def isend(self, buf: Buffer, dest: int, tag: int = 0) -> SendRequest:
-        """Post a nonblocking send of ``buf`` (a contiguous ndarray)."""
+    def isend(self, buf: Buffer, dest: int, tag: int = 0, *,
+              control: bool = False) -> SendRequest:
+        """Post a nonblocking send of ``buf`` (an ndarray).
+
+        ``control=True`` marks a control-plane message (block-size arrays,
+        headers — anything the receiver *reads* to steer its own control
+        flow): those carry real bytes even in phantom wire mode.  Plain
+        data-plane sends carry only their size in phantom mode.
+        """
         dest = self._check_peer(dest, "destination")
         tag = self._check_tag(tag)
-        return self._isend_raw(_payload_of(buf), dest, tag)
+        return self._isend_buffer(buf, dest, tag, control)
+
+    def _isend_buffer(self, buf: Buffer, dest: int, tag: int,
+                      control: bool = False) -> SendRequest:
+        """Wire-mode-aware ndarray send (peer/tag already validated)."""
+        if control or self._payload_enabled:
+            payload = _payload_of(buf)
+            return self._post_envelope(payload, len(payload), dest, tag)
+        if not isinstance(buf, np.ndarray):
+            raise TypeError(f"send buffer must be an ndarray, got {type(buf)}")
+        return self._post_envelope(None, int(buf.nbytes), dest, tag)
 
     def _isend_raw(self, payload: bytes, dest: int, tag: int) -> SendRequest:
+        """Send pre-serialized bytes; always carried, even in phantom mode
+        (the object transport's contents are the message)."""
+        return self._post_envelope(payload, len(payload), dest, tag)
+
+    def _post_envelope(self, payload: Optional[bytes], nbytes: int,
+                       dest: int, tag: int) -> SendRequest:
         begin = self._clock
         self._clock += self.machine.o_send
         depart = self._clock
-        self._network.post(Envelope(self._rank, dest, tag, payload, depart))
-        self._trace.record_send(self._rank, dest, tag, len(payload), depart,
+        self._network.post(Envelope(self._rank, dest, tag, payload, depart,
+                                    nbytes))
+        self._trace.record_send(self._rank, dest, tag, nbytes, depart,
                                 begin=begin)
-        return SendRequest(self, depart, len(payload))
+        return SendRequest(self, depart, nbytes)
 
     def irecv(self, buf: Buffer, source: int, tag: int = 0) -> RecvRequest:
         """Post a nonblocking receive into ``buf`` (a contiguous ndarray)."""
@@ -134,9 +175,10 @@ class Communicator:
         self._clock += self.machine.o_recv
         return RecvRequest(self, source, tag, buf)
 
-    def send(self, buf: Buffer, dest: int, tag: int = 0) -> None:
+    def send(self, buf: Buffer, dest: int, tag: int = 0, *,
+             control: bool = False) -> None:
         """Blocking send (eager: completes locally)."""
-        self.isend(buf, dest, tag).wait()
+        self.isend(buf, dest, tag, control=control).wait()
 
     def recv(self, buf: Buffer, source: int, tag: int = 0) -> int:
         """Blocking receive; returns the number of bytes received."""
@@ -146,9 +188,10 @@ class Communicator:
         return req.received_nbytes
 
     def sendrecv(self, sendbuf: Buffer, dest: int, sendtag: int,
-                 recvbuf: Buffer, source: int, recvtag: int) -> int:
+                 recvbuf: Buffer, source: int, recvtag: int, *,
+                 control: bool = False) -> int:
         """Simultaneous send and receive (deadlock-free pairwise exchange)."""
-        sreq = self.isend(sendbuf, dest, sendtag)
+        sreq = self.isend(sendbuf, dest, sendtag, control=control)
         rreq = self.irecv(recvbuf, source, recvtag)
         sreq.wait()
         rreq.wait()
@@ -159,9 +202,12 @@ class Communicator:
         waitall(requests)
 
     # Internal variants used by collectives: tags come from the reserved
-    # internal space, so they bypass user-tag validation.
+    # internal space, so they bypass user-tag validation.  These carry the
+    # collective's own state (barrier tokens, reduction accumulators,
+    # allgather slices), which the receiver reads — control plane, so they
+    # always transport real bytes regardless of wire mode.
     def _send_internal(self, buf: Buffer, dest: int, tag: int) -> None:
-        self._isend_raw(_payload_of(buf), dest, tag).wait()
+        self._isend_buffer(buf, dest, tag, control=True).wait()
 
     def _recv_internal(self, buf: Buffer, source: int, tag: int) -> int:
         req = self._irecv_raw(buf, source, tag)
@@ -171,7 +217,7 @@ class Communicator:
 
     def _sendrecv_internal(self, sendbuf: Buffer, dest: int, sendtag: int,
                            recvbuf: Buffer, source: int, recvtag: int) -> int:
-        sreq = self._isend_raw(_payload_of(sendbuf), dest, sendtag)
+        sreq = self._isend_buffer(sendbuf, dest, sendtag, control=True)
         rreq = self._irecv_raw(recvbuf, source, recvtag)
         sreq.wait()
         rreq.wait()
@@ -233,10 +279,43 @@ class Communicator:
         self._clock += self.machine.copy_time(int(nbytes))
         self._trace.record_copy(int(nbytes), self._clock, begin=begin)
 
+    def charge_copies(self, counts: Sequence[int]) -> None:
+        """Charge one copy per entry of ``counts``, in order.
+
+        Bit-identical to calling :meth:`charge_copy` in a Python loop — the
+        per-copy times are evaluated with the same IEEE expressions and the
+        clock advances through the same left-to-right float additions (via
+        ``np.add.accumulate``) — but the per-block interpreter overhead
+        collapses into one vectorized call.  This is what keeps the
+        Two-Phase/Padded staging loops' cost accounting cheap at P=1024+.
+        Non-positive entries are skipped, exactly like ``charge_copy``.
+        """
+        arr = np.asarray(counts, dtype=np.int64)
+        arr = arr[arr > 0]
+        if arr.size == 0:
+            return
+        m = self.machine
+        times = m.kappa_mem + m.gamma_mem * arr.astype(np.float64)
+        clocks = np.add.accumulate(np.concatenate(([self._clock], times)))
+        if not isinstance(self._trace, NullTrace):
+            begin = self._clock
+            for n, after in zip(arr.tolist(), clocks[1:].tolist()):
+                self._trace.record_copy(int(n), after, begin=begin)
+                begin = after
+        self._clock = float(clocks[-1])
+
     def pack(self, buffer: Buffer, blocks: IndexedBlocks) -> np.ndarray:
         """Datatype-engine pack: gather ``blocks`` of ``buffer``, charging
-        the derived-datatype cost (used by the ``-dt`` Bruck variants)."""
-        data = blocks.pack(buffer)
+        the derived-datatype cost (used by the ``-dt`` Bruck variants).
+
+        In phantom wire mode the gather is skipped: the returned array has
+        the right size for the subsequent (size-only) send but its contents
+        are unspecified.
+        """
+        if self._payload_enabled:
+            data = blocks.pack(buffer)
+        else:
+            data = np.empty(blocks.nbytes, dtype=np.uint8)
         begin = self._clock
         self._clock += self.machine.datatype_time(blocks.nblocks, blocks.nbytes)
         self._trace.record_datatype("pack", blocks.nblocks, blocks.nbytes,
@@ -245,8 +324,10 @@ class Communicator:
 
     def unpack(self, buffer: Buffer, blocks: IndexedBlocks,
                data: np.ndarray) -> None:
-        """Datatype-engine unpack: scatter ``data`` into ``blocks``."""
-        blocks.unpack(buffer, data)
+        """Datatype-engine unpack: scatter ``data`` into ``blocks``
+        (skipped, but charged, in phantom wire mode)."""
+        if self._payload_enabled:
+            blocks.unpack(buffer, data)
         begin = self._clock
         self._clock += self.machine.datatype_time(blocks.nblocks, blocks.nbytes)
         self._trace.record_datatype("unpack", blocks.nblocks, blocks.nbytes,
@@ -434,8 +515,9 @@ class Communicator:
                     f"(send has {sview.nbytes}, recv has {rview.nbytes})"
                 )
             tag = self._next_coll_tags()
-            # Self block: local copy.
-            rview[rank * n:(rank + 1) * n] = sview[rank * n:(rank + 1) * n]
+            # Self block: local copy (charged in both wire modes).
+            if self._payload_enabled:
+                rview[rank * n:(rank + 1) * n] = sview[rank * n:(rank + 1) * n]
             self.charge_copy(n)
             reqs: List[Request] = []
             for off in range(1, p):
@@ -444,8 +526,8 @@ class Communicator:
                                             src, tag))
             for off in range(1, p):
                 dst = (rank + off) % p
-                reqs.append(self._isend_raw(
-                    _payload_of(sview[dst * n:(dst + 1) * n]), dst, tag))
+                reqs.append(self._isend_buffer(sview[dst * n:(dst + 1) * n],
+                                               dst, tag))
             waitall(reqs)
 
     def alltoallv(self, sendbuf: Buffer, sendcounts: Sequence[int],
@@ -470,12 +552,22 @@ class Communicator:
                 if len(arr) != p:
                     raise ValueError(
                         f"{name} must have length {p}, got {len(arr)}")
+            # Counts/displs reaching past the buffers would silently produce
+            # short slice views (truncated sends, partially-landed receives);
+            # validate extents like the Bruck kernels do.  Imported lazily:
+            # ``repro.core`` imports ``simmpi`` at module load.
+            from ..core.common import checked_counts_displs
+            checked_counts_displs(sendcounts, sdispls, p, sview.nbytes,
+                                  "alltoallv send")
+            checked_counts_displs(recvcounts, rdispls, p, rview.nbytes,
+                                  "alltoallv recv")
             tag = self._next_coll_tags()
-            # Self block.
+            # Self block (charged in both wire modes).
             n_self = int(sendcounts[rank])
             if n_self:
-                rview[rdispls[rank]:rdispls[rank] + n_self] = \
-                    sview[sdispls[rank]:sdispls[rank] + n_self]
+                if self._payload_enabled:
+                    rview[rdispls[rank]:rdispls[rank] + n_self] = \
+                        sview[sdispls[rank]:sdispls[rank] + n_self]
                 self.charge_copy(n_self)
             reqs: List[Request] = []
             for off in range(1, p):
@@ -486,9 +578,8 @@ class Communicator:
             for off in range(1, p):
                 dst = (rank + off) % p
                 cnt = int(sendcounts[dst])
-                reqs.append(self._isend_raw(
-                    _payload_of(sview[sdispls[dst]:sdispls[dst] + cnt]),
-                    dst, tag))
+                reqs.append(self._isend_buffer(
+                    sview[sdispls[dst]:sdispls[dst] + cnt], dst, tag))
             waitall(reqs)
 
 
@@ -501,8 +592,12 @@ def _byte_view(buffer: Buffer) -> np.ndarray:
 
 
 def _payload_of(buf: Buffer) -> bytes:
-    """Snapshot a contiguous ndarray (or slice view) as immutable bytes."""
+    """Snapshot an ndarray (or slice view) as immutable bytes.
+
+    ``tobytes()`` serializes in C order for any layout, so non-contiguous
+    views are snapshotted in one pass — no ``ascontiguousarray`` staging
+    copy first.
+    """
     if not isinstance(buf, np.ndarray):
         raise TypeError(f"send buffer must be an ndarray, got {type(buf)}")
-    arr = np.ascontiguousarray(buf)
-    return arr.tobytes()
+    return buf.tobytes()

@@ -21,7 +21,30 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["IndexedBlocks"]
+__all__ = ["IndexedBlocks", "gather_index"]
+
+
+def gather_index(offsets: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat byte-gather index covering ``[off, off+len)`` per block.
+
+    Fully vectorized — no per-block Python loop: for each output position
+    the index is its block's offset plus the position's rank *within* the
+    block, built with one ``repeat`` and one ``arange``.  This is the
+    "committed datatype" trick: compute the index once, then every
+    gather/scatter over the same block structure is a single fancy-indexing
+    call.  Shared by :class:`IndexedBlocks` and the Two-Phase/Padded
+    staging paths.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    # position i of the output belongs to block b: index = offsets[b] +
+    # (i - starts[b]), i.e. repeat(offsets - starts) + arange(total).
+    return np.repeat(offsets - starts, lengths) + np.arange(total, dtype=np.int64)
 
 
 class IndexedBlocks:
@@ -51,15 +74,7 @@ class IndexedBlocks:
         self.nbytes = int(lengths.sum())
         # Precompute the flat gather index once ("commit" the type); reuse
         # across communication steps is free, like a committed MPI datatype.
-        if self.nbytes:
-            parts = [
-                np.arange(off, off + ln, dtype=np.int64)
-                for off, ln in zip(offsets.tolist(), lengths.tolist())
-                if ln
-            ]
-            self._gather_index = np.concatenate(parts)
-        else:
-            self._gather_index = np.empty(0, dtype=np.int64)
+        self._gather_index = gather_index(offsets, lengths)
 
     @staticmethod
     def _check_disjoint(offsets: np.ndarray, lengths: np.ndarray) -> None:

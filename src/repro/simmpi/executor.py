@@ -40,11 +40,11 @@ from .communicator import Communicator
 from .errors import CommAbortedError, DeadlockError, RankFailedError, SimMPIError
 from .machine import LOCAL, MachineProfile
 from .metrics import MetricsRegistry, RunMetrics
-from .network import Network
+from .network import WIRE_MODES, Network
 from .scheduler import CoopNetwork, CoopScheduler
 from .tracing import MetricsTrace, NullTrace, RankTrace, TraceBase
 
-__all__ = ["run_spmd", "SPMDResult", "TRACE_MODES", "BACKENDS"]
+__all__ = ["run_spmd", "SPMDResult", "TRACE_MODES", "BACKENDS", "WIRE_MODES"]
 
 #: Accepted values of ``run_spmd``'s ``backend`` parameter.
 BACKENDS = ("threads", "coop")
@@ -79,6 +79,7 @@ class SPMDResult:
     total_messages: int
     total_bytes: int
     metrics: Optional[RunMetrics] = field(default=None)
+    wire: str = "bytes"         # payload transport mode of the run
 
     @property
     def elapsed(self) -> float:
@@ -143,7 +144,8 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
              rank_args: Optional[Sequence[Sequence[Any]]] = None,
              trace: Union[bool, str, None] = True,
              timeout: float = 120.0,
-             backend: str = "threads") -> SPMDResult:
+             backend: str = "threads",
+             wire: str = "bytes") -> SPMDResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
 
     Parameters
@@ -175,6 +177,13 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
     backend:
         ``"threads"`` (default) or ``"coop"``; see the module docstring.
         Both produce bit-identical simulated clocks.
+    wire:
+        Payload transport mode.  ``"bytes"`` (default) moves real data, so
+        receive buffers hold byte-exact results.  ``"phantom"`` sends only
+        message *sizes* for data-plane traffic: simulated clocks are
+        bit-identical to bytes mode (every cost rule is a function of size
+        alone) but receive buffers are never written — use it for timing
+        sweeps where data correctness is already covered by tests.
 
     Returns
     -------
@@ -189,6 +198,8 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         )
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if wire not in WIRE_MODES:
+        raise ValueError(f"wire must be one of {WIRE_MODES}, got {wire!r}")
 
     mode = _resolve_trace_mode(trace)
     events_on = mode in ("full", "events")
@@ -199,10 +210,10 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
     if backend == "coop":
         scheduler = CoopScheduler(nprocs)
         network: Network = CoopNetwork(nprocs, machine, metrics=registry,
-                                       scheduler=scheduler)
+                                       wire=wire, scheduler=scheduler)
         recv_timeout = None  # stalls are caught exactly, not by the clock
     else:
-        network = Network(nprocs, machine, metrics=registry)
+        network = Network(nprocs, machine, metrics=registry, wire=wire)
         recv_timeout = timeout
     tracers: List[TraceBase]
     if events_on:
@@ -258,6 +269,7 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         total_messages=network.total_messages,
         total_bytes=network.total_bytes,
         metrics=metrics,
+        wire=wire,
     )
 
 

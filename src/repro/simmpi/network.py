@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
 from time import monotonic
 from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
@@ -46,13 +45,18 @@ from .metrics import MetricsRegistry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .communicator import Communicator
 
-__all__ = ["Envelope", "Network"]
+__all__ = ["Envelope", "Network", "WIRE_MODES"]
 
 #: Channel key: ``(source, dest, tag)``.
 ChannelKey = Tuple[int, int, int]
 
+#: Payload transport modes.  ``"bytes"`` snapshots and delivers real data;
+#: ``"phantom"`` carries only sizes for data-plane messages, so the
+#: simulated clocks (a function of sizes alone) come out bit-identical
+#: while the host moves no payload bytes.
+WIRE_MODES = ("bytes", "phantom")
 
-@dataclass
+
 class Envelope:
     """One in-flight message.
 
@@ -61,28 +65,56 @@ class Envelope:
     reuses its buffer immediately after ``Isend`` returns (the simulator
     behaves like an eager-protocol MPI for correctness purposes, while the
     *timing* still honours the rendezvous switch in the machine profile).
+
+    In phantom wire mode, data-plane envelopes carry ``payload=None`` and
+    an explicit ``nbytes``: every cost rule depends only on the size, so
+    the clocks are unchanged while the snapshot/deposit/landing copies all
+    disappear.  Control-plane envelopes (collective scalars, metadata size
+    arrays, pickled objects) always carry real bytes — their contents steer
+    algorithm control flow.
+
+    Slotted: at P=1024+ an all-to-all materializes hundreds of thousands of
+    envelopes, and dropping the per-instance ``__dict__`` measurably cuts
+    allocation time and memory.
     """
 
-    src: int
-    dst: int
-    tag: int
-    payload: bytes
-    depart: float  # sender's simulated clock when the message hit the wire
+    __slots__ = ("src", "dst", "tag", "payload", "depart", "nbytes")
 
-    @property
-    def nbytes(self) -> int:
-        return len(self.payload)
+    def __init__(self, src: int, dst: int, tag: int,
+                 payload: Optional[bytes], depart: float,
+                 nbytes: Optional[int] = None) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.depart = depart  # sender's clock when the message hit the wire
+        if nbytes is None:
+            if payload is None:
+                raise ValueError("phantom envelopes need an explicit nbytes")
+            nbytes = len(payload)
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "phantom" if self.payload is None else "bytes"
+        return (f"Envelope(src={self.src}, dst={self.dst}, tag={self.tag}, "
+                f"nbytes={self.nbytes}, {kind}, depart={self.depart:.6g})")
 
 
 class Network:
     """Shared mailbox fabric with deterministic simulated-time semantics."""
 
     def __init__(self, nprocs: int, machine: MachineProfile,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 wire: str = "bytes") -> None:
         if nprocs <= 0:
             raise ValueError(f"nprocs must be positive, got {nprocs}")
+        if wire not in WIRE_MODES:
+            raise ValueError(f"wire must be one of {WIRE_MODES}, got {wire!r}")
         self.nprocs = nprocs
         self.machine = machine
+        #: Payload transport mode; communicators read this once at creation.
+        self.wire = wire
+        self.payload_enabled = wire == "bytes"
         #: Optional aggregate-metrics sink; ``None`` keeps the hot path to
         #: a single branch per message.
         self.metrics = metrics

@@ -88,14 +88,26 @@ class RecvRequest(Request):
         comm = self._comm
         env = comm._network.collect(self.source, comm.rank, self.tag,
                                     timeout=comm._recv_timeout)
-        payload = np.frombuffer(env.payload, dtype=np.uint8)
-        view = _as_byte_view(self.buffer)
-        if payload.nbytes > view.nbytes:
-            raise TruncationError(view.nbytes, payload.nbytes,
-                                  self.source, self.tag)
-        view[: payload.nbytes] = payload
+        if env.payload is None:
+            # Phantom wire mode: the envelope carries only its size.  The
+            # buffer is still validated and checked for truncation — the
+            # same programs that fail in bytes mode fail here — but no
+            # bytes land.
+            view = _as_byte_view(self.buffer)
+            if env.nbytes > view.nbytes:
+                raise TruncationError(view.nbytes, env.nbytes,
+                                      self.source, self.tag)
+        else:
+            # Bytes mode: one vectorized landing — frombuffer is zero-copy,
+            # the slice assignment is the single memcpy into place.
+            payload = np.frombuffer(env.payload, dtype=np.uint8)
+            view = _as_byte_view(self.buffer)
+            if payload.nbytes > view.nbytes:
+                raise TruncationError(view.nbytes, payload.nbytes,
+                                      self.source, self.tag)
+            view[: payload.nbytes] = payload
         comm._complete_recv(env)
-        self._result_nbytes = payload.nbytes
+        self._result_nbytes = env.nbytes
         self._done = True
         return self.buffer
 

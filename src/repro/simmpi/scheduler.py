@@ -266,9 +266,10 @@ class CoopNetwork(Network):
     """
 
     def __init__(self, nprocs: int, machine: MachineProfile,
-                 metrics: Optional[MetricsRegistry] = None, *,
+                 metrics: Optional[MetricsRegistry] = None,
+                 wire: str = "bytes", *,
                  scheduler: CoopScheduler) -> None:
-        super().__init__(nprocs, machine, metrics=metrics)
+        super().__init__(nprocs, machine, metrics=metrics, wire=wire)
         if scheduler.nprocs != nprocs:
             raise ValueError(
                 f"scheduler is sized for {scheduler.nprocs} ranks, "

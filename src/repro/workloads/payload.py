@@ -45,11 +45,14 @@ def _displs_of(counts: np.ndarray) -> np.ndarray:
     return d
 
 
-def build_vargs(rank: int, sizes: np.ndarray) -> VArgs:
+def build_vargs(rank: int, sizes: np.ndarray, *, fill: bool = True) -> VArgs:
     """Build one rank's alltoallv arguments from the P×P size matrix.
 
     ``sizes[s, d]`` is the byte count rank ``s`` sends to rank ``d``; the
-    send buffer is filled with the per-pair pattern byte.
+    send buffer is filled with the per-pair pattern byte.  Pass
+    ``fill=False`` for phantom-wire timing runs: buffers are allocated at
+    the right sizes but never written (untouched virtual pages), keeping
+    large-P sweeps memory-flat.
     """
     p = sizes.shape[0]
     if sizes.shape != (p, p):
@@ -59,11 +62,14 @@ def build_vargs(rank: int, sizes: np.ndarray) -> VArgs:
     sdispls = _displs_of(sendcounts)
     rdispls = _displs_of(recvcounts)
     sendbuf = np.empty(int(sendcounts.sum()), dtype=np.uint8)
-    for d in range(p):
-        c = int(sendcounts[d])
-        if c:
-            sendbuf[sdispls[d]:sdispls[d] + c] = _pattern(rank, d)
-    recvbuf = np.zeros(int(recvcounts.sum()), dtype=np.uint8)
+    if fill:
+        for d in range(p):
+            c = int(sendcounts[d])
+            if c:
+                sendbuf[sdispls[d]:sdispls[d] + c] = _pattern(rank, d)
+        recvbuf = np.zeros(int(recvcounts.sum()), dtype=np.uint8)
+    else:
+        recvbuf = np.empty(int(recvcounts.sum()), dtype=np.uint8)
     return VArgs(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
 
 

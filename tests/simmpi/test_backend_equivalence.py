@@ -1,18 +1,25 @@
-"""Cross-backend clock equivalence: threads vs. coop, every algorithm.
+"""Cross-backend x cross-wire clock equivalence, every algorithm.
 
 The determinism contract says simulated clocks are a pure function of the
-program's communication structure.  The two executor backends schedule
-ranks completely differently (preemptive OS threads vs. a clock-ordered
-cooperative loop), so bit-identical per-rank clocks across backends over
-every registered algorithm is a sharp end-to-end check of that contract —
-any hidden dependence on execution order would split them.
+program's communication structure.  Two axes stress it independently:
+the executor backends schedule ranks completely differently (preemptive
+OS threads vs. a clock-ordered cooperative loop), and the wire modes
+move completely different host-side data (real payload bytes vs.
+size-only phantom envelopes).  Bit-identical per-rank clocks across the
+full backend x wire matrix over every registered algorithm is a sharp
+end-to-end check — any hidden dependence on execution order or on
+payload contents would split the matrix.
+
+Bytes-wire runs additionally byte-verify delivery (``verify_recv`` /
+an exact permutation check), so the zero-copy send/landing/staging
+paths are proven correct, not just fast.
 """
 
 import numpy as np
 import pytest
 
 from repro.core.registry import get_algorithm, list_algorithms
-from repro.simmpi import THETA, run_spmd
+from repro.simmpi import THETA, WIRE_MODES, run_spmd
 from repro.workloads import (
     block_size_matrix,
     build_vargs,
@@ -24,51 +31,72 @@ NPROCS = (4, 16, 64)
 BLOCK = 16  # uniform per-pair block bytes
 MAX_BLOCK = 32  # non-uniform distribution ceiling
 
+#: Every (backend, wire) cell of the matrix; the first is the reference.
+MATRIX = tuple((backend, wire) for backend in ("threads", "coop")
+               for wire in WIRE_MODES)
 
-def _run_uniform(name: str, nprocs: int, backend: str):
+
+def _run_uniform(name: str, nprocs: int, backend: str, wire: str):
     fn = get_algorithm(name, kind="uniform").fn
 
     def prog(comm):
-        rng = np.random.default_rng(1234 + comm.rank)
-        send = rng.integers(0, 256, nprocs * BLOCK, dtype=np.uint8)
-        recv = np.zeros(nprocs * BLOCK, dtype=np.uint8)
+        if comm.payload_enabled:
+            rng = np.random.default_rng(1234 + comm.rank)
+            send = rng.integers(0, 256, nprocs * BLOCK, dtype=np.uint8)
+            recv = np.zeros(nprocs * BLOCK, dtype=np.uint8)
+        else:
+            send = np.empty(nprocs * BLOCK, dtype=np.uint8)
+            recv = np.empty(nprocs * BLOCK, dtype=np.uint8)
         fn(comm, send, recv, BLOCK)
+        if comm.payload_enabled:
+            # Exact delivery check: block j of rank i's recv is block i
+            # of rank j's (seeded, hence reconstructible) send buffer.
+            for src in range(nprocs):
+                theirs = np.random.default_rng(1234 + src).integers(
+                    0, 256, nprocs * BLOCK, dtype=np.uint8)
+                np.testing.assert_array_equal(
+                    recv[src * BLOCK:(src + 1) * BLOCK],
+                    theirs[comm.rank * BLOCK:(comm.rank + 1) * BLOCK])
         return comm.clock
 
     return run_spmd(prog, nprocs, machine=THETA, backend=backend,
-                    trace=False, timeout=300)
+                    trace=False, timeout=300, wire=wire)
 
 
-def _run_nonuniform(name: str, nprocs: int, backend: str):
+def _run_nonuniform(name: str, nprocs: int, backend: str, wire: str):
     sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
                               nprocs, seed=7)
     fn = get_algorithm(name, kind="nonuniform").fn
 
     def prog(comm):
-        vargs = build_vargs(comm.rank, sizes)
+        vargs = build_vargs(comm.rank, sizes, fill=comm.payload_enabled)
         fn(comm, *vargs.as_tuple())
-        verify_recv(comm.rank, sizes, vargs.recvbuf)
+        if comm.payload_enabled:
+            verify_recv(comm.rank, sizes, vargs.recvbuf)
         return comm.clock
 
     return run_spmd(prog, nprocs, machine=THETA, backend=backend,
-                    trace=False, timeout=300)
+                    trace=False, timeout=300, wire=wire)
+
+
+def _assert_matrix(run, name, nprocs):
+    ref_backend, ref_wire = MATRIX[0]
+    ref = run(name, nprocs, ref_backend, ref_wire)
+    for backend, wire in MATRIX[1:]:
+        other = run(name, nprocs, backend, wire)
+        cell = f"{backend}/{wire} vs {ref_backend}/{ref_wire}"
+        assert other.clocks == ref.clocks, cell  # exact, not approx
+        assert other.total_messages == ref.total_messages, cell
+        assert other.total_bytes == ref.total_bytes, cell
 
 
 @pytest.mark.parametrize("nprocs", NPROCS)
 @pytest.mark.parametrize("name", list_algorithms("uniform"))
 def test_uniform_clocks_bit_identical(name, nprocs):
-    threaded = _run_uniform(name, nprocs, "threads")
-    coop = _run_uniform(name, nprocs, "coop")
-    assert threaded.clocks == coop.clocks  # exact, not approx
-    assert threaded.total_messages == coop.total_messages
-    assert threaded.total_bytes == coop.total_bytes
+    _assert_matrix(_run_uniform, name, nprocs)
 
 
 @pytest.mark.parametrize("nprocs", NPROCS)
 @pytest.mark.parametrize("name", list_algorithms("nonuniform"))
 def test_nonuniform_clocks_bit_identical(name, nprocs):
-    threaded = _run_nonuniform(name, nprocs, "threads")
-    coop = _run_nonuniform(name, nprocs, "coop")
-    assert threaded.clocks == coop.clocks
-    assert threaded.total_messages == coop.total_messages
-    assert threaded.total_bytes == coop.total_bytes
+    _assert_matrix(_run_nonuniform, name, nprocs)
