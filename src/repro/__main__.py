@@ -31,7 +31,16 @@ from typing import List, Optional
 from .bench import fig6_data_scaling, format_series_table
 from .core import PerformanceModel, alltoallv
 from .core.registry import list_algorithms
-from .simmpi import BACKENDS, PROFILES, WIRE_MODES, get_profile, run_spmd
+from .simmpi import (
+    BACKENDS,
+    ON_FAULT_POLICIES,
+    PROFILES,
+    WIRE_MODES,
+    FaultPlan,
+    SimMPIError,
+    get_profile,
+    run_spmd,
+)
 from .timing import predict_alltoallv
 from .workloads import (
     block_size_matrix,
@@ -88,28 +97,60 @@ def cmd_run(args: argparse.Namespace) -> int:
     dist = distribution_by_name(args.dist, args.max_block)
     sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
     phantom = args.wire == "phantom"
+    try:
+        fault_plan = (FaultPlan.parse(args.faults)
+                      if args.faults is not None else None)
+    except ValueError as exc:
+        print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+    # Byte verification assumes exactly-once delivery.  It holds on a
+    # clean fabric and under the reliability transport; degrade mode
+    # legitimately zero-fills crashed ranks' blocks, and fail-fast drop
+    # plans error out before verification matters.
+    verify = not phantom and (fault_plan is None
+                              or args.on_fault == "retry")
 
     def prog(comm):
         vargs = build_vargs(comm.rank, sizes, fill=not phantom)
         start = comm.clock
         alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
-        if not phantom:
+        if verify:
             verify_recv(comm.rank, sizes, vargs.recvbuf)
         return comm.clock - start
 
     # Per-event traces at thousands of ranks are pure overhead here;
     # aggregate metrics keep large-P runs fast.
     trace = "metrics" if args.nprocs > 256 else True
-    result = run_spmd(prog, args.nprocs, machine=machine, trace=trace,
-                      backend=args.backend, timeout=600.0, wire=args.wire)
-    verified = ("buffers unverified (phantom wire: size-only transport)"
-                if phantom else "delivery byte-verified on every rank")
+    try:
+        result = run_spmd(prog, args.nprocs, machine=machine, trace=trace,
+                          backend=args.backend, timeout=600.0,
+                          wire=args.wire, fault_plan=fault_plan,
+                          fault_seed=args.fault_seed,
+                          on_fault=args.on_fault)
+    except SimMPIError as exc:
+        print(f"run failed with {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    if verify:
+        verified = "delivery byte-verified on every rank"
+    elif phantom:
+        verified = "buffers unverified (phantom wire: size-only transport)"
+    else:
+        verified = "buffers unverified (faults injected without retry)"
+    returns = [r for r in result.returns if r is not None]
     print(f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
           f"({args.dist}, {machine.name}, {args.backend} backend, "
           f"{args.wire} wire): "
-          f"{max(result.returns) * 1e3:.4f} simulated ms, "
+          f"{max(returns) * 1e3:.4f} simulated ms, "
           f"{result.total_messages} messages, {result.total_bytes} bytes "
           f"on the wire; {verified}")
+    if result.metrics is not None and result.metrics.fault_counts:
+        counts = ", ".join(f"{k}={v}" for k, v in
+                           sorted(result.metrics.fault_counts.items()))
+        print(f"injected faults: {counts}")
+    if result.degraded_ranks:
+        print(f"degraded ranks (excised by injected crashes): "
+              f"{result.degraded_ranks}")
     return 0
 
 
@@ -198,6 +239,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "byte-verified) or phantom (size-only envelopes — "
                         "identical simulated clocks, no data movement, "
                         "no verification)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault-plan spec, ';'-separated clauses, e.g. "
+                        "'drop:p=0.02;delay:d=50us,jitter=20us;"
+                        "crash:rank=3,step=40;straggler:ranks=0:3,factor=4'")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault engine's per-message RNG "
+                        "(default: 0); same (plan, seed) => bit-identical "
+                        "fault decisions on every backend")
+    p.add_argument("--on-fault", default="fail-fast",
+                   choices=ON_FAULT_POLICIES,
+                   help="failure policy: fail-fast (typed error), retry "
+                        "(reliable transport: retransmit + dedup + "
+                        "reassemble), or degrade (excise crashed ranks, "
+                        "survivors complete)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(

@@ -27,13 +27,30 @@ from .datatype import IndexedBlocks
 from .errors import (
     CommAbortedError,
     DeadlockError,
+    InjectedCrashError,
     InvalidRankError,
     InvalidTagError,
+    MessageLostError,
     RankFailedError,
     SimMPIError,
     TruncationError,
 )
-from .executor import BACKENDS, TRACE_MODES, SPMDResult, run_spmd
+from .executor import (
+    BACKENDS,
+    ON_FAULT_POLICIES,
+    TRACE_MODES,
+    SPMDResult,
+    run_spmd,
+)
+from .faults import (
+    FAULT_KINDS,
+    CrashRule,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    ReliabilityConfig,
+    StragglerRule,
+)
 from .machine import CORI, LOCAL, PROFILES, STAMPEDE2, THETA, MachineProfile, get_profile
 from .metrics import Counter, Histogram, MetricsRegistry, RunMetrics
 from .network import WIRE_MODES, Envelope, Network
@@ -49,6 +66,7 @@ from .tracing import (
     CollectiveEvent,
     CopyEvent,
     DatatypeEvent,
+    FaultEvent,
     MetricsTrace,
     NullTrace,
     PhaseEvent,
@@ -69,11 +87,21 @@ __all__ = [
     "DeadlockError",
     "RankFailedError",
     "CommAbortedError",
+    "InjectedCrashError",
+    "MessageLostError",
     "run_spmd",
     "SPMDResult",
     "TRACE_MODES",
     "BACKENDS",
     "WIRE_MODES",
+    "ON_FAULT_POLICIES",
+    "FaultPlan",
+    "FaultRule",
+    "CrashRule",
+    "StragglerRule",
+    "ReliabilityConfig",
+    "FaultInjector",
+    "FAULT_KINDS",
     "CoopScheduler",
     "CoopNetwork",
     "MachineProfile",
@@ -99,6 +127,7 @@ __all__ = [
     "DatatypeEvent",
     "PhaseEvent",
     "CollectiveEvent",
+    "FaultEvent",
     "MetricsRegistry",
     "RunMetrics",
     "Counter",

@@ -26,14 +26,16 @@ from __future__ import annotations
 
 import pickle
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Union
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Union)
 
 import numpy as np
 
 from .datatype import IndexedBlocks
-from .errors import InvalidRankError, InvalidTagError
+from .errors import (InjectedCrashError, InvalidRankError, InvalidTagError,
+                     MessageLostError)
 from .machine import MachineProfile
-from .network import Envelope, Network
+from .network import ChannelKey, Envelope, Network
 from .request import RecvRequest, Request, SendRequest, waitall
 from .tracing import NullTrace, TraceBase
 
@@ -63,6 +65,24 @@ class Communicator:
         self._recv_timeout = recv_timeout
         # Wire mode is fixed per job; cache the flag for the send hot path.
         self._payload_enabled = network.payload_enabled
+        # Fault-engine state, resolved once: the straggler multiplier on
+        # this rank's o/serialization charges, its crash rule (if any), and
+        # the reliability transport config.  All None/1.0 on a clean fabric
+        # so the hot paths pay only a multiply / an is-None branch.
+        injector = network.injector
+        self._straggle = (injector.straggle_factor(rank)
+                          if injector is not None else 1.0)
+        self._crash = (injector.crash_rule(rank)
+                       if injector is not None else None)
+        self._reliability = (injector.reliability
+                             if injector is not None else None)
+        self._op_index = 0
+        self._phase_stack: List[str] = []
+        # Reliability receive state: per-channel next-expected sequence
+        # number and the out-of-order stash (in-order reassembly +
+        # duplicate suppression).  Only this rank touches its own entries.
+        self._rel_expected: Dict[ChannelKey, int] = {}
+        self._rel_stash: Dict[ChannelKey, Dict[int, Envelope]] = {}
         # Backend hook: the cooperative scheduler reads this rank's clock
         # through the fabric to order its run queue.
         network.register_rank(rank, self)
@@ -103,6 +123,19 @@ class Communicator:
         identical simulated costs.
         """
         return self._payload_enabled
+
+    @property
+    def op_index(self) -> int:
+        """Count of point-to-point operations this rank has posted (sends
+        plus receives, 1-based after the first).  Crash rules' ``step``
+        indexes into this sequence."""
+        return self._op_index
+
+    @property
+    def current_phase(self) -> Optional[str]:
+        """Innermost open :meth:`phase` name, or ``None`` — fault rules
+        with a ``phase`` matcher compare against this at post time."""
+        return self._phase_stack[-1] if self._phase_stack else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Communicator(rank={self._rank}, size={self.size})"
@@ -156,11 +189,17 @@ class Communicator:
 
     def _post_envelope(self, payload: Optional[bytes], nbytes: int,
                        dest: int, tag: int) -> SendRequest:
+        self._bump_op()
         begin = self._clock
-        self._clock += self.machine.o_send
+        self._clock += self.machine.o_send * self._straggle
         depart = self._clock
-        self._network.post(Envelope(self._rank, dest, tag, payload, depart,
-                                    nbytes))
+        records = self._network.post(
+            Envelope(self._rank, dest, tag, payload, depart, nbytes),
+            phase=self.current_phase)
+        if records:
+            for rec in records:
+                self._trace.record_fault(rec.kind, rec.src, rec.dst, rec.tag,
+                                         rec.nbytes, rec.clock, rec.detail)
         self._trace.record_send(self._rank, dest, tag, nbytes, depart,
                                 begin=begin)
         return SendRequest(self, depart, nbytes)
@@ -172,8 +211,23 @@ class Communicator:
         return self._irecv_raw(buf, source, tag)
 
     def _irecv_raw(self, buf: Buffer, source: int, tag: int) -> RecvRequest:
-        self._clock += self.machine.o_recv
+        self._bump_op()
+        self._clock += self.machine.o_recv * self._straggle
         return RecvRequest(self, source, tag, buf)
+
+    def _bump_op(self) -> None:
+        """Advance the posted-op counter; trip this rank's crash rule.
+
+        Both triggers are pure functions of the rank's own program state
+        (its op count / its simulated clock), so where a rank crashes is
+        identical on every backend and every re-run.
+        """
+        self._op_index += 1
+        c = self._crash
+        if c is not None and (
+                (c.step is not None and self._op_index >= c.step)
+                or (c.time is not None and self._clock >= c.time)):
+            raise InjectedCrashError(self._rank, self._clock, self._op_index)
 
     def send(self, buf: Buffer, dest: int, tag: int = 0, *,
              control: bool = False) -> None:
@@ -237,20 +291,95 @@ class Communicator:
                         dest, tag).wait()
 
     def recv_obj(self, source: int, tag: int = 0) -> Any:
+        """Receive one pickled object; returns ``None`` if ``source`` was
+        excised by degrade mode (its contribution reads as empty)."""
         source = self._check_peer(source, "source")
         tag = self._check_tag(tag)
-        self._clock += self.machine.o_recv
-        env = self._network.collect(source, self._rank, tag,
-                                    timeout=self._recv_timeout)
+        self._bump_op()
+        self._clock += self.machine.o_recv * self._straggle
+        env = self._collect(source, tag)
+        if env.mark == "dead":
+            self._complete_dead_recv(env)
+            return None
+        if env.mark == "lost":
+            self._raise_lost(env)
         self._complete_recv(env)
         return pickle.loads(env.payload)
+
+    # -- fault-aware receive plumbing ------------------------------------
+    def _collect(self, source: int, tag: int) -> Envelope:
+        """Fetch the next deliverable envelope on ``(source, rank, tag)``.
+
+        On a clean fabric this is a straight ``Network.collect``.  Under
+        the reliability transport it enforces in-order delivery by wire
+        sequence number: later sequences are stashed until their
+        predecessors land (reordered messages reassemble), and sequences
+        below the expected one are suppressed as duplicates (each
+        suppression is counted, costs nothing in simulated time, and never
+        reaches the application).
+        """
+        net = self._network
+        # Release our own outstanding reorder hold (if any) before
+        # blocking: a held message may be exactly what the peer needs to
+        # make progress toward satisfying this receive.  The trigger is a
+        # program-order event of this rank, so it is identical on both
+        # backends and determinism is preserved.
+        net.flush_sender(self._rank)
+        if self._reliability is None:
+            return net.collect(source, self._rank, tag,
+                               host_timeout=self._recv_timeout)
+        key = (source, self._rank, tag)
+        stash = self._rel_stash.setdefault(key, {})
+        while True:
+            expected = self._rel_expected.get(key, 0)
+            env = stash.pop(expected, None)
+            if env is None:
+                env = net.collect(source, self._rank, tag,
+                                  host_timeout=self._recv_timeout)
+                if env.seq is None or env.mark == "dead":
+                    return env
+                if env.seq < expected:
+                    self._record_fault("dup_suppressed", env)
+                    continue
+                if env.seq > expected:
+                    stash[env.seq] = env
+                    continue
+            self._rel_expected[key] = expected + 1
+            return env
+
+    def _record_fault(self, kind: str, env: Envelope,
+                      detail: str = "") -> None:
+        """Receiver-side fault event: into the rank trace and aggregates."""
+        self._trace.record_fault(kind, env.src, env.dst, env.tag,
+                                 env.nbytes, self._clock, detail)
+        metrics = self._network.metrics
+        if metrics is not None:
+            metrics.on_fault(kind)
+
+    def _complete_dead_recv(self, env: Envelope) -> None:
+        """Land a synthetic envelope from an excised rank: no bytes, no
+        landing cost — the receiver just cannot finish before it learned
+        of the crash (``max`` against the crash clock)."""
+        self._clock = max(self._clock, env.depart)
+        self._record_fault("dead_recv", env)
+        self._trace.record_recv(env.src, env.dst, env.tag, 0,
+                                self._clock, begin=self._clock)
+
+    def _raise_lost(self, env: Envelope) -> None:
+        """A reliable message exhausted its retries: fail typed at the
+        simulated give-up deadline."""
+        self._clock = max(self._clock, env.depart)
+        self._record_fault("lost_detected", env)
+        raise MessageLostError(env.src, env.dst, env.tag, env.depart)
 
     def _complete_recv(self, env: Envelope) -> None:
         """Land one delivered message on this rank's simulated clock.
 
         The one place the receive-side timing rule lives (both backends,
         both the object and the buffer transport): completion is
-        ``max(clock, head arrival) + serial landing time``.
+        ``max(clock, head arrival) + serial landing time``.  Stragglers pay
+        their multiplier on the serial landing; the reliability transport
+        adds one ``o_send`` for the ack injection.
         """
         head = self._network.head_time(env)
         landing_start = max(self._clock, head)
@@ -258,7 +387,11 @@ class Communicator:
         if metrics is not None:
             metrics.on_retire(queue_wait=max(0.0, self._clock - head),
                               recv_wait=max(0.0, head - self._clock))
-        self._clock = landing_start + self._network.serial_time(env)
+        self._clock = (landing_start
+                       + self._network.serial_time(env) * self._straggle)
+        rel = self._reliability
+        if rel is not None and rel.ack_overhead:
+            self._clock += self.machine.o_send * self._straggle
         self._trace.record_recv(env.src, env.dst, env.tag, env.nbytes,
                                 self._clock, begin=landing_start)
 
@@ -335,11 +468,18 @@ class Communicator:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Record a named simulated-time interval (Fig. 2b breakdowns)."""
+        """Record a named simulated-time interval (Fig. 2b breakdowns).
+
+        The innermost open phase name is also the fault engine's ``phase``
+        matcher input for messages this rank posts (see
+        :attr:`current_phase`).
+        """
         self._trace.phase_begin(name, self._clock)
+        self._phase_stack.append(name)
         try:
             yield
         finally:
+            self._phase_stack.pop()
             self._trace.phase_end(self._clock)
 
     @contextmanager

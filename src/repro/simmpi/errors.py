@@ -10,6 +10,8 @@ rank dying mid-collective).
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "SimMPIError",
     "InvalidRankError",
@@ -18,6 +20,8 @@ __all__ = [
     "DeadlockError",
     "RankFailedError",
     "CommAbortedError",
+    "InjectedCrashError",
+    "MessageLostError",
 ]
 
 
@@ -67,16 +71,79 @@ class DeadlockError(SimMPIError):
 
 
 class RankFailedError(SimMPIError):
-    """A peer rank raised an exception, so this rank can never complete."""
+    """A peer rank raised an exception, so this rank can never complete.
 
-    def __init__(self, failed_rank: int, original: BaseException) -> None:
+    When the executor knows them, the failing rank's *simulated* clock and
+    its current algorithm step/phase ride along (``clock`` / ``phase`` /
+    ``step``), so a post-mortem can localize the failure inside the
+    algorithm without re-running with a trace file.  ``step`` counts the
+    rank's posted point-to-point operations (sends + receives), matching
+    :attr:`Communicator.op_index`.
+    """
+
+    def __init__(self, failed_rank: int, original: BaseException, *,
+                 clock: Optional[float] = None,
+                 phase: Optional[str] = None,
+                 step: Optional[int] = None) -> None:
+        where = ""
+        if clock is not None:
+            where += f" at simulated clock {clock:.6g}s"
+        if phase is not None:
+            where += f" in phase {phase!r}"
+        if step is not None:
+            where += f" (op {step})"
         super().__init__(
-            f"rank {failed_rank} failed with "
+            f"rank {failed_rank} failed{where} with "
             f"{type(original).__name__}: {original}"
         )
         self.failed_rank = failed_rank
         self.original = original
+        self.clock = clock
+        self.phase = phase
+        self.step = step
 
 
 class CommAbortedError(SimMPIError):
     """The network was shut down while an operation was still blocked."""
+
+
+class InjectedCrashError(SimMPIError):
+    """A fault plan's crash rule killed this rank on purpose.
+
+    Raised inside the rank program by the communicator when the rank hits
+    its scheduled crash point.  Under ``on_fault="fail-fast"`` it tears
+    the job down like any rank failure; under ``on_fault="degrade"`` the
+    executor excises the rank instead and survivors complete a reduced
+    collective.
+    """
+
+    def __init__(self, rank: int, clock: float, step: int,
+                 reason: str = "fault plan") -> None:
+        super().__init__(
+            f"rank {rank} crashed by {reason} at simulated clock "
+            f"{clock:.6g}s (op {step})"
+        )
+        self.rank = rank
+        self.clock = clock
+        self.step = step
+
+
+class MessageLostError(SimMPIError):
+    """A reliable message exhausted its retransmission budget.
+
+    Raised on the *receiver* at the message's simulated retry-exhaustion
+    deadline — the typed alternative to hanging on a message that will
+    never arrive.
+    """
+
+    def __init__(self, source: int, dest: int, tag: int,
+                 deadline: float) -> None:
+        super().__init__(
+            f"message from rank {source} to rank {dest} (tag {tag}) lost: "
+            f"every retransmission dropped; gave up at simulated clock "
+            f"{deadline:.6g}s"
+        )
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.deadline = deadline

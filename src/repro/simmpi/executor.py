@@ -37,17 +37,23 @@ from time import monotonic
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .communicator import Communicator
-from .errors import CommAbortedError, DeadlockError, RankFailedError, SimMPIError
+from .errors import (CommAbortedError, DeadlockError, InjectedCrashError,
+                     RankFailedError, SimMPIError)
+from .faults import FaultInjector, FaultPlan, ReliabilityConfig
 from .machine import LOCAL, MachineProfile
 from .metrics import MetricsRegistry, RunMetrics
 from .network import WIRE_MODES, Network
 from .scheduler import CoopNetwork, CoopScheduler
 from .tracing import MetricsTrace, NullTrace, RankTrace, TraceBase
 
-__all__ = ["run_spmd", "SPMDResult", "TRACE_MODES", "BACKENDS", "WIRE_MODES"]
+__all__ = ["run_spmd", "SPMDResult", "TRACE_MODES", "BACKENDS", "WIRE_MODES",
+           "ON_FAULT_POLICIES"]
 
 #: Accepted values of ``run_spmd``'s ``backend`` parameter.
 BACKENDS = ("threads", "coop")
+
+#: Accepted values of ``run_spmd``'s ``on_fault`` parameter.
+ON_FAULT_POLICIES = ("fail-fast", "retry", "degrade")
 
 #: Accepted values of ``run_spmd``'s ``trace`` parameter.  Booleans remain
 #: valid: ``True`` maps to ``"full"`` (events + metrics) and ``False`` to
@@ -80,6 +86,17 @@ class SPMDResult:
     total_bytes: int
     metrics: Optional[RunMetrics] = field(default=None)
     wire: str = "bytes"         # payload transport mode of the run
+    #: Ranks excised by ``on_fault="degrade"`` (injected crashes that did
+    #: not tear the job down).  Their ``returns`` entry is ``None`` and
+    #: their ``clocks`` entry is the simulated crash time.  Empty for
+    #: clean runs and for the fail-fast/retry policies.
+    degraded_ranks: List[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one rank was excised mid-run — the result is
+        a verified *partial* (survivors completed a shrunken collective)."""
+        return bool(self.degraded_ranks)
 
     @property
     def elapsed(self) -> float:
@@ -145,7 +162,12 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
              trace: Union[bool, str, None] = True,
              timeout: float = 120.0,
              backend: str = "threads",
-             wire: str = "bytes") -> SPMDResult:
+             wire: str = "bytes",
+             fault_plan: Union[FaultPlan, str, None] = None,
+             fault_seed: int = 0,
+             on_fault: str = "fail-fast",
+             reliability: Union[ReliabilityConfig, str, None] = None,
+             ) -> SPMDResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
 
     Parameters
@@ -184,6 +206,28 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         bit-identical to bytes mode (every cost rule is a function of size
         alone) but receive buffers are never written — use it for timing
         sweeps where data correctness is already covered by tests.
+    fault_plan:
+        A :class:`~repro.simmpi.faults.FaultPlan` (or its ``--faults``
+        spec string) to inject on the fabric.  ``None`` (default) keeps
+        the fabric clean.  Same ``(plan, fault_seed)`` ⇒ bit-identical
+        clocks, message counts and fault sequences on every backend/wire.
+    fault_seed:
+        Seed of the fault engine's per-message RNG.
+    on_fault:
+        Failure policy.  ``"fail-fast"`` (default): any injected crash or
+        unrecovered fault tears the job down with a typed error.
+        ``"retry"``: enable the reliability transport (acked delivery,
+        retransmission with exponential backoff, duplicate suppression,
+        in-order reassembly); messages whose retries are exhausted raise
+        :class:`~repro.simmpi.errors.MessageLostError`.  ``"degrade"``:
+        an injected rank crash excises the rank instead of aborting —
+        survivors read its contributions as empty and the result carries
+        :attr:`SPMDResult.degraded_ranks`.
+    reliability:
+        Explicit reliability transport config: a
+        :class:`~repro.simmpi.faults.ReliabilityConfig`, ``"retry"`` (the
+        defaults), or ``"none"``/``None``.  ``on_fault="retry"`` implies
+        the default config when this is unset.
 
     Returns
     -------
@@ -200,6 +244,22 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     if wire not in WIRE_MODES:
         raise ValueError(f"wire must be one of {WIRE_MODES}, got {wire!r}")
+    if on_fault not in ON_FAULT_POLICIES:
+        raise ValueError(
+            f"on_fault must be one of {ON_FAULT_POLICIES}, got {on_fault!r}")
+    if isinstance(fault_plan, str):
+        fault_plan = FaultPlan.parse(fault_plan)
+    if isinstance(reliability, str):
+        if reliability == "none":
+            reliability = None
+        elif reliability == "retry":
+            reliability = ReliabilityConfig()
+        else:
+            raise ValueError(
+                f"reliability must be 'none', 'retry' or a "
+                f"ReliabilityConfig, got {reliability!r}")
+    if on_fault == "retry" and reliability is None:
+        reliability = ReliabilityConfig()
 
     mode = _resolve_trace_mode(trace)
     events_on = mode in ("full", "events")
@@ -215,6 +275,11 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
     else:
         network = Network(nprocs, machine, metrics=registry, wire=wire)
         recv_timeout = timeout
+    if fault_plan is not None or reliability is not None:
+        # Attached before any Communicator exists: ranks resolve their
+        # straggler/crash/reliability state from it at construction.
+        network.injector = FaultInjector(fault_plan, seed=fault_seed,
+                                         reliability=reliability)
     tracers: List[TraceBase]
     if events_on:
         tracers = [RankTrace(r) for r in range(nprocs)]
@@ -226,6 +291,7 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
     returns: List[Any] = [None] * nprocs
     clocks: List[float] = [0.0] * nprocs
     failures: List[Tuple[int, BaseException]] = []
+    degraded: List[int] = []
     failure_lock = threading.Lock()
 
     def worker(rank: int) -> None:
@@ -235,10 +301,25 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
             call_args = rank_args[rank] if rank_args is not None else args
             returns[rank] = fn(comm, *call_args)
             clocks[rank] = comm.clock
+            network.flush_sender(rank)
+        except InjectedCrashError as exc:
+            if on_fault == "degrade":
+                # The planned crash is not a job failure: excise the rank
+                # (survivors read its traffic as empty) and keep going.
+                with failure_lock:
+                    degraded.append(rank)
+                clocks[rank] = exc.clock
+                network.mark_dead(rank, exc.clock)
+                return
+            with failure_lock:
+                failures.append((rank, exc))
+            network.abort(rank, exc, clock=comm.clock,
+                          phase=comm.current_phase, step=comm.op_index)
         except BaseException as exc:  # noqa: BLE001 - must propagate any failure
             with failure_lock:
                 failures.append((rank, exc))
-            network.abort(rank, exc)
+            network.abort(rank, exc, clock=comm.clock,
+                          phase=comm.current_phase, step=comm.op_index)
 
     if scheduler is not None:
         scheduler.run(network, worker)  # DeadlockError propagates directly
@@ -270,6 +351,7 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         total_bytes=network.total_bytes,
         metrics=metrics,
         wire=wire,
+        degraded_ranks=sorted(degraded),
     )
 
 

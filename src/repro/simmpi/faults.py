@@ -1,0 +1,520 @@
+"""Deterministic fault injection and the reliability model.
+
+The simulator's clean-fabric assumption (every posted message arrives,
+exactly once, in FIFO order) is what PR 2's failure semantics tear down
+*after* something already went wrong.  This module is the other half of a
+robustness story: a way to *cause* faults on purpose, deterministically,
+and to *tolerate* them with a measurable cost.
+
+Three pieces:
+
+* :class:`FaultPlan` — a declarative, pure-literal description of what to
+  break: per-message **drop**, **delay/jitter**, **duplicate** and
+  **reorder** rules matched by ``(src, dst, tag, phase)``; **crash** rules
+  killing a rank at its *k*-th communication operation or at a simulated
+  time; **straggler** rules multiplying a rank's CPU/serialization
+  charges.  Plans parse from a compact CLI spec grammar
+  (:meth:`FaultPlan.parse`).
+* :class:`ReliabilityConfig` — the opt-in transport layer: acked
+  delivery with per-channel sequence numbers, retransmission of dropped
+  messages with exponential backoff up to a cap (each retry *delays* the
+  delivery in simulated time — the cost of reliability is measurable),
+  duplicate suppression, and in-order reassembly of reordered messages.
+  A message whose every retransmission is dropped surfaces as a typed
+  :class:`~repro.simmpi.errors.MessageLostError` at its simulated
+  retry-exhaustion deadline — never a hang.
+* :class:`FaultInjector` — the engine the
+  :class:`~repro.simmpi.network.Network` consults on its post hot path.
+
+Determinism
+-----------
+Every probabilistic decision is a **pure function of the message's
+identity**, never of arrival order: the RNG for message *n* on channel
+``(src, dst, tag)`` is seeded from ``(plan seed, src, dst, tag, n)``
+(per-channel sequence numbers are deterministic because each channel has
+a single sender posting in program order).  OS thread scheduling therefore
+cannot change any fault decision, and the same ``(plan, seed)`` produces
+bit-identical per-rank clocks, message counts, and fault-event sequences
+on the ``threads`` and ``coop`` backends, for both wire modes —
+``tests/simmpi/test_backend_equivalence.py`` enforces exactly that.
+
+All injected faults are charged under the LogGP cost model in *simulated*
+time (a delayed message departs later; a retransmitted message arrives
+after its backoff schedule; a straggler pays multiplied ``o``/``beta``
+charges).  No fault consults the host clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .network import ChannelKey, Envelope
+
+__all__ = [
+    "FaultRule",
+    "CrashRule",
+    "StragglerRule",
+    "FaultPlan",
+    "ReliabilityConfig",
+    "FaultRecord",
+    "FaultInjector",
+    "FAULT_KINDS",
+]
+
+#: Message-level fault kinds a :class:`FaultRule` can inject.
+FAULT_KINDS = ("drop", "delay", "duplicate", "reorder")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One message-matched fault rule.
+
+    ``src``/``dst``/``tag``/``phase`` of ``None`` are wildcards; ``phase``
+    matches the *sender's* innermost open ``comm.phase(...)`` name at post
+    time.  ``prob`` is the per-message firing probability (per
+    *transmission attempt* for ``drop`` under reliability).  ``delay`` and
+    ``jitter`` apply to ``kind="delay"``: the message's departure is
+    shifted by ``delay + U[0, jitter)`` simulated seconds.
+    """
+
+    kind: str
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    tag: Optional[int] = None
+    phase: Optional[str] = None
+    prob: float = 1.0
+    delay: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        if self.delay < 0 or self.jitter < 0:
+            raise ValueError("delay and jitter must be non-negative")
+
+    def matches(self, src: int, dst: int, tag: int,
+                phase: Optional[str]) -> bool:
+        return ((self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst)
+                and (self.tag is None or self.tag == tag)
+                and (self.phase is None or self.phase == phase))
+
+
+@dataclass(frozen=True)
+class CrashRule:
+    """Kill ``rank`` at its ``step``-th communication operation (1-based
+    count over posted sends + receives) or at the first operation where
+    its simulated clock reaches ``time`` seconds."""
+
+    rank: int
+    step: Optional[int] = None
+    time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.step is None and self.time is None:
+            raise ValueError("crash rule needs step= or time=")
+        if self.step is not None and self.step < 1:
+            raise ValueError("crash step is 1-based; must be >= 1")
+
+
+@dataclass(frozen=True)
+class StragglerRule:
+    """Multiply the CPU/serialization charges (``o_send``, ``o_recv`` and
+    the per-byte landing cost) of ``ranks`` by ``factor``."""
+
+    ranks: Tuple[int, ...]
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative bundle of fault rules (pure literal, no callables).
+
+    Build directly::
+
+        plan = FaultPlan(
+            rules=(FaultRule("drop", prob=0.02),
+                   FaultRule("delay", delay=50e-6, jitter=20e-6)),
+            crashes=(CrashRule(rank=3, step=40),),
+            stragglers=(StragglerRule(ranks=(5,), factor=4.0),),
+        )
+
+    or parse the CLI spec grammar (rules separated by ``;``, parameters by
+    ``,``)::
+
+        FaultPlan.parse("drop:p=0.02;delay:d=50us,jitter=20us;"
+                        "crash:rank=3,step=40;straggler:ranks=5,factor=4")
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    crashes: Tuple[CrashRule, ...] = ()
+    stragglers: Tuple[StragglerRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for c in self.crashes:
+            if c.rank in seen:
+                raise ValueError(f"duplicate crash rule for rank {c.rank}")
+            seen.add(c.rank)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.rules or self.crashes or self.stragglers)
+
+    def straggle_factor(self, rank: int) -> float:
+        factor = 1.0
+        for s in self.stragglers:
+            if rank in s.ranks:
+                factor *= s.factor
+        return factor
+
+    def crash_rule(self, rank: int) -> Optional[CrashRule]:
+        for c in self.crashes:
+            if c.rank == rank:
+                return c
+        return None
+
+    # ------------------------------------------------------------------
+    # spec grammar
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the compact ``--faults`` grammar.
+
+        ``spec`` is ``;``-separated clauses, each ``kind:key=val,...``:
+
+        ========== =====================================================
+        clause     parameters
+        ========== =====================================================
+        drop       ``p`` (prob), ``src``, ``dst``, ``tag``, ``phase``
+        delay      ``d`` (seconds; ``us``/``ms`` suffixes ok), ``jitter``,
+                   ``p``, ``src``, ``dst``, ``tag``, ``phase``
+        dup        same matchers as drop (``duplicate`` also accepted)
+        reorder    same matchers as drop
+        crash      ``rank``, ``step`` (1-based op index) or ``at`` (sim s)
+        straggler  ``ranks`` (``:``-separated), ``factor``
+        ========== =====================================================
+
+        Example: ``drop:p=0.02;straggler:ranks=0:3,factor=4;crash:rank=5,step=200``
+        """
+        rules: List[FaultRule] = []
+        crashes: List[CrashRule] = []
+        stragglers: List[StragglerRule] = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, _, params = clause.partition(":")
+            kind = kind.strip().lower()
+            kv = _parse_params(params, clause)
+            if kind in ("dup", "duplicate"):
+                kind = "duplicate"
+            if kind in FAULT_KINDS:
+                rules.append(FaultRule(
+                    kind=kind,
+                    src=_get_int(kv, "src"),
+                    dst=_get_int(kv, "dst"),
+                    tag=_get_int(kv, "tag"),
+                    phase=kv.pop("phase", None),
+                    prob=_get_float(kv, "p", _get_float(kv, "prob", 1.0)),
+                    delay=_get_time(kv, "d", _get_time(kv, "delay", 0.0)),
+                    jitter=_get_time(kv, "jitter", 0.0),
+                ))
+            elif kind == "crash":
+                rank = _get_int(kv, "rank")
+                if rank is None:
+                    raise ValueError(f"crash clause needs rank=: {clause!r}")
+                crashes.append(CrashRule(
+                    rank=rank, step=_get_int(kv, "step"),
+                    time=_get_time(kv, "at", _get_time(kv, "time", None))))
+            elif kind == "straggler":
+                ranks_s = kv.pop("ranks", None) or kv.pop("rank", None)
+                if ranks_s is None:
+                    raise ValueError(
+                        f"straggler clause needs ranks=: {clause!r}")
+                ranks = tuple(int(r) for r in str(ranks_s).split(":"))
+                stragglers.append(StragglerRule(
+                    ranks=ranks, factor=_get_float(kv, "factor", 2.0)))
+            else:
+                raise ValueError(
+                    f"unknown fault clause kind {kind!r} in {clause!r}; "
+                    f"known: {FAULT_KINDS + ('crash', 'straggler')}")
+            if kv:
+                raise ValueError(
+                    f"unknown parameter(s) {sorted(kv)} in clause {clause!r}")
+        return cls(rules=tuple(rules), crashes=tuple(crashes),
+                   stragglers=tuple(stragglers))
+
+
+def _parse_params(params: str, clause: str) -> Dict[str, str]:
+    kv: Dict[str, str] = {}
+    for part in params.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, val = part.partition("=")
+        if not sep:
+            raise ValueError(f"expected key=value, got {part!r} in {clause!r}")
+        kv[key.strip().lower()] = val.strip()
+    return kv
+
+
+def _get_int(kv: Dict[str, str], key: str,
+             default: Optional[int] = None) -> Optional[int]:
+    return int(kv.pop(key)) if key in kv else default
+
+
+def _get_float(kv: Dict[str, str], key: str, default: float) -> float:
+    return float(kv.pop(key)) if key in kv else default
+
+
+def _get_time(kv: Dict[str, str], key: str, default):
+    """Parse a simulated-time literal; bare numbers are seconds, with
+    ``us``/``ms``/``s`` suffixes accepted."""
+    if key not in kv:
+        return default
+    text = kv.pop(key).lower()
+    scale = 1.0
+    for suffix, s in (("us", 1e-6), ("ms", 1e-3), ("s", 1.0)):
+        if text.endswith(suffix):
+            text, scale = text[: -len(suffix)], s
+            break
+    return float(text) * scale
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Parameters of the ``reliability="retry"`` transport.
+
+    All times are *simulated* seconds.  A dropped transmission is
+    retransmitted after ``rto * backoff**i`` (attempt ``i``), up to
+    ``max_retries`` retransmissions; exhaustion surfaces as
+    :class:`~repro.simmpi.errors.MessageLostError` at the simulated
+    deadline.  ``ack_overhead`` charges the receiver one ``o_send`` per
+    delivered message (the ack injection), so reliability costs simulated
+    time even on a clean fabric.
+    """
+
+    rto: float = 100e-6
+    backoff: float = 2.0
+    max_retries: int = 5
+    ack_overhead: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rto <= 0:
+            raise ValueError("rto must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def deadline_offset(self) -> float:
+        """Total simulated wait after which a message is declared lost."""
+        return sum(self.rto * self.backoff ** i
+                   for i in range(self.max_retries + 1))
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, as reported by the network's post path.
+
+    ``clock`` is the simulated time the fault takes effect (departure for
+    drops/dups, delayed departure for delays, the retransmission instant
+    for retries).
+    """
+
+    kind: str
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    clock: float
+    detail: str = ""
+    #: Simulated seconds this event added to the message's departure
+    #: (``delay`` rules and ``retry`` backoffs; zero otherwise).
+    delay: float = 0.0
+
+
+class FaultInjector:
+    """The per-run fault engine, shared by every rank through the network.
+
+    State is confined to the network's synchronization domain: under the
+    thread backend every call happens inside the network lock; under the
+    cooperative backend exactly one rank runs at a time.  Per-channel
+    counters are touched only by that channel's single sender, so their
+    values are deterministic regardless of interleaving.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan], seed: int = 0,
+                 reliability: Optional[ReliabilityConfig] = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.seed = int(seed)
+        self.reliability = reliability
+        #: Per-channel post counters: message identity for RNG seeding and
+        #: (under reliability) the wire sequence number.
+        self._chan_seq: Dict[ChannelKey, int] = {}
+        #: Reorder holds, keyed by *sender*: a held message is deposited
+        #: behind the sender's next post (any channel), or at program end
+        #: via :meth:`flush` — both pure program-order triggers, so the
+        #: perturbed deposit order is still deterministic.
+        self._held: Dict[int, Envelope] = {}
+
+    # ------------------------------------------------------------------
+    def _rng(self, src: int, dst: int, tag: int, seq: int) -> random.Random:
+        """Per-message RNG: a pure function of the message identity."""
+        key = f"{self.seed}|{src}|{dst}|{tag}|{seq}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return random.Random(int.from_bytes(digest, "big"))
+
+    def straggle_factor(self, rank: int) -> float:
+        return self.plan.straggle_factor(rank)
+
+    def crash_rule(self, rank: int) -> Optional[CrashRule]:
+        return self.plan.crash_rule(rank)
+
+    # ------------------------------------------------------------------
+    def on_post(self, env: Envelope, phase: Optional[str]
+                ) -> Tuple[List[Envelope], List[FaultRecord]]:
+        """Transform one posted envelope into the envelope(s) to deposit.
+
+        Returns ``(deposits, records)``: the envelopes that actually enter
+        the channel (possibly empty for a drop or a reorder hold, possibly
+        several for duplicates or a released reorder) and the fault
+        records describing every injected event.
+        """
+        key = (env.src, env.dst, env.tag)
+        seq = self._chan_seq.get(key, 0)
+        self._chan_seq[key] = seq + 1
+        if self.reliability is not None:
+            env.seq = seq
+
+        records: List[FaultRecord] = []
+        rng: Optional[random.Random] = None
+
+        def fired(rule: FaultRule) -> bool:
+            nonlocal rng
+            if rule.prob >= 1.0:
+                return True
+            if rng is None:
+                rng = self._rng(env.src, env.dst, env.tag, seq)
+            return rng.random() < rule.prob
+
+        dropped = False
+        duplicate = False
+        reorder = False
+        for rule in self.plan.rules:
+            if not rule.matches(env.src, env.dst, env.tag, phase):
+                continue
+            if rule.kind == "drop" and not dropped:
+                dropped = self._apply_drop(env, rule, seq, records)
+            elif rule.kind == "delay":
+                if fired(rule):
+                    extra = rule.delay
+                    if rule.jitter > 0.0:
+                        if rng is None:
+                            rng = self._rng(env.src, env.dst, env.tag, seq)
+                        extra += rng.random() * rule.jitter
+                    env.depart += extra
+                    records.append(FaultRecord(
+                        "delay", env.src, env.dst, env.tag, env.nbytes,
+                        env.depart, f"+{extra:.3g}s", delay=extra))
+            elif rule.kind == "duplicate":
+                duplicate = duplicate or fired(rule)
+            elif rule.kind == "reorder":
+                reorder = reorder or fired(rule)
+
+        deposits: List[Envelope] = []
+        if dropped and env.mark != "lost":
+            # Fully dropped, no reliability: the message vanishes.  The
+            # receiver's blocked collect is the deadlock detector's
+            # problem now — a typed error, never a hang.
+            pass
+        else:
+            deposits.append(env)
+            if duplicate and not dropped:
+                deposits.append(Envelope(env.src, env.dst, env.tag,
+                                         env.payload, env.depart,
+                                         env.nbytes, seq=env.seq,
+                                         mark="dup"))
+                records.append(FaultRecord(
+                    "duplicate", env.src, env.dst, env.tag, env.nbytes,
+                    env.depart))
+
+        # Reorder bookkeeping: a held predecessor from this sender is
+        # released *behind* whatever this post deposits (adjacent posts
+        # swap deposit order); a fresh reorder hit holds this message for
+        # the sender's next post.  Messages within one channel really
+        # invert (FIFO broken — the injected fault); across channels only
+        # the deposit instant moves, which the receiver matches by tag
+        # anyway.  :meth:`flush` releases a sender's final hold when its
+        # program returns, so a hold can never outlive the run.
+        held = self._held.pop(env.src, None)
+        if reorder and held is None and deposits:
+            self._held[env.src] = deposits.pop(0)
+            records.append(FaultRecord(
+                "reorder", env.src, env.dst, env.tag, env.nbytes,
+                env.depart, "held behind sender's next post"))
+        if held is not None:
+            deposits.append(held)
+        return deposits, records
+
+    def flush(self, sender: int) -> Optional[Envelope]:
+        """Release ``sender``'s outstanding reorder hold, if any.
+
+        Called (through the network) when the sender's rank program
+        returns; the envelope is deposited then, guaranteeing no message
+        is held forever.
+        """
+        return self._held.pop(sender, None)
+
+    def _apply_drop(self, env: Envelope, rule: FaultRule, seq: int,
+                    records: List[FaultRecord]) -> bool:
+        """Decide the fate of one message under a drop rule.
+
+        Without reliability a single draw decides delivery.  With
+        reliability each transmission attempt draws independently; the
+        first surviving attempt delivers the message delayed by the
+        accumulated backoff, and exhaustion converts the envelope into a
+        ``mark="lost"`` tombstone carrying its simulated deadline (so the
+        receiver fails typed instead of hanging).
+        """
+        rng = self._rng(env.src, env.dst, env.tag, seq)
+        if rng.random() >= rule.prob:
+            return False
+        records.append(FaultRecord(
+            "drop", env.src, env.dst, env.tag, env.nbytes, env.depart))
+        rel = self.reliability
+        if rel is None:
+            return True
+        delay = 0.0
+        for attempt in range(rel.max_retries):
+            step = rel.rto * rel.backoff ** attempt
+            delay += step
+            records.append(FaultRecord(
+                "retry", env.src, env.dst, env.tag, env.nbytes,
+                env.depart + delay, f"attempt {attempt + 1}", delay=step))
+            if rng.random() >= rule.prob:  # this retransmission survives
+                env.depart += delay
+                return False
+            records.append(FaultRecord(
+                "drop", env.src, env.dst, env.tag, env.nbytes,
+                env.depart + delay, f"retry {attempt + 1} dropped"))
+        # Every attempt dropped: tombstone at the exhaustion deadline.
+        delay += rel.rto * rel.backoff ** rel.max_retries
+        env.mark = "lost"
+        env.payload = b""
+        env.depart += delay
+        records.append(FaultRecord(
+            "lost", env.src, env.dst, env.tag, env.nbytes, env.depart,
+            f"gave up after {rel.max_retries} retries"))
+        return True

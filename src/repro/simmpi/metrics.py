@@ -162,6 +162,10 @@ class MetricsRegistry:
         self.queue_wait_max = 0.0
         self.recv_wait_total = 0.0
         self.recv_wait_max = 0.0
+        #: Injected-fault aggregates (chaos runs): counts per fault kind
+        #: and the total simulated delay added to message departures.
+        self.fault_counts: Dict[str, int] = {}
+        self.injected_delay_total = 0.0
         self._lock = threading.Lock()
 
     # -- network-side hooks (called under the network lock) --------------
@@ -187,6 +191,17 @@ class MetricsRegistry:
         self.per_link[(src, dst)].on_deliver()
         self.per_step[tag].on_deliver()
         self.in_flight -= 1
+
+    # -- fault-engine hook (network post path or rank threads) -----------
+    def on_fault(self, kind: str, delay: float = 0.0) -> None:
+        """Count one injected fault / reliability action.
+
+        Called both from the network's post path and from rank threads
+        (receiver-side suppression), so it takes the registry lock.
+        """
+        with self._lock:
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+            self.injected_delay_total += delay
 
     # -- communicator-side hook (called from rank threads) ---------------
     def on_retire(self, queue_wait: float, recv_wait: float) -> None:
@@ -233,6 +248,8 @@ class MetricsRegistry:
             recv_wait_max=self.recv_wait_max,
             phase_times=dict(phase_times or {}),
             collective_times=dict(collective_times or {}),
+            fault_counts=dict(self.fault_counts),
+            injected_delay_total=self.injected_delay_total,
         )
 
 
@@ -259,6 +276,15 @@ class RunMetrics:
     recv_wait_max: float
     phase_times: Dict[str, float] = field(default_factory=dict)
     collective_times: Dict[str, float] = field(default_factory=dict)
+    #: Injected-fault counts per kind (empty for clean-fabric runs) and
+    #: the total simulated delay the fault engine added to departures.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    injected_delay_total: float = 0.0
+
+    @property
+    def total_faults(self) -> int:
+        """Total injected faults / reliability actions of every kind."""
+        return sum(self.fault_counts.values())
 
     @property
     def max_in_flight_per_link(self) -> int:

@@ -44,6 +44,7 @@ from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .communicator import Communicator
+    from .faults import FaultInjector, FaultRecord
 
 __all__ = ["Envelope", "Network", "WIRE_MODES"]
 
@@ -73,16 +74,28 @@ class Envelope:
     arrays, pickled objects) always carry real bytes — their contents steer
     algorithm control flow.
 
+    The fault engine annotates envelopes through two optional slots:
+    ``seq`` is the per-channel wire sequence number (assigned only when
+    the reliability layer is on — receivers use it for duplicate
+    suppression and in-order reassembly), and ``mark`` flags special
+    envelopes: ``"dup"`` (an injected duplicate), ``"lost"`` (a tombstone
+    for a message whose every retransmission was dropped — carries the
+    simulated give-up deadline in ``depart``), or ``"dead"`` (a synthetic
+    zero-byte stand-in for traffic from an excised rank in degrade mode).
+
     Slotted: at P=1024+ an all-to-all materializes hundreds of thousands of
     envelopes, and dropping the per-instance ``__dict__`` measurably cuts
     allocation time and memory.
     """
 
-    __slots__ = ("src", "dst", "tag", "payload", "depart", "nbytes")
+    __slots__ = ("src", "dst", "tag", "payload", "depart", "nbytes",
+                 "seq", "mark")
 
     def __init__(self, src: int, dst: int, tag: int,
                  payload: Optional[bytes], depart: float,
-                 nbytes: Optional[int] = None) -> None:
+                 nbytes: Optional[int] = None,
+                 seq: Optional[int] = None,
+                 mark: Optional[str] = None) -> None:
         self.src = src
         self.dst = dst
         self.tag = tag
@@ -93,11 +106,15 @@ class Envelope:
                 raise ValueError("phantom envelopes need an explicit nbytes")
             nbytes = len(payload)
         self.nbytes = nbytes
+        self.seq = seq
+        self.mark = mark
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "phantom" if self.payload is None else "bytes"
+        extra = f", mark={self.mark}" if self.mark else ""
         return (f"Envelope(src={self.src}, dst={self.dst}, tag={self.tag}, "
-                f"nbytes={self.nbytes}, {kind}, depart={self.depart:.6g})")
+                f"nbytes={self.nbytes}, {kind}, depart={self.depart:.6g}"
+                f"{extra})")
 
 
 class Network:
@@ -123,6 +140,14 @@ class Network:
         self._channels: Dict[ChannelKey, Deque[Envelope]] = {}
         self._aborted: Optional[RankFailedError] = None
         self._shutdown = False
+        #: Optional fault engine; when attached, every posted envelope runs
+        #: through it (see :meth:`_inject`).  ``None`` keeps the clean-fabric
+        #: hot path to a single branch per message.
+        self.injector: Optional["FaultInjector"] = None
+        #: Ranks excised by degrade mode: ``rank -> simulated crash clock``.
+        #: Receives matching a dead source return a synthetic zero-byte
+        #: ``mark="dead"`` envelope instead of blocking forever.
+        self._dead: Dict[int, float] = {}
         # Statistics (under lock); handy for tests and sanity checks.
         self.total_messages = 0
         self.total_bytes = 0
@@ -152,6 +177,11 @@ class Network:
 
     def _deposit(self, key: ChannelKey, env: Envelope) -> None:
         self._channels.setdefault(key, deque()).append(env)
+        if env.mark == "lost":
+            # Tombstones are bookkeeping, not traffic: they exist so the
+            # receiver raises MessageLostError instead of hanging, and must
+            # not inflate message/byte/in-flight statistics.
+            return
         self.total_messages += 1
         self.total_bytes += env.nbytes
         if self.metrics is not None:
@@ -164,13 +194,41 @@ class Network:
         env = chan.popleft()
         if not chan:
             del self._channels[key]
-        if self.metrics is not None:
+        if self.metrics is not None and env.mark != "lost":
             self.metrics.on_deliver(env.src, env.dst, env.tag, env.nbytes)
         return env
 
+    def _inject(self, env: Envelope,
+                phase: Optional[str]) -> "Tuple[list, list]":
+        """Run one posted envelope through the fault engine (if attached).
+
+        Returns ``(envelopes, records)``: the envelopes to deposit (may be
+        empty while a reorder holds the message back, or contain extras for
+        duplicates / released reorder holds) and the
+        :class:`~repro.simmpi.faults.FaultRecord` list describing what the
+        engine did.  Deterministic: every decision is a pure function of
+        ``(plan, seed)`` and the message's channel-sequence identity, never
+        of host scheduling.
+        """
+        if self.injector is None:
+            return [env], []
+        envs, records = self.injector.on_post(env, phase)
+        if records and self.metrics is not None:
+            for rec in records:
+                self.metrics.on_fault(rec.kind, rec.delay)
+        return envs, records
+
     # ------------------------------------------------------------------
-    def post(self, env: Envelope) -> None:
+    def post(self, env: Envelope,
+             phase: Optional[str] = None) -> "Optional[list]":
         """Deposit a message into its channel and wake blocked receivers.
+
+        When a fault injector is attached the envelope first runs through
+        it — the deposit may be delayed, duplicated, replaced by a
+        ``mark="lost"`` tombstone, or held for reordering.  Returns the
+        list of :class:`~repro.simmpi.faults.FaultRecord` produced (``None``
+        on the clean-fabric fast path) so the sending communicator can log
+        them into its per-rank trace.
 
         Raises
         ------
@@ -182,34 +240,63 @@ class Network:
         """
         with self._cond:
             self._check_open()
-            self._deposit((env.src, env.dst, env.tag), env)
-            self._cond.notify_all()
+            if self.injector is None:
+                self._deposit((env.src, env.dst, env.tag), env)
+                self._cond.notify_all()
+                return None
+            envs, records = self._inject(env, phase)
+            for e in envs:
+                self._deposit((e.src, e.dst, e.tag), e)
+            if envs:
+                self._cond.notify_all()
+            return records
 
     def collect(self, src: int, dst: int, tag: int,
-                timeout: Optional[float] = None) -> Envelope:
+                host_timeout: Optional[float] = None) -> Envelope:
         """Block until the next message on ``(src, dst, tag)`` and pop it.
 
-        ``timeout`` is an *absolute* budget for this receive: the deadline
-        is fixed on entry, so wakeups caused by traffic on unrelated
-        channels only re-wait for the remainder instead of restarting the
-        full timeout.
+        Two kinds of time meet here, and they must not be conflated:
+
+        * **Simulated time** lives *inside* envelopes (``depart`` plus the
+          machine profile's cost rules) and advances only through the cost
+          model.  Simulated deadlines — reliability RTOs, crash times,
+          retry-exhaustion give-ups — are resolved by the *communicator*
+          when it lands the envelope, never here.
+        * **Host-monotonic time** governs ``host_timeout``: a wall-clock
+          budget for this receive used purely as a liveness watchdog (the
+          executor converts hangs into :class:`CommAbortedError`).  It has
+          no effect whatsoever on simulated clocks.
+
+        ``host_timeout`` is an *absolute* budget for this receive: the
+        deadline is fixed on entry, so wakeups caused by traffic on
+        unrelated channels only re-wait for the remainder instead of
+        restarting the full timeout.
+
+        If ``src`` was excised by degrade mode (:meth:`mark_dead`) and its
+        channel is empty, a synthetic zero-byte ``mark="dead"`` envelope is
+        returned immediately — survivors of a crashed rank observe an empty
+        contribution instead of blocking forever.
 
         Raises
         ------
         RankFailedError
             if any rank aborted the job while we were blocked.
         CommAbortedError
-            if the network was shut down, or ``timeout`` elapsed (the
+            if the network was shut down, or ``host_timeout`` elapsed (the
             executor's watchdog uses this to convert hangs into errors).
         """
         key = (src, dst, tag)
-        deadline = None if timeout is None else monotonic() + timeout
+        deadline = None if host_timeout is None else monotonic() + host_timeout
         with self._cond:
             while True:
                 self._check_open()
                 env = self._take(key)
                 if env is not None:
                     return env
+                if src in self._dead:
+                    return Envelope(src, dst, tag, b"",
+                                    depart=self._dead[src], nbytes=0,
+                                    mark="dead")
                 if deadline is None:
                     self._cond.wait()
                 else:
@@ -217,7 +304,7 @@ class Network:
                     if remaining <= 0:
                         raise CommAbortedError(
                             f"receive (src={src}, dst={dst}, tag={tag}) "
-                            f"timed out after {timeout}s"
+                            f"timed out after {host_timeout}s"
                         )
                     self._cond.wait(timeout=remaining)
 
@@ -246,11 +333,52 @@ class Network:
         return self.machine.serial_time(env.nbytes, self.nprocs)
 
     # ------------------------------------------------------------------
-    def abort(self, failed_rank: int, exc: BaseException) -> None:
-        """Mark the job failed; wake every blocked receiver."""
+    def flush_sender(self, rank: int) -> None:
+        """Deposit ``rank``'s outstanding reorder hold (fault engine).
+
+        The executor calls this when a rank's program returns, so a
+        reorder can never strand its held message past the end of the
+        sender's program.
+        """
+        if self.injector is None:
+            return
+        with self._cond:
+            env = self.injector.flush(rank)
+            if env is not None:
+                self._deposit((env.src, env.dst, env.tag), env)
+                self._cond.notify_all()
+
+    def mark_dead(self, rank: int, clock: float) -> None:
+        """Excise a crashed rank (degrade mode): record its simulated crash
+        clock and wake blocked receivers so waits on its channels resolve
+        to synthetic ``mark="dead"`` envelopes."""
+        with self._cond:
+            self._dead.setdefault(rank, clock)
+            self._cond.notify_all()
+
+    @property
+    def dead_ranks(self) -> Dict[int, float]:
+        """Snapshot of excised ranks: ``rank -> simulated crash clock``."""
+        with self._lock:
+            return dict(self._dead)
+
+    def abort(self, failed_rank: int, exc: BaseException, *,
+              clock: Optional[float] = None,
+              phase: Optional[str] = None,
+              step: Optional[int] = None) -> None:
+        """Mark the job failed; wake every blocked receiver.
+
+        Idempotent with first-writer-wins semantics: when several ranks
+        crash concurrently, the first ``abort`` under the lock fixes the
+        :class:`RankFailedError` every blocked operation will observe;
+        later calls only re-notify.  ``clock``/``phase``/``step`` describe
+        the failing rank's position (simulated clock, algorithm phase,
+        posted-op index) and ride along on the error for post-mortems.
+        """
         with self._cond:
             if self._aborted is None:
-                self._aborted = RankFailedError(failed_rank, exc)
+                self._aborted = RankFailedError(
+                    failed_rank, exc, clock=clock, phase=phase, step=step)
             self._cond.notify_all()
 
     def shutdown(self) -> None:

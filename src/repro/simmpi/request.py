@@ -86,8 +86,20 @@ class RecvRequest(Request):
         if self._done:
             return self.buffer
         comm = self._comm
-        env = comm._network.collect(self.source, comm.rank, self.tag,
-                                    timeout=comm._recv_timeout)
+        env = comm._collect(self.source, self.tag)
+        if env.mark == "dead":
+            # Degrade mode: the source crashed and was excised.  Its
+            # contribution reads as zeros — control-plane counts received
+            # from it become 0, data blocks become empty — so survivors
+            # complete a shrunken collective instead of blocking forever.
+            view = _as_byte_view(self.buffer)
+            view[:] = 0
+            comm._complete_dead_recv(env)
+            self._result_nbytes = 0
+            self._done = True
+            return self.buffer
+        if env.mark == "lost":
+            comm._raise_lost(env)
         if env.payload is None:
             # Phantom wire mode: the envelope carries only its size.  The
             # buffer is still validated and checked for truncation — the

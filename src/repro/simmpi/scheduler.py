@@ -280,28 +280,64 @@ class CoopNetwork(Network):
     def register_rank(self, rank: int, comm: "Communicator") -> None:
         self._scheduler.bind_clock(rank, comm)
 
-    def post(self, env: Envelope) -> None:
+    def post(self, env: Envelope,
+             phase: Optional[str] = None) -> "Optional[list]":
         self._check_open()
-        key = (env.src, env.dst, env.tag)
-        self._deposit(key, env)
-        self._scheduler.notify_key(key)
+        if self.injector is None:
+            key = (env.src, env.dst, env.tag)
+            self._deposit(key, env)
+            self._scheduler.notify_key(key)
+            return None
+        envs, records = self._inject(env, phase)
+        for e in envs:
+            self._deposit((e.src, e.dst, e.tag), e)
+            self._scheduler.notify_key((e.src, e.dst, e.tag))
+        return records
 
     def collect(self, src: int, dst: int, tag: int,
-                timeout: Optional[float] = None) -> Envelope:
-        # ``timeout`` is deliberately ignored: wall-clock receive timeouts
-        # exist to approximate deadlock detection under preemptive threads;
-        # here a stuck receive is detected *exactly* by the scheduler.
+                host_timeout: Optional[float] = None) -> Envelope:
+        # ``host_timeout`` is deliberately ignored: wall-clock receive
+        # timeouts exist to approximate deadlock detection under preemptive
+        # threads; here a stuck receive is detected *exactly* by the
+        # scheduler.  (Simulated-time deadlines — reliability RTOs, crash
+        # times — are the communicator's job on both backends; see
+        # ``Network.collect`` for the full host-vs-simulated split.)
         key = (src, dst, tag)
         while True:
             self._check_open()
             env = self._take(key)
             if env is not None:
                 return env
+            if src in self._dead:
+                return Envelope(src, dst, tag, b"",
+                                depart=self._dead[src], nbytes=0,
+                                mark="dead")
             self._scheduler.block_current(key)
 
-    def abort(self, failed_rank: int, exc: BaseException) -> None:
+    def flush_sender(self, rank: int) -> None:
+        if self.injector is None:
+            return
+        env = self.injector.flush(rank)
+        if env is not None:
+            key = (env.src, env.dst, env.tag)
+            self._deposit(key, env)
+            self._scheduler.notify_key(key)
+
+    def mark_dead(self, rank: int, clock: float) -> None:
+        self._dead.setdefault(rank, clock)
+        self._scheduler.wake_all_blocked()
+
+    @property
+    def dead_ranks(self) -> Dict[int, float]:
+        return dict(self._dead)
+
+    def abort(self, failed_rank: int, exc: BaseException, *,
+              clock: Optional[float] = None,
+              phase: Optional[str] = None,
+              step: Optional[int] = None) -> None:
         if self._aborted is None:
-            self._aborted = RankFailedError(failed_rank, exc)
+            self._aborted = RankFailedError(
+                failed_rank, exc, clock=clock, phase=phase, step=step)
         self._scheduler.wake_all_blocked()
 
     def shutdown(self) -> None:

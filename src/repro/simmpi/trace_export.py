@@ -105,6 +105,15 @@ def chrome_trace(result: "SPMDResult") -> dict:
             events.append({"name": "msg", "cat": "flow", "ph": "f",
                            "bp": "e", "id": fid, "pid": rank, "tid": 0,
                            "ts": e.end * _US})
+        for e in tr.faults:
+            # Injected faults render as instant events ("ph": "i") pinned
+            # to their simulated instant on the affected sender's track.
+            events.append({"name": f"fault:{e.kind}", "cat": "fault",
+                           "ph": "i", "s": "t", "pid": rank, "tid": 0,
+                           "ts": e.clock * _US,
+                           "args": {"src": e.src, "dst": e.dst,
+                                    "tag": e.tag, "nbytes": e.nbytes,
+                                    "detail": e.detail}})
         for e in tr.copies:
             events.append(_slice("copy", "memory", rank, e.start, e.end,
                                  {"nbytes": e.nbytes}))
@@ -122,6 +131,7 @@ def chrome_trace(result: "SPMDResult") -> dict:
             "total_messages": result.total_messages,
             "total_bytes": result.total_bytes,
             "simulated_makespan_s": result.elapsed,
+            "degraded_ranks": list(result.degraded_ranks),
         },
     }
     return doc
@@ -187,6 +197,10 @@ def format_summary(result: "SPMDResult", title: str = "") -> str:
         f"simulated makespan {result.elapsed * 1e3:.4f} ms")
     lines.append(f"wire traffic: {result.total_messages} messages, "
                  f"{result.total_bytes} bytes")
+    if result.degraded_ranks:
+        lines.append(
+            f"DEGRADED run: rank(s) {result.degraded_ranks} excised by "
+            f"injected crashes; survivors completed a shrunken collective")
     m = result.metrics
     if m is not None:
         lines.append(
@@ -197,6 +211,12 @@ def format_summary(result: "SPMDResult", title: str = "") -> str:
             f"(max {m.queue_wait_max * 1e3:.4f}), "
             f"{m.recv_wait_total * 1e3:.4f} ms idle "
             f"(max {m.recv_wait_max * 1e3:.4f})")
+        if m.fault_counts:
+            counts = ", ".join(f"{k}={v}" for k, v in
+                               sorted(m.fault_counts.items()))
+            lines.append(
+                f"injected faults: {counts}; "
+                f"+{m.injected_delay_total * 1e3:.4f} ms simulated delay")
     try:
         phases = result.phase_times()
     except ValueError:

@@ -45,6 +45,7 @@ __all__ = [
     "DatatypeEvent",
     "PhaseEvent",
     "CollectiveEvent",
+    "FaultEvent",
     "TraceBase",
     "RankTrace",
     "NullTrace",
@@ -174,6 +175,40 @@ class CollectiveEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or reliability action observed by this rank.
+
+    ``kind`` is one of the injection kinds (``drop``, ``delay``,
+    ``duplicate``, ``reorder``, ``retry``, ``lost``, ``crash``) or a
+    receiver-side reliability action (``dup_suppressed``, ``stashed``,
+    ``dead_recv``).  ``clock`` is the *simulated* time the event takes
+    effect; senders record faults injected on their posts, receivers
+    record suppression/degrade events on their receives — so per-rank
+    fault sequences are deterministic, like every other trace channel.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    clock: float
+    detail: str = ""
+
+    @property
+    def start(self) -> float:
+        return self.clock
+
+    @property
+    def end(self) -> float:
+        return self.clock
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
 class TraceBase(abc.ABC):
     """Abstract tracer interface the communicator drives.
 
@@ -209,6 +244,14 @@ class TraceBase(abc.ABC):
                         clock: float, begin: Optional[float] = None) -> None:
         """One datatype-engine pack/unpack finishing at ``clock``."""
 
+    def record_fault(self, kind: str, src: int, dst: int, tag: int,
+                     nbytes: int, clock: float, detail: str = "") -> None:
+        """One injected fault / reliability action at simulated ``clock``.
+
+        Concrete (default no-op) rather than abstract so tracers written
+        before the fault engine existed keep working unchanged.
+        """
+
     @abc.abstractmethod
     def phase_begin(self, name: str, clock: float) -> None:
         """Open a named phase interval."""
@@ -234,7 +277,7 @@ class RankTrace(TraceBase):
     """
 
     __slots__ = ("sends", "recvs", "copies", "datatype_ops", "phases",
-                 "collectives", "_phase_stack", "_coll_stack")
+                 "collectives", "faults", "_phase_stack", "_coll_stack")
 
     def __init__(self, rank: int) -> None:
         super().__init__(rank)
@@ -244,6 +287,7 @@ class RankTrace(TraceBase):
         self.datatype_ops: List[DatatypeEvent] = []
         self.phases: List[PhaseEvent] = []
         self.collectives: List[CollectiveEvent] = []
+        self.faults: List[FaultEvent] = []
         self._phase_stack: List[Tuple[str, float]] = []
         self._coll_stack: List[Tuple[str, float]] = []
 
@@ -264,6 +308,11 @@ class RankTrace(TraceBase):
                         clock: float, begin: Optional[float] = None) -> None:
         self.datatype_ops.append(
             DatatypeEvent(kind, nblocks, nbytes, clock, begin))
+
+    def record_fault(self, kind: str, src: int, dst: int, tag: int,
+                     nbytes: int, clock: float, detail: str = "") -> None:
+        self.faults.append(
+            FaultEvent(kind, src, dst, tag, nbytes, clock, detail))
 
     def phase_begin(self, name: str, clock: float) -> None:
         self._phase_stack.append((name, clock))
@@ -324,6 +373,7 @@ class RankTrace(TraceBase):
         all_events.extend(self.datatype_ops)
         all_events.extend(self.phases)
         all_events.extend(self.collectives)
+        all_events.extend(self.faults)
         all_events.sort(key=lambda e: (e.end, e.start))
         return all_events
 
@@ -377,8 +427,9 @@ class MetricsTrace(TraceBase):
 
     __slots__ = ("message_count", "bytes_sent", "recv_count",
                  "bytes_received", "copy_count", "bytes_copied",
-                 "datatype_count", "datatype_bytes", "_phase_totals",
-                 "_coll_totals", "_phase_stack", "_coll_stack")
+                 "datatype_count", "datatype_bytes", "fault_counts",
+                 "_phase_totals", "_coll_totals", "_phase_stack",
+                 "_coll_stack")
 
     def __init__(self, rank: int) -> None:
         super().__init__(rank)
@@ -390,6 +441,7 @@ class MetricsTrace(TraceBase):
         self.bytes_copied = 0
         self.datatype_count = 0
         self.datatype_bytes = 0
+        self.fault_counts: Dict[str, int] = {}
         self._phase_totals: Dict[str, float] = {}
         self._coll_totals: Dict[str, float] = {}
         self._phase_stack: List[Tuple[str, float]] = []
@@ -414,6 +466,10 @@ class MetricsTrace(TraceBase):
                         clock: float, begin: Optional[float] = None) -> None:
         self.datatype_count += 1
         self.datatype_bytes += nbytes
+
+    def record_fault(self, kind: str, src: int, dst: int, tag: int,
+                     nbytes: int, clock: float, detail: str = "") -> None:
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
 
     def phase_begin(self, name: str, clock: float) -> None:
         self._phase_stack.append((name, clock))

@@ -100,3 +100,55 @@ def test_uniform_clocks_bit_identical(name, nprocs):
 @pytest.mark.parametrize("name", list_algorithms("nonuniform"))
 def test_nonuniform_clocks_bit_identical(name, nprocs):
     _assert_matrix(_run_nonuniform, name, nprocs)
+
+
+# ----------------------------------------------------------------------
+# faulted cell: the determinism contract extends to injected faults
+# ----------------------------------------------------------------------
+
+FAULT_SPEC = ("drop:p=0.03;dup:p=0.08;delay:d=25us,jitter=10us,p=0.4;"
+              "reorder:p=0.08;straggler:ranks=3,factor=2")
+
+
+def _run_faulted(name: str, nprocs: int, backend: str, wire: str):
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              nprocs, seed=7)
+    fn = get_algorithm(name, kind="nonuniform").fn
+
+    def prog(comm):
+        vargs = build_vargs(comm.rank, sizes, fill=comm.payload_enabled)
+        fn(comm, *vargs.as_tuple())
+        if comm.payload_enabled:
+            verify_recv(comm.rank, sizes, vargs.recvbuf)
+        return comm.clock
+
+    return run_spmd(prog, nprocs, machine=THETA, backend=backend,
+                    trace=True, timeout=300, wire=wire,
+                    fault_plan=FAULT_SPEC, fault_seed=23, on_fault="retry")
+
+
+def _fault_sequences(result):
+    return [tuple((e.kind, e.src, e.dst, e.tag, e.nbytes, e.clock)
+                  for e in tr.faults) for tr in result.traces]
+
+
+@pytest.mark.parametrize("name", ["two_phase_bruck", "spread_out"])
+def test_faulted_runs_bit_identical_across_matrix(name):
+    """Fault injection is part of the determinism contract: for a fixed
+    (plan, seed), every backend x wire cell must agree on per-rank clocks,
+    wire statistics, fault counts, and the exact per-rank sequence of
+    injected fault events — while the reliability layer still delivers
+    byte-verified data on the bytes cells."""
+    nprocs = 16
+    ref_backend, ref_wire = MATRIX[0]
+    ref = _run_faulted(name, nprocs, ref_backend, ref_wire)
+    assert ref.metrics.total_faults > 0, "plan injected nothing"
+    ref_faults = _fault_sequences(ref)
+    for backend, wire in MATRIX[1:]:
+        other = _run_faulted(name, nprocs, backend, wire)
+        cell = f"{backend}/{wire} vs {ref_backend}/{ref_wire}"
+        assert other.clocks == ref.clocks, cell
+        assert other.total_messages == ref.total_messages, cell
+        assert other.total_bytes == ref.total_bytes, cell
+        assert other.metrics.fault_counts == ref.metrics.fault_counts, cell
+        assert _fault_sequences(other) == ref_faults, cell

@@ -18,9 +18,22 @@ import time
 import numpy as np
 import pytest
 
-from repro.simmpi import DeadlockError, LOCAL, run_spmd
+from repro.simmpi import (
+    DeadlockError,
+    FaultPlan,
+    InjectedCrashError,
+    LOCAL,
+    SimMPIError,
+    run_spmd,
+)
 from repro.simmpi.errors import CommAbortedError, RankFailedError
 from repro.simmpi.network import Envelope, Network
+
+# Every failure scenario must behave identically on both backends and
+# both wire modes (including coop x phantom, where nothing real crosses
+# the fabric and deadlock detection is exact).
+BACKEND_WIRE = [("threads", "bytes"), ("threads", "phantom"),
+                ("coop", "bytes"), ("coop", "phantom")]
 
 
 class TestWatchdogSharedDeadline:
@@ -63,7 +76,7 @@ class TestCollectAbsoluteDeadline:
         try:
             start = time.monotonic()
             with pytest.raises(CommAbortedError, match="timed out"):
-                net.collect(0, 1, 0, timeout=0.25)
+                net.collect(0, 1, 0, host_timeout=0.25)
             assert time.monotonic() - start < 1.0
         finally:
             stop.set()
@@ -72,12 +85,12 @@ class TestCollectAbsoluteDeadline:
     def test_timeout_without_traffic_still_fires(self):
         net = Network(2, LOCAL)
         with pytest.raises(CommAbortedError, match="timed out"):
-            net.collect(0, 1, 0, timeout=0.05)
+            net.collect(0, 1, 0, host_timeout=0.05)
 
     def test_present_message_beats_zero_budget(self):
         net = Network(2, LOCAL)
         net.post(Envelope(0, 1, 0, b"x", 0.0))
-        assert net.collect(0, 1, 0, timeout=0.0).payload == b"x"
+        assert net.collect(0, 1, 0, host_timeout=0.0).payload == b"x"
 
 
 class TestPostAfterAbort:
@@ -106,8 +119,9 @@ class TestPostAfterAbort:
 
 
 class TestRootCausePreference:
-    @pytest.mark.parametrize("backend", ["threads", "coop"])
-    def test_original_exception_beats_secondary_casualties(self, backend):
+    @pytest.mark.parametrize("backend,wire", BACKEND_WIRE)
+    def test_original_exception_beats_secondary_casualties(self, backend,
+                                                           wire):
         # Rank 2 dies of ValueError; ranks 0 and 1 die *because of it*
         # (RankFailedError from their receives).  The lowest-rank rule
         # alone would report rank 0's secondary error — the root cause
@@ -117,4 +131,54 @@ class TestRootCausePreference:
                 raise ValueError("root cause")
             comm.recv(np.zeros(1, dtype=np.uint8), 2)
         with pytest.raises(ValueError, match=r"rank 2.*root cause"):
-            run_spmd(prog, 3, backend=backend, timeout=30)
+            run_spmd(prog, 3, backend=backend, wire=wire, timeout=30)
+
+    @pytest.mark.parametrize("backend,wire", BACKEND_WIRE)
+    def test_receive_from_silent_rank_is_typed(self, backend, wire):
+        # A receive that can never be satisfied must end in a typed error
+        # on every backend x wire cell: exact deadlock detection on coop,
+        # a receive timeout or the watchdog on threads.  Never a hang.
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(np.zeros(1, dtype=np.uint8), 0)
+        with pytest.raises(SimMPIError):
+            run_spmd(prog, 2, backend=backend, wire=wire, timeout=1.0)
+
+
+class TestAbortFirstWriterWins:
+    def test_second_abort_is_ignored(self):
+        # Network.abort is idempotent: the first failure wins; a later
+        # abort (another casualty racing in) must not replace the stored
+        # cause or its context.
+        net = Network(4, LOCAL)
+        net.abort(1, ValueError("first"), clock=1.5, phase="exchange",
+                  step=7)
+        net.abort(2, RuntimeError("second"), clock=9.9, phase="rotate",
+                  step=99)
+        with pytest.raises(RankFailedError, match="first") as ei:
+            net.post(Envelope(0, 3, 0, b"x", 0.0))
+        err = ei.value
+        assert err.failed_rank == 1
+        assert err.clock == 1.5
+        assert err.phase == "exchange"
+        assert err.step == 7
+        assert "rank 2" not in str(err)
+
+    def test_two_ranks_crash_same_step_reports_one_primary(self):
+        # Two planned crashes at the same op index on the threads backend:
+        # both workers race to abort, exactly one wins, and the job fails
+        # with a single InjectedCrashError naming one crashed rank (the
+        # executor prefers the lowest-rank primary deterministically).
+        plan = FaultPlan.parse("crash:rank=1,step=3;crash:rank=2,step=3")
+
+        def prog(comm):
+            out = np.zeros(1, dtype=np.uint8)
+            inp = np.zeros(1, dtype=np.uint8)
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            for tag in range(4):
+                comm.sendrecv(out, right, tag, inp, left, tag)
+
+        with pytest.raises(InjectedCrashError, match="rank 1"):
+            run_spmd(prog, 4, backend="threads", timeout=30,
+                     fault_plan=plan, on_fault="fail-fast")

@@ -1,0 +1,253 @@
+"""Unit tests for the fault-injection engine.
+
+Covers the ``FaultPlan`` spec grammar, rule matching, the injector's
+per-message determinism, the drop/delay/duplicate/reorder transformations,
+the reliability retransmission schedule (including retry exhaustion into a
+``mark="lost"`` tombstone), and the straggler/crash rule lookups.
+"""
+
+import pytest
+
+from repro.simmpi import (
+    LOCAL,
+    CrashRule,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    MessageLostError,
+    ReliabilityConfig,
+    StragglerRule,
+    run_spmd,
+)
+from repro.simmpi.network import Envelope
+
+
+def env(src=0, dst=1, tag=0, nbytes=64, depart=0.0):
+    return Envelope(src, dst, tag, b"\0" * nbytes, depart)
+
+
+class TestSpecGrammar:
+    def test_full_spec_round_trip(self):
+        plan = FaultPlan.parse(
+            "drop:p=0.02;delay:d=50us,jitter=20us;dup:p=0.1,src=3;"
+            "reorder:p=0.05,tag=7;crash:rank=5,step=200;"
+            "crash:rank=6,at=2ms;straggler:ranks=0:3,factor=4")
+        kinds = [r.kind for r in plan.rules]
+        assert kinds == ["drop", "delay", "duplicate", "reorder"]
+        assert plan.rules[0].prob == 0.02
+        assert plan.rules[1].delay == pytest.approx(50e-6)
+        assert plan.rules[1].jitter == pytest.approx(20e-6)
+        assert plan.rules[2].src == 3
+        assert plan.rules[3].tag == 7
+        assert plan.crashes == (CrashRule(rank=5, step=200),
+                                CrashRule(rank=6, time=2e-3))
+        assert plan.stragglers == (StragglerRule(ranks=(0, 3), factor=4.0),)
+
+    def test_time_suffixes(self):
+        plan = FaultPlan.parse("delay:d=1500us;crash:rank=0,at=0.5s")
+        assert plan.rules[0].delay == pytest.approx(1.5e-3)
+        assert plan.crashes[0].time == pytest.approx(0.5)
+
+    def test_empty_and_whitespace(self):
+        assert FaultPlan.parse("").empty
+        assert FaultPlan.parse(" ; ; ").empty
+
+    @pytest.mark.parametrize("bad", [
+        "explode:p=1",              # unknown kind
+        "drop:p=2",                 # prob out of range
+        "drop:frequency=1",         # unknown parameter
+        "crash:step=5",             # crash without a rank
+        "crash:rank=1",             # crash without step/time
+        "crash:rank=1,step=0",      # step is 1-based
+        "straggler:factor=2",       # straggler without ranks
+        "straggler:ranks=1,factor=0.5",  # factor < 1
+        "drop:p",                   # not key=value
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_duplicate_crash_rule_rejected(self):
+        with pytest.raises(ValueError, match="duplicate crash"):
+            FaultPlan.parse("crash:rank=1,step=2;crash:rank=1,step=9")
+
+    def test_rule_matching_wildcards(self):
+        rule = FaultRule("drop", src=1, phase="exchange")
+        assert rule.matches(1, 5, 9, "exchange")
+        assert not rule.matches(2, 5, 9, "exchange")
+        assert not rule.matches(1, 5, 9, "rotate")
+        assert FaultRule("drop").matches(7, 3, 0, None)
+
+
+class TestPlanLookups:
+    def test_straggle_factor_composes(self):
+        plan = FaultPlan(stragglers=(StragglerRule((1, 2), 2.0),
+                                     StragglerRule((2,), 3.0)))
+        assert plan.straggle_factor(0) == 1.0
+        assert plan.straggle_factor(1) == 2.0
+        assert plan.straggle_factor(2) == 6.0
+
+    def test_crash_rule_lookup(self):
+        plan = FaultPlan(crashes=(CrashRule(rank=3, step=10),))
+        assert plan.crash_rule(3).step == 10
+        assert plan.crash_rule(0) is None
+
+
+class TestInjectorDeterminism:
+    PLAN = FaultPlan(rules=(FaultRule("drop", prob=0.3),
+                            FaultRule("delay", delay=10e-6, jitter=5e-6,
+                                      prob=0.5)))
+
+    def _decisions(self, injector, n=64):
+        out = []
+        for i in range(n):
+            e = env(depart=float(i))
+            deposits, records = injector.on_post(e, None)
+            out.append((len(deposits), tuple((r.kind, r.delay)
+                                             for r in records)))
+        return out
+
+    def test_same_seed_same_decisions(self):
+        a = self._decisions(FaultInjector(self.PLAN, seed=42))
+        b = self._decisions(FaultInjector(self.PLAN, seed=42))
+        assert a == b
+
+    def test_different_seed_different_decisions(self):
+        a = self._decisions(FaultInjector(self.PLAN, seed=42))
+        b = self._decisions(FaultInjector(self.PLAN, seed=43))
+        assert a != b
+
+    def test_decision_depends_on_channel_not_arrival_order(self):
+        # The RNG keys on (src, dst, tag, seq): interleaving posts from
+        # other channels must not shift a channel's decisions.
+        inj1 = FaultInjector(self.PLAN, seed=1)
+        alone = [inj1.on_post(env(depart=float(i)), None)[1]
+                 for i in range(8)]
+        inj2 = FaultInjector(self.PLAN, seed=1)
+        interleaved = []
+        for i in range(8):
+            interleaved.append(inj2.on_post(env(depart=float(i)), None)[1])
+            inj2.on_post(env(src=5, dst=6, depart=float(i)), None)
+        assert alone == interleaved
+
+
+class TestTransformations:
+    def test_certain_drop_without_reliability_vanishes(self):
+        inj = FaultInjector(FaultPlan(rules=(FaultRule("drop"),)))
+        deposits, records = inj.on_post(env(), None)
+        assert deposits == []
+        assert [r.kind for r in records] == ["drop"]
+
+    def test_certain_delay_shifts_departure(self):
+        inj = FaultInjector(FaultPlan(rules=(FaultRule("delay",
+                                                       delay=7e-6),)))
+        e = env(depart=1.0)
+        deposits, records = inj.on_post(e, None)
+        assert deposits == [e]
+        assert e.depart == pytest.approx(1.0 + 7e-6)
+        assert records[0].delay == pytest.approx(7e-6)
+
+    def test_certain_duplicate_deposits_twice(self):
+        inj = FaultInjector(FaultPlan(rules=(FaultRule("duplicate"),)))
+        e = env()
+        deposits, records = inj.on_post(e, None)
+        assert len(deposits) == 2
+        assert deposits[0] is e
+        assert deposits[1].mark == "dup"
+        assert deposits[1].nbytes == e.nbytes
+
+    def test_reorder_holds_until_next_post_and_flush(self):
+        inj = FaultInjector(FaultPlan(rules=(
+            FaultRule("reorder", tag=1),)))
+        first = env(tag=1)
+        deposits, records = inj.on_post(first, None)
+        assert deposits == []          # held
+        assert records[0].kind == "reorder"
+        second = env(tag=2)
+        deposits, _ = inj.on_post(second, None)
+        assert deposits == [second, first]  # released behind the successor
+        # A hold with no successor is released by the program-end flush.
+        third = env(tag=1, depart=9.0)
+        deposits, _ = inj.on_post(third, None)
+        assert deposits == []
+        assert inj.flush(0) is third
+        assert inj.flush(0) is None
+
+    def test_phase_matcher(self):
+        inj = FaultInjector(FaultPlan(rules=(
+            FaultRule("drop", phase="exchange"),)))
+        deposits, _ = inj.on_post(env(), "rotate")
+        assert len(deposits) == 1      # wrong phase: untouched
+        deposits, _ = inj.on_post(env(), "exchange")
+        assert deposits == []
+
+
+class TestReliability:
+    def test_deadline_offset_is_backoff_sum(self):
+        rel = ReliabilityConfig(rto=1e-4, backoff=2.0, max_retries=3)
+        assert rel.deadline_offset() == pytest.approx(
+            1e-4 * (1 + 2 + 4 + 8))
+
+    def test_sequence_numbers_assigned_per_channel(self):
+        inj = FaultInjector(FaultPlan(), reliability=ReliabilityConfig())
+        a, b = env(), env()
+        other = env(dst=2)
+        inj.on_post(a, None)
+        inj.on_post(other, None)
+        inj.on_post(b, None)
+        assert (a.seq, b.seq, other.seq) == (0, 1, 0)
+
+    def test_certain_drop_exhausts_into_lost_tombstone(self):
+        rel = ReliabilityConfig(rto=1e-4, backoff=2.0, max_retries=2)
+        inj = FaultInjector(FaultPlan(rules=(FaultRule("drop"),)),
+                            reliability=rel)
+        e = env(depart=1.0)
+        deposits, records = inj.on_post(e, None)
+        assert deposits == [e]
+        assert e.mark == "lost"
+        assert e.depart == pytest.approx(1.0 + rel.deadline_offset())
+        kinds = [r.kind for r in records]
+        assert kinds == ["drop", "retry", "drop", "retry", "drop", "lost"]
+
+    def test_partial_drop_delays_by_backoff(self):
+        # Seed chosen so the first transmission drops and the first
+        # retransmission survives: departure shifts by exactly one RTO.
+        rel = ReliabilityConfig(rto=1e-4, backoff=2.0, max_retries=5)
+        rule = FaultRule("drop", prob=0.5)
+        found = False
+        for seed in range(64):
+            inj = FaultInjector(FaultPlan(rules=(rule,)), seed=seed,
+                                reliability=rel)
+            e = env(depart=1.0)
+            deposits, records = inj.on_post(e, None)
+            kinds = [r.kind for r in records]
+            if kinds == ["drop", "retry"]:
+                assert deposits == [e]
+                assert e.mark is None
+                assert e.depart == pytest.approx(1.0 + rel.rto)
+                found = True
+                break
+        assert found, "no seed produced drop-then-recover in 64 tries"
+
+    def test_lost_message_raises_typed_error_not_hang(self):
+        import numpy as np
+        plan = FaultPlan.parse("drop:p=1,src=0,dst=1")
+
+        def prog(comm):
+            buf = np.zeros(4, dtype=np.uint8)
+            if comm.rank == 0:
+                comm.send(buf, 1)
+            elif comm.rank == 1:
+                comm.recv(buf, 0)
+
+        with pytest.raises(MessageLostError, match="lost"):
+            run_spmd(prog, 2, machine=LOCAL, backend="coop",
+                     fault_plan=plan, on_fault="retry")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(rto=0.0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(max_retries=-1)

@@ -55,7 +55,7 @@ class TestPostCollect:
     def test_collect_timeout_raises(self):
         net = make_net()
         with pytest.raises(CommAbortedError, match="timed out"):
-            net.collect(0, 1, 0, timeout=0.05)
+            net.collect(0, 1, 0, host_timeout=0.05)
 
     def test_statistics(self):
         net = make_net()
