@@ -21,7 +21,8 @@ import os
 from pathlib import Path
 
 from repro.core.registry import get_algorithm
-from repro.simmpi import THETA, MachineProfile, format_summary, run_spmd
+from repro.simmpi import (ExecutionConfig, THETA, MachineProfile,
+                          format_summary, run_spmd)
 from repro.workloads import build_vargs
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -64,8 +65,9 @@ def run_alltoallv(algorithm: str, sizes, machine: MachineProfile = THETA,
         vargs = build_vargs(comm.rank, sizes, fill=fill)
         fn(comm, *vargs.as_tuple(), **kwargs)
 
-    return run_spmd(prog, sizes.shape[0], machine=machine, trace=trace,
-                    timeout=timeout, backend=backend, wire=wire)
+    config = ExecutionConfig(machine=machine, trace=trace, timeout=timeout,
+                             backend=backend, wire=wire)
+    return run_spmd(prog, sizes.shape[0], config=config)
 
 
 def summarize(result, title: str = "") -> str:

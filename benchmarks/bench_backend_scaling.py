@@ -1,34 +1,49 @@
-"""Executor scaling — thread-per-rank vs the cooperative scheduler.
+"""Executor scaling — threads vs coop vs the vectorized tensor backend.
 
-Host wall-clock time of the same functional two-phase Bruck run under
-both ``run_spmd`` backends across P.  Expected shape: comparable cost at
+Host wall-clock time of the same functional two-phase Bruck run under all
+three ``run_spmd`` backends across P.  Expected shape: comparable cost at
 small P (the coop backend's handoff switches vs the thread backend's
-condition-variable wakeups roughly cancel), then the thread backend's
-O(P) ``notify_all`` storms and scheduler pressure blow up while the coop
-backend keeps scaling — it alone reaches the P ≥ 512 region (the thread
-backend is not even attempted past ``THREAD_MAX``, matching the CLI's
-practical cap).  Simulated clocks are asserted bit-identical wherever
-both backends run: the speedup is free of semantic drift.
+condition-variable wakeups roughly cancel, and the tensor backend's
+array-op overhead is amortized over too few ranks to matter), then the
+thread backend's O(P) ``notify_all`` storms blow up past ``THREAD_MAX``,
+the coop backend's O(P × program length) host work grows linearly, and
+the tensor backend — whose host work per communication step is a handful
+of array ops over all ranks — pulls ahead (the coop→tensor crossover)
+and alone reaches the P ≥ 2048 region on its way to the paper-scale
+P=32K CI smoke.  Simulated clocks are asserted bit-identical wherever
+backends overlap: the speedup is free of semantic drift.
 """
 
 import time
 
+from repro.simmpi import ExecutionConfig, THETA, run_spmd
+from repro.simmpi.tensor import TensorAlltoallv
 from repro.workloads import PowerLawBlocks, block_size_matrix
 
 from _common import once, run_alltoallv, save_report
 
 N = 32
-PROCS = (32, 64, 128, 256, 512)
+PROCS = (32, 64, 128, 256, 512, 1024, 2048, 4096)
 THREAD_MAX = 256
+COOP_MAX = 1024
 ALGORITHM = "two_phase_bruck"
 
 
 def _timed(algorithm, sizes, backend):
-    # Pinned to the bytes wire: this bench measures how the *executors*
-    # scale under real transport work (bench_wire_modes covers phantom).
+    # threads/coop are pinned to the bytes wire: this bench measures how
+    # the executors scale under real transport work (bench_wire_modes
+    # covers phantom).  The tensor backend is size-only by construction —
+    # phantom-wire clocks are bit-identical to bytes (proven in
+    # tests/simmpi/test_backend_equivalence.py), so the columns compare.
     start = time.perf_counter()
-    result = run_alltoallv(algorithm, sizes, trace=False, backend=backend,
-                           wire="bytes")
+    if backend == "tensor":
+        config = ExecutionConfig(machine=THETA, trace=False,
+                                 backend="tensor", wire="phantom")
+        result = run_spmd(TensorAlltoallv(algorithm, sizes),
+                          sizes.shape[0], config=config)
+    else:
+        result = run_alltoallv(algorithm, sizes, trace=False,
+                               backend=backend, wire="bytes")
     return time.perf_counter() - start, result
 
 
@@ -37,30 +52,41 @@ def test_backend_scaling(benchmark):
         rows = []
         for p in PROCS:
             sizes = block_size_matrix(PowerLawBlocks(N), p, seed=3)
-            coop_wall, coop_res = _timed(ALGORITHM, sizes, "coop")
+            tens_wall, tens_res = _timed(ALGORITHM, sizes, "tensor")
+            if p <= COOP_MAX:
+                coop_wall, coop_res = _timed(ALGORITHM, sizes, "coop")
+                assert coop_res.clocks == tens_res.clocks
+            else:
+                coop_wall = None
             if p <= THREAD_MAX:
                 thr_wall, thr_res = _timed(ALGORITHM, sizes, "threads")
-                assert thr_res.clocks == coop_res.clocks
+                assert thr_res.clocks == tens_res.clocks
             else:
                 thr_wall = None
-            rows.append((p, thr_wall, coop_wall, coop_res))
+            rows.append((p, thr_wall, coop_wall, tens_wall, tens_res))
         return rows
 
     rows = once(benchmark, run)
     lines = [f"executor scaling: {ALGORITHM}, power-law N={N} "
              f"(Theta profile, host wall seconds)",
              f"{'P':>6} {'threads(s)':>11} {'coop(s)':>9} "
-             f"{'simulated(ms)':>14} {'messages':>9}"]
-    for p, thr_wall, coop_wall, res in rows:
+             f"{'tensor(s)':>10} {'simulated(ms)':>14} {'messages':>9}"]
+    for p, thr_wall, coop_wall, tens_wall, res in rows:
         thr = f"{thr_wall:.3f}" if thr_wall is not None else "n/a"
-        lines.append(f"{p:>6} {thr:>11} {coop_wall:>9.3f} "
+        coop = f"{coop_wall:.3f}" if coop_wall is not None else "n/a"
+        lines.append(f"{p:>6} {thr:>11} {coop:>9} {tens_wall:>10.3f} "
                      f"{res.elapsed * 1e3:>14.4f} {res.total_messages:>9}")
     lines.append("")
-    lines.append(f"threads backend not attempted past P={THREAD_MAX} "
-                 f"(practical thread-per-rank limit); the coop backend "
-                 f"continues to P={PROCS[-1]} and beyond (CI smokes "
-                 f"P=1024).")
+    lines.append(f"threads backend not attempted past P={THREAD_MAX}, "
+                 f"coop past P={COOP_MAX} (practical per-rank-program "
+                 f"limits); the tensor backend continues to "
+                 f"P={PROCS[-1]} here and to P=32768 in the "
+                 f"tensor-scale-smoke CI job.")
 
-    # The whole point: the coop backend completes the out-of-reach sizes.
-    assert rows[-1][0] > THREAD_MAX and rows[-1][2] > 0
+    # The whole point: the tensor backend completes the out-of-reach
+    # sizes, and somewhere in the overlap region it overtakes coop.
+    assert rows[-1][0] > COOP_MAX and rows[-1][3] > 0
+    overlap = [(p, c, t) for p, _, c, t, _ in rows if c is not None]
+    assert any(t < c for _, c, t in overlap), \
+        "tensor never beat coop in the overlap region"
     save_report("backend_scaling", "\n".join(lines))

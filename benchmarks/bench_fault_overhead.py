@@ -15,7 +15,7 @@ message).
 """
 
 from repro.core.registry import get_algorithm
-from repro.simmpi import THETA, run_spmd
+from repro.simmpi import ExecutionConfig, THETA, run_spmd
 from repro.workloads import PowerLawBlocks, block_size_matrix, build_vargs
 
 from _common import once, save_report
@@ -34,10 +34,11 @@ def _run(algorithm, sizes, *, fault_plan, on_fault, reliability=None):
         vargs = build_vargs(comm.rank, sizes, fill=False)
         fn(comm, *vargs.as_tuple())
 
-    return run_spmd(prog, P, machine=THETA, trace="metrics", timeout=300,
-                    backend="coop", wire="phantom", fault_plan=fault_plan,
-                    fault_seed=SEED, on_fault=on_fault,
-                    reliability=reliability)
+    config = ExecutionConfig(machine=THETA, trace="metrics", timeout=300,
+                             backend="coop", wire="phantom",
+                             fault_plan=fault_plan, fault_seed=SEED,
+                             on_fault=on_fault, reliability=reliability)
+    return run_spmd(prog, P, config=config)
 
 
 def test_fault_overhead(benchmark):

@@ -36,8 +36,6 @@ Quick start::
 """
 
 from .core import (
-    NONUNIFORM_ALGORITHMS,
-    UNIFORM_ALGORITHMS,
     PerformanceModel,
     alltoall,
     alltoallv,
@@ -84,8 +82,6 @@ __all__ = [
     "LOCAL",
     "alltoall",
     "alltoallv",
-    "UNIFORM_ALGORITHMS",
-    "NONUNIFORM_ALGORITHMS",
     "basic_bruck",
     "modified_bruck",
     "zero_rotation_bruck",
@@ -102,3 +98,13 @@ __all__ = [
     "predict_alltoallv",
     "predict_uniform",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated alias dicts; the stubs in repro.core warn on access.
+    if name in ("UNIFORM_ALGORITHMS", "NONUNIFORM_ALGORITHMS"):
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

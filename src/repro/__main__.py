@@ -16,6 +16,8 @@ Examples
     python -m repro predict -a two_phase_bruck -p 8192 -n 256
     python -m repro run -a padded_bruck -p 32 -n 64 --machine local
     python -m repro run -a two_phase_bruck -p 1024 -n 8 --backend coop
+    python -m repro run -a sloav -p 32768 -n 64 --backend tensor \\
+        --wire phantom --dist const
     python -m repro trace --algorithm two_phase_bruck --nprocs 64 \\
         --out trace.json
     python -m repro recommend -p 350 -n 800
@@ -28,6 +30,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+import numpy as np
+
 from .bench import fig6_data_scaling, format_series_table
 from .core import PerformanceModel, alltoallv
 from .core.registry import list_algorithms
@@ -36,8 +40,9 @@ from .simmpi import (
     ON_FAULT_POLICIES,
     PROFILES,
     WIRE_MODES,
-    FaultPlan,
+    ExecutionConfig,
     SimMPIError,
+    TensorAlltoallv,
     get_profile,
     run_spmd,
 )
@@ -58,14 +63,21 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("-n", "--max-block", type=int, required=True,
                    help="maximum block size N in bytes")
     p.add_argument("--dist", default="uniform",
-                   choices=["uniform", "normal", "power_law"],
-                   help="block-size distribution (default: uniform)")
+                   choices=["uniform", "normal", "power_law", "const"],
+                   help="block-size distribution (default: uniform); "
+                        "'const' sends exactly N bytes to every peer — "
+                        "the only form that scales to 32K ranks (no "
+                        "P x P matrix is materialized)")
     p.add_argument("--machine", default="theta", choices=sorted(PROFILES),
                    help="machine profile (default: theta)")
     p.add_argument("--seed", type=int, default=0)
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    if args.dist == "const":
+        print("error: the analytic predictor takes a distribution; "
+              "use --dist uniform/normal/power_law", file=sys.stderr)
+        return 2
     machine = get_profile(args.machine)
     dist = distribution_by_name(args.dist, args.max_block)
     result = predict_alltoallv(args.algorithm, machine, args.nprocs, dist,
@@ -76,58 +88,81 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _check_backend_limits(backend: str, nprocs: int) -> Optional[str]:
+def _check_backend_limits(backend: str, nprocs: int,
+                          dist: str) -> Optional[str]:
     """Per-backend practical rank caps for functional (simulator) runs."""
     if backend == "threads" and nprocs > 256:
         return ("functional runs on the thread backend are practical up "
                 "to 256 ranks; pass --backend coop for thousands of "
-                "ranks, or use `predict` beyond that")
+                "ranks, --backend tensor for tens of thousands, or use "
+                "`predict`")
     if backend == "coop" and nprocs > 4096:
         return ("functional runs are practical up to 4096 ranks even on "
-                "the coop backend; use `predict` beyond that")
+                "the coop backend; pass --backend tensor (with --wire "
+                "phantom) beyond that")
+    if backend == "tensor" and dist != "const" and nprocs > 8192:
+        return ("a sampled P x P size matrix above 8192 ranks does not "
+                "fit in memory; pass --dist const for paper-scale runs")
     return None
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    error = _check_backend_limits(args.backend, args.nprocs)
+    error = _check_backend_limits(args.backend, args.nprocs, args.dist)
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     machine = get_profile(args.machine)
-    dist = distribution_by_name(args.dist, args.max_block)
-    sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
     phantom = args.wire == "phantom"
-    try:
-        fault_plan = (FaultPlan.parse(args.faults)
-                      if args.faults is not None else None)
-    except ValueError as exc:
-        print(f"error: bad --faults spec: {exc}", file=sys.stderr)
-        return 2
-    # Byte verification assumes exactly-once delivery.  It holds on a
-    # clean fabric and under the reliability transport; degrade mode
-    # legitimately zero-fills crashed ranks' blocks, and fail-fast drop
-    # plans error out before verification matters.
-    verify = not phantom and (fault_plan is None
-                              or args.on_fault == "retry")
-
-    def prog(comm):
-        vargs = build_vargs(comm.rank, sizes, fill=not phantom)
-        start = comm.clock
-        alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
-        if verify:
-            verify_recv(comm.rank, sizes, vargs.recvbuf)
-        return comm.clock - start
-
     # Per-event traces at thousands of ranks are pure overhead here;
-    # aggregate metrics keep large-P runs fast.
-    trace = "metrics" if args.nprocs > 256 else True
+    # aggregate metrics keep large-P runs fast.  The tensor backend
+    # records neither.
+    if args.backend == "tensor":
+        trace = False
+    else:
+        trace = "metrics" if args.nprocs > 256 else True
     try:
-        result = run_spmd(prog, args.nprocs, machine=machine, trace=trace,
-                          backend=args.backend, timeout=600.0,
-                          wire=args.wire, fault_plan=fault_plan,
-                          fault_seed=args.fault_seed,
-                          on_fault=args.on_fault)
-    except SimMPIError as exc:
+        config = ExecutionConfig(machine=machine, trace=trace,
+                                 timeout=600.0, backend=args.backend,
+                                 wire=args.wire, fault_plan=args.faults,
+                                 fault_seed=args.fault_seed,
+                                 on_fault=args.on_fault)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dist == "const":
+        sizes = None
+    else:
+        dist = distribution_by_name(args.dist, args.max_block)
+        sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
+
+    if args.backend == "tensor":
+        prog = TensorAlltoallv(
+            args.algorithm,
+            args.max_block if sizes is None else sizes)
+        verify = False
+    else:
+        if sizes is None:
+            sizes = np.full((args.nprocs, args.nprocs), args.max_block,
+                            dtype=np.int64)
+        # Byte verification assumes exactly-once delivery.  It holds on
+        # a clean fabric and under the reliability transport; degrade
+        # mode legitimately zero-fills crashed ranks' blocks, and
+        # fail-fast drop plans error out before verification matters.
+        verify = not phantom and (config.fault_plan is None
+                                  or args.on_fault == "retry")
+
+        def prog(comm):
+            vargs = build_vargs(comm.rank, sizes, fill=not phantom)
+            start = comm.clock
+            alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
+            if verify:
+                verify_recv(comm.rank, sizes, vargs.recvbuf)
+            return comm.clock - start
+
+    try:
+        result = run_spmd(prog, args.nprocs, config=config)
+    except (SimMPIError, ValueError) as exc:
         print(f"run failed with {type(exc).__name__}: {exc}",
               file=sys.stderr)
         return 1
@@ -137,11 +172,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         verified = "buffers unverified (phantom wire: size-only transport)"
     else:
         verified = "buffers unverified (faults injected without retry)"
-    returns = [r for r in result.returns if r is not None]
+    elapsed = max(r for r in result.returns if r is not None) \
+        if args.backend != "tensor" else max(result.clocks)
     print(f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
           f"({args.dist}, {machine.name}, {args.backend} backend, "
           f"{args.wire} wire): "
-          f"{max(returns) * 1e3:.4f} simulated ms, "
+          f"{elapsed * 1e3:.4f} simulated ms, "
           f"{result.total_messages} messages, {result.total_bytes} bytes "
           f"on the wire; {verified}")
     if result.metrics is not None and result.metrics.fault_counts:
@@ -169,8 +205,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
         alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
         verify_recv(comm.rank, sizes, vargs.recvbuf)
 
-    result = run_spmd(prog, args.nprocs, machine=machine, trace=True,
-                      backend=args.backend)
+    result = run_spmd(prog, args.nprocs,
+                      config=ExecutionConfig(machine=machine, trace=True,
+                                             backend=args.backend))
     print(result.summary(
         title=f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
               f"({args.dist}, {machine.name}):"))
@@ -231,9 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=ALGORITHM_CHOICES)
     _add_common(p)
     p.add_argument("--backend", default="threads", choices=BACKENDS,
-                   help="executor backend: threads (default, <= 256 ranks) "
-                        "or coop (cooperative scheduler, thousands of "
-                        "ranks)")
+                   help="executor backend: threads (default, <= 256 "
+                        "ranks), coop (cooperative scheduler, thousands "
+                        "of ranks), or tensor (vectorized whole-fabric "
+                        "engine, tens of thousands of ranks; requires "
+                        "--wire phantom)")
     p.add_argument("--wire", default="bytes", choices=WIRE_MODES,
                    help="payload transport: bytes (default; real data, "
                         "byte-verified) or phantom (size-only envelopes — "
@@ -268,7 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="block-size distribution (default: uniform)")
     p.add_argument("--machine", default="theta", choices=sorted(PROFILES))
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--backend", default="threads", choices=BACKENDS,
+    p.add_argument("--backend", default="threads",
+                   choices=["threads", "coop"],
                    help="executor backend (default: threads)")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="write the trace-event JSON here "

@@ -50,13 +50,30 @@ def run_functional_iterations(algorithm: str, nprocs: int, dist,
     ``DESIGN.md``, but the host moves no payload bytes, so large-P
     iteration loops run dramatically faster and memory-flat).  Pass
     ``wire="bytes"`` when the run should also byte-verify delivery.
+
+    ``backend="tensor"`` evaluates each iteration on the vectorized
+    whole-fabric engine (phantom wire required) — same clocks, tens of
+    thousands of ranks.
     """
     from ..core.registry import get_algorithm
-    from ..simmpi import THETA, run_spmd
+    from ..simmpi import ExecutionConfig, THETA, run_spmd
+    from ..simmpi.tensor import TensorAlltoallv
     from ..workloads import block_size_matrix, build_vargs
 
-    fn = get_algorithm(algorithm, kind="nonuniform").fn
     machine = THETA if machine is None else machine
+    config = ExecutionConfig(machine=machine, trace=False, timeout=600.0,
+                             backend=backend, wire=wire)
+
+    if backend == "tensor":
+        def experiment(seed: int) -> float:
+            sizes = block_size_matrix(dist, nprocs, seed=seed)
+            result = run_spmd(TensorAlltoallv(algorithm, sizes, **kwargs),
+                              nprocs, config=config)
+            return max(result.clocks)
+
+        return run_iterations(experiment, iterations, base_seed=base_seed)
+
+    fn = get_algorithm(algorithm, kind="nonuniform").fn
     fill = wire == "bytes"
 
     def experiment(seed: int) -> float:
@@ -68,8 +85,7 @@ def run_functional_iterations(algorithm: str, nprocs: int, dist,
             fn(comm, *vargs.as_tuple(), **kwargs)
             return comm.clock - start
 
-        result = run_spmd(prog, nprocs, machine=machine, trace=False,
-                          backend=backend, wire=wire, timeout=600.0)
+        result = run_spmd(prog, nprocs, config=config)
         return max(result.returns)
 
     return run_iterations(experiment, iterations, base_seed=base_seed)

@@ -75,7 +75,7 @@ def run_fixpoint(comm: Communicator, relation: LocalRelation,
         against ``relation``.
     algorithm:
         The alltoallv implementation routing facts (``"vendor"`` or any
-        name in :data:`repro.core.NONUNIFORM_ALGORITHMS`).
+        name in ``list_algorithms("nonuniform")``).
 
     Returns
     -------

@@ -25,7 +25,6 @@ from .cost_model import (
     two_phase_bruck_time,
 )
 from .nonuniform import (
-    NONUNIFORM_ALGORITHMS,
     alltoallv,
     padded_alltoall,
     padded_bruck,
@@ -40,7 +39,6 @@ from .registry import (
 )
 from .selector import CrossoverPoint, PerformanceModel
 from .uniform import (
-    UNIFORM_ALGORITHMS,
     alltoall,
     basic_bruck,
     basic_bruck_dt,
@@ -62,7 +60,6 @@ __all__ = [
     "rotation_index_array",
     "total_send_blocks_per_step",
     "alltoall",
-    "UNIFORM_ALGORITHMS",
     "basic_bruck",
     "basic_bruck_dt",
     "modified_bruck",
@@ -71,7 +68,6 @@ __all__ = [
     "zero_rotation_bruck",
     "spread_out",
     "alltoallv",
-    "NONUNIFORM_ALGORITHMS",
     "padded_bruck",
     "padded_alltoall",
     "two_phase_bruck",
@@ -85,3 +81,18 @@ __all__ = [
     "PerformanceModel",
     "CrossoverPoint",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated alias dicts now live behind compatibility stubs in the
+    # implementation packages (which emit the DeprecationWarning).
+    if name == "UNIFORM_ALGORITHMS":
+        from . import uniform
+
+        return uniform.UNIFORM_ALGORITHMS
+    if name == "NONUNIFORM_ALGORITHMS":
+        from . import nonuniform
+
+        return nonuniform.NONUNIFORM_ALGORITHMS
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -12,7 +12,7 @@ vendor-optimized ``MPI_Alltoallv`` the paper benchmarks against.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -31,7 +31,6 @@ __all__ = [
     "spread_out_v",
     "sloav_alltoallv",
     "grouped_alltoallv",
-    "NONUNIFORM_ALGORITHMS",
     "alltoallv",
 ]
 
@@ -53,18 +52,24 @@ for _name, _fn, _desc in (
 ):
     register_algorithm(_name, "nonuniform", _fn, _desc)
 
-#: Deprecated alias of :mod:`repro.core.registry` — kept for backward
-#: compatibility; new code should use ``get_algorithm(name, "nonuniform")``
-#: or ``list_algorithms("nonuniform")``.  Note it excludes ``"vendor"``,
-#: which the registry does carry.
-NONUNIFORM_ALGORITHMS: Dict[str, AlltoallvFn] = {
-    "padded_bruck": padded_bruck,
-    "padded_alltoall": padded_alltoall,
-    "two_phase_bruck": two_phase_bruck,
-    "spread_out": spread_out_v,
-    "sloav": sloav_alltoallv,
-    "grouped": grouped_alltoallv,
-}
+def __getattr__(name: str):
+    # One-release compatibility stub for the removed alias dict; use
+    # ``list_algorithms("nonuniform")`` / ``get_algorithm(name,
+    # "nonuniform")``.
+    if name == "NONUNIFORM_ALGORITHMS":
+        import warnings
+
+        warnings.warn(
+            "NONUNIFORM_ALGORITHMS is deprecated; use "
+            "repro.core.registry.list_algorithms('nonuniform') / "
+            "get_algorithm(name, 'nonuniform') instead",
+            DeprecationWarning, stacklevel=2)
+        from ..registry import get_algorithm, list_algorithms
+
+        return {n: get_algorithm(n, "nonuniform").fn
+                for n in list_algorithms("nonuniform") if n != "vendor"}
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 def alltoallv(comm: Communicator, sendbuf: np.ndarray,

@@ -16,8 +16,9 @@ level.
 the MPI library's own ``MPI_Alltoall(v)`` and routes to the communicator's
 builtin (spread-out) collectives.
 
-The legacy ``UNIFORM_ALGORITHMS`` / ``NONUNIFORM_ALGORITHMS`` dicts remain
-as thin deprecated aliases of this registry.
+The legacy ``UNIFORM_ALGORITHMS`` / ``NONUNIFORM_ALGORITHMS`` alias dicts
+are gone; one-release compatibility stubs in the implementation packages
+rebuild them on access and emit a ``DeprecationWarning``.
 """
 
 from __future__ import annotations

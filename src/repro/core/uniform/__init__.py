@@ -10,7 +10,7 @@ Use :func:`alltoall` to dispatch by name.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
 import numpy as np
 
@@ -30,7 +30,6 @@ __all__ = [
     "zero_copy_bruck_dt",
     "zero_rotation_bruck",
     "spread_out",
-    "UNIFORM_ALGORITHMS",
     "alltoall",
 ]
 
@@ -50,19 +49,23 @@ for _name, _fn, _desc in (
 ):
     register_algorithm(_name, "uniform", _fn, _desc)
 
-#: Deprecated alias of :mod:`repro.core.registry` — kept for backward
-#: compatibility; new code should use ``get_algorithm(name, "uniform")``
-#: or ``list_algorithms("uniform")``.  Note it excludes ``"vendor"``,
-#: which the registry does carry.
-UNIFORM_ALGORITHMS: Dict[str, AlltoallFn] = {
-    "basic_bruck": basic_bruck,
-    "basic_bruck_dt": basic_bruck_dt,
-    "modified_bruck": modified_bruck,
-    "modified_bruck_dt": modified_bruck_dt,
-    "zero_copy_bruck_dt": zero_copy_bruck_dt,
-    "zero_rotation_bruck": zero_rotation_bruck,
-    "spread_out": spread_out,
-}
+def __getattr__(name: str):
+    # One-release compatibility stub for the removed alias dict; use
+    # ``list_algorithms("uniform")`` / ``get_algorithm(name, "uniform")``.
+    if name == "UNIFORM_ALGORITHMS":
+        import warnings
+
+        warnings.warn(
+            "UNIFORM_ALGORITHMS is deprecated; use "
+            "repro.core.registry.list_algorithms('uniform') / "
+            "get_algorithm(name, 'uniform') instead",
+            DeprecationWarning, stacklevel=2)
+        from ..registry import get_algorithm, list_algorithms
+
+        return {n: get_algorithm(n, "uniform").fn
+                for n in list_algorithms("uniform") if n != "vendor"}
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 def alltoall(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,

@@ -16,14 +16,24 @@ Three uses:
    without running a simulation.
 3. **Documentation** — the schedule *is* the algorithm's communication
    pattern, in executable form.
+
+:func:`fabric_schedule` is the whole-fabric form of the same information:
+per communication step, flat ``(src, dst, nbytes, tag)`` arrays covering
+every rank at once — the plug-in representation the vectorized tensor
+backend consumes, and the only form that covers ``grouped`` (whose leader
+aggregation has no natural single-rank schedule).
 """
 
 from .schedules import (
+    ExchangeStep,
     Message,
+    fabric_schedule,
+    fabric_volume,
     nonuniform_schedule,
     schedule_volume,
     uniform_schedule,
 )
 
 __all__ = ["Message", "uniform_schedule", "nonuniform_schedule",
-           "schedule_volume"]
+           "schedule_volume", "ExchangeStep", "fabric_schedule",
+           "fabric_volume"]

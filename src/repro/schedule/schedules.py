@@ -8,14 +8,15 @@ two-phase Bruck — is excluded; traces filter it by tag the same way).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..core.common import num_steps, send_block_distances
 
 __all__ = ["Message", "uniform_schedule", "nonuniform_schedule",
-           "schedule_volume"]
+           "schedule_volume", "ExchangeStep", "fabric_schedule",
+           "fabric_volume"]
 
 
 @dataclass(frozen=True)
@@ -153,6 +154,243 @@ def nonuniform_schedule(algorithm: str, rank: int,
         return out
 
     raise KeyError(f"unknown non-uniform algorithm {algorithm!r}")
+
+
+# ----------------------------------------------------------------------
+# whole-fabric exchange schedules (the tensor backend's plug-in form)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExchangeStep:
+    """One communication step of the whole fabric as flat arrays.
+
+    All four arrays have one entry per wire message posted in this step:
+    ``src[i]`` sends ``nbytes[i]`` bytes to ``dst[i]`` on channel
+    ``tag[i]``.  This is the per-step array form the vectorized tensor
+    backend consumes (:mod:`repro.simmpi.tensor`): within a step every
+    message is independent; steps are ordered.
+    """
+
+    label: str              # e.g. "bruck_step_3", "leader_counts"
+    src: np.ndarray         # (M,) int64 sending ranks
+    dst: np.ndarray         # (M,) int64 receiving ranks
+    nbytes: np.ndarray      # (M,) int64 payload bytes
+    tag: np.ndarray         # (M,) int64 channel tags
+
+    @property
+    def messages(self) -> int:
+        return len(self.src)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.nbytes.sum())
+
+
+def _step(label: str, src, dst, nbytes, tag) -> ExchangeStep:
+    src = np.asarray(src, dtype=np.int64)
+    make = (lambda v: np.broadcast_to(
+        np.asarray(v, dtype=np.int64), src.shape).copy())
+    return ExchangeStep(label, src, make(dst), make(nbytes), make(tag))
+
+
+def _shift_steps(label: str, p: int, direction: int, per_step_bytes,
+                 tag_base: int) -> List[ExchangeStep]:
+    """The Bruck family: at step ``k`` every rank exchanges with its
+    partner at distance ``direction * 2^k``."""
+    ranks = np.arange(p, dtype=np.int64)
+    out: List[ExchangeStep] = []
+    for k in range(num_steps(p)):
+        m = len(send_block_distances(k, p))
+        if not m:
+            continue
+        nbytes = per_step_bytes(k, m)
+        out.append(_step(f"{label}_{k}", ranks,
+                         (ranks + direction * (1 << k)) % p,
+                         nbytes, tag_base + k))
+    return out
+
+
+def _spread_steps(p: int, sizes: Optional[np.ndarray], const: int,
+                  tag: int) -> List[ExchangeStep]:
+    """Spread-out: one step, every ordered pair, a single shared tag."""
+    ranks = np.arange(p, dtype=np.int64)
+    offs = np.arange(1, p, dtype=np.int64)
+    src = np.repeat(ranks, p - 1)
+    dst = ((ranks[:, None] + offs[None, :]) % p).ravel()
+    if sizes is None:
+        nbytes = np.full(src.shape, const, dtype=np.int64)
+    else:
+        nbytes = sizes[src, dst]
+    return [_step("spread_out", src, dst, nbytes, tag)]
+
+
+def _bruck_route(p: int, k: int, dist: List[int],
+                 orientation: int) -> np.ndarray:
+    """(origin, destination) source-matrix indices of each in-flight block.
+
+    For each rank ``r`` (axis 0) and block distance ``dist[a]`` (axis 1)
+    returns the ``sizes[s, d]`` index pair of the block rank ``r``
+    forwards at step ``k``.  ``orientation=+1`` is basic-Bruck (SLOAV),
+    ``-1`` modified-Bruck (two-phase).
+    """
+    ranks = np.arange(p, dtype=np.int64)[:, None]
+    d_arr = np.asarray(dist, dtype=np.int64)[None, :]
+    low = d_arr & ((1 << k) - 1)
+    if orientation > 0:
+        s = (ranks - low) % p
+        dest = (s + d_arr) % p
+    else:
+        s = (ranks + low) % p
+        dest = (s - d_arr) % p
+    return s, dest
+
+
+def fabric_schedule(algorithm: str, kind: str, nprocs: int, *,
+                    block_nbytes: Optional[int] = None,
+                    sizes: Optional[np.ndarray] = None,
+                    group_size: int = 8,
+                    tag_base: int = 0) -> List[ExchangeStep]:
+    """The whole fabric's data-plane exchange schedule, step by step.
+
+    Covers every algorithm registered in :mod:`repro.core.registry` —
+    including ``grouped``, whose leader aggregation only has a natural
+    schedule at fabric granularity.  Uniform algorithms take
+    ``block_nbytes``; non-uniform take the ``(P, P)`` byte matrix
+    ``sizes``.  Like the per-rank schedules, internal *control* traffic
+    (the allreduce inside padded/two-phase, SLOAV's metadata headers
+    excepted — those ride the data plane) is excluded; ``vendor`` tags
+    are reported as the builtin collective would allocate them on an
+    otherwise-quiet communicator.
+    """
+    p = int(nprocs)
+    if p <= 0:
+        raise ValueError(f"nprocs must be positive, got {p}")
+    ranks = np.arange(p, dtype=np.int64)
+    # mirrors communicator.MAX_USER_TAG without importing the simulator
+    coll_tag = 1 << 20
+
+    if kind == "uniform":
+        if block_nbytes is None:
+            raise ValueError("uniform schedules require block_nbytes")
+        n = int(block_nbytes)
+        if algorithm in ("spread_out", "vendor"):
+            if n == 0 and algorithm == "spread_out":
+                return []
+            tag = coll_tag if algorithm == "vendor" else tag_base
+            return _spread_steps(p, None, n, tag)
+        if n == 0:
+            return []
+        if algorithm in ("basic_bruck", "basic_bruck_dt"):
+            direction = +1
+        elif algorithm in ("modified_bruck", "modified_bruck_dt",
+                           "zero_copy_bruck_dt", "zero_rotation_bruck"):
+            direction = -1
+        else:
+            raise KeyError(f"unknown uniform algorithm {algorithm!r}")
+        return _shift_steps("bruck_step", p, direction,
+                            lambda k, m: m * n, tag_base)
+
+    if kind != "nonuniform":
+        raise KeyError(f"unknown algorithm kind {kind!r}")
+    if sizes is None:
+        raise ValueError("nonuniform schedules require sizes")
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.shape != (p, p):
+        raise ValueError(
+            f"sizes must have shape ({p}, {p}), got {sizes.shape}")
+
+    if algorithm in ("spread_out", "vendor"):
+        tag = coll_tag if algorithm == "vendor" else tag_base
+        return _spread_steps(p, sizes, 0, tag)
+
+    max_n = int(sizes.max(initial=0))
+
+    if algorithm == "padded_bruck":
+        if max_n == 0:
+            return []
+        return _shift_steps("bruck_step", p, -1,
+                            lambda k, m: m * max_n, tag_base)
+
+    if algorithm == "padded_alltoall":
+        if max_n == 0:
+            return []
+        # allreduce consumes the first collective tag block before the
+        # builtin alltoall allocates its own
+        return _spread_steps(p, None, max_n,
+                             coll_tag + (8 if p > 1 else 0))
+
+    if algorithm == "two_phase_bruck":
+        if max_n == 0:
+            return []
+        out: List[ExchangeStep] = []
+        for k in range(num_steps(p)):
+            dist = send_block_distances(k, p)
+            if not dist:
+                continue
+            s, d = _bruck_route(p, k, dist, -1)
+            data = sizes[s, d].sum(axis=1)
+            dst = (ranks - (1 << k)) % p
+            out.append(_step(f"meta_{k}", ranks, dst, 4 * len(dist),
+                             tag_base + 2 * k))
+            out.append(_step(f"data_{k}", ranks, dst, data,
+                             tag_base + 2 * k + 1))
+        return out
+
+    if algorithm == "sloav":
+        if max_n == 0:
+            pass  # SLOAV still runs its exchange rounds on empty input
+        out = []
+        for k in range(num_steps(p)):
+            dist = send_block_distances(k, p)
+            if not dist:
+                continue
+            s, d = _bruck_route(p, k, dist, +1)
+            data = sizes[s, d].sum(axis=1)
+            dst = (ranks + (1 << k)) % p
+            out.append(_step(f"header_{k}", ranks, dst, 4,
+                             tag_base + 2 * k))
+            out.append(_step(f"combined_{k}", ranks, dst,
+                             4 * len(dist) + data, tag_base + 2 * k + 1))
+        return out
+
+    if algorithm == "grouped":
+        g = min(int(group_size), p)
+        n_groups = (p + g - 1) // g
+        lead = (ranks // g) * g
+        leads = np.arange(n_groups, dtype=np.int64) * g
+        gsize = np.minimum(leads + g, p) - leads
+        members = ranks[ranks != lead]
+        row_sum = sizes.sum(axis=1)
+        col_sum = sizes.sum(axis=0)
+        out = []
+        if members.size:
+            out.append(_step("gather_counts", members, lead[members],
+                             8 * p, tag_base + 0))
+            out.append(_step("gather_data", members, lead[members],
+                             row_sum[members], tag_base + 1))
+        if n_groups > 1:
+            blob = np.add.reduceat(
+                np.add.reduceat(sizes, leads, axis=0), leads, axis=1)
+            gi, og = np.nonzero(~np.eye(n_groups, dtype=bool))
+            out.append(_step("leader_counts", leads[gi], leads[og],
+                             8 * gsize[gi] * gsize[og], tag_base + 2))
+            out.append(_step("leader_blobs", leads[gi], leads[og],
+                             blob[gi, og], tag_base + 3))
+        if members.size:
+            out.append(_step("scatter_data", lead[members], members,
+                             col_sum[members], tag_base + 4))
+        return out
+
+    raise KeyError(f"unknown non-uniform algorithm {algorithm!r}")
+
+
+def fabric_volume(steps: List[ExchangeStep]) -> Dict[str, int]:
+    """Aggregate a fabric schedule into message and byte totals."""
+    return {
+        "steps": len(steps),
+        "messages": sum(s.messages for s in steps),
+        "bytes": sum(s.total_bytes for s in steps),
+    }
 
 
 def schedule_volume(schedule: List[Message]) -> Dict[str, int]:

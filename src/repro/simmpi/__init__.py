@@ -10,19 +10,21 @@ thousands of ranks; see :mod:`repro.simmpi.scheduler`).
 
 Quick start::
 
-    from repro.simmpi import run_spmd, THETA
+    from repro.simmpi import ExecutionConfig, run_spmd, THETA
 
     def program(comm):
         comm.barrier()
         return comm.rank
 
-    result = run_spmd(program, nprocs=8, machine=THETA)
+    result = run_spmd(program, nprocs=8,
+                      config=ExecutionConfig(machine=THETA))
     print(result.returns, result.elapsed)
 
 See ``DESIGN.md`` §5 for the cost rules and calibration rationale.
 """
 
 from .communicator import MAX_USER_TAG, Communicator
+from .config import ExecutionConfig
 from .datatype import IndexedBlocks
 from .errors import (
     CommAbortedError,
@@ -56,6 +58,7 @@ from .metrics import Counter, Histogram, MetricsRegistry, RunMetrics
 from .network import WIRE_MODES, Envelope, Network
 from .scheduler import CoopNetwork, CoopScheduler
 from .request import RecvRequest, Request, SendRequest, waitall
+from .tensor import TensorAlltoall, TensorAlltoallv
 from .trace_export import (
     chrome_trace,
     export_chrome_trace,
@@ -91,6 +94,9 @@ __all__ = [
     "MessageLostError",
     "run_spmd",
     "SPMDResult",
+    "ExecutionConfig",
+    "TensorAlltoall",
+    "TensorAlltoallv",
     "TRACE_MODES",
     "BACKENDS",
     "WIRE_MODES",

@@ -1,0 +1,177 @@
+"""The typed execution configuration for :func:`repro.simmpi.run_spmd`.
+
+``run_spmd`` grew one keyword at a time — machine, trace, timeout,
+backend, wire, fault plan, fault seed, failure policy, reliability — until
+every caller threaded nine loose kwargs through every layer.
+:class:`ExecutionConfig` replaces that surface with one frozen, validated
+value object:
+
+* **validated at construction** — unknown backend/wire/on_fault/trace
+  strings raise ``ValueError`` naming the valid set *before* any rank
+  spawns, and the fault-plan / reliability spec strings are parsed here,
+  so a typo fails at config build time, not deep inside a run;
+* **normalized** — ``fault_plan`` and ``reliability`` are stored as their
+  parsed object forms, and ``on_fault="retry"`` resolves the implied
+  default :class:`~repro.simmpi.faults.ReliabilityConfig`, so the config
+  echoed on :class:`~repro.simmpi.executor.SPMDResult` describes exactly
+  what the run did;
+* **hashable/frozen** — a config can key a result cache or be compared
+  across runs.
+
+The legacy ``run_spmd(fn, n, machine=..., backend=...)`` kwargs keep
+working through a deprecation shim that forwards into a config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Optional, Union
+
+from .faults import FaultPlan, ReliabilityConfig
+from .machine import LOCAL, MachineProfile
+from .network import WIRE_MODES
+
+__all__ = [
+    "ExecutionConfig",
+    "BACKENDS",
+    "ON_FAULT_POLICIES",
+    "TRACE_MODES",
+    "WIRE_MODES",
+]
+
+#: Accepted values of the ``backend`` parameter.  ``threads`` runs one OS
+#: thread per rank, ``coop`` a clock-ordered cooperative scheduler, and
+#: ``tensor`` the vectorized whole-fabric engine (:mod:`repro.simmpi.tensor`).
+BACKENDS = ("threads", "coop", "tensor")
+
+#: Accepted values of the ``on_fault`` failure policy.
+ON_FAULT_POLICIES = ("fail-fast", "retry", "degrade")
+
+#: Accepted values of the ``trace`` parameter.  Booleans remain valid:
+#: ``True`` maps to ``"full"`` (events + metrics) and ``False`` to ``"off"``.
+TRACE_MODES = ("off", "events", "metrics", "full")
+
+
+def _resolve_trace_mode(trace: Union[bool, str, None]) -> str:
+    if trace is None or trace is False:
+        return "off"
+    if trace is True:
+        return "full"
+    if isinstance(trace, str) and trace in TRACE_MODES:
+        return trace
+    raise ValueError(
+        f"trace must be a bool or one of {TRACE_MODES}, got {trace!r}"
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Everything about *how* an SPMD run executes (not *what* it runs).
+
+    Parameters mirror the documented semantics of :func:`run_spmd`:
+
+    machine:
+        Cost-model profile (default: the forgiving ``LOCAL`` profile).
+    trace:
+        Observability mode: ``True``/``"full"``, ``"events"``,
+        ``"metrics"``, or ``False``/``None``/``"off"``.  Stored
+        normalized to one of :data:`TRACE_MODES`.
+    timeout:
+        Thread-backend watchdog in wall-clock seconds (shared by the
+        whole job).  The coop and tensor backends ignore it.
+    backend:
+        One of :data:`BACKENDS`.
+    wire:
+        One of :data:`WIRE_MODES` (``"bytes"`` or ``"phantom"``).
+    fault_plan:
+        A :class:`~repro.simmpi.faults.FaultPlan`, its ``--faults`` spec
+        string (parsed here), or ``None`` for a clean fabric.
+    fault_seed:
+        Seed of the fault engine's per-message RNG.
+    on_fault:
+        One of :data:`ON_FAULT_POLICIES`.  ``"retry"`` resolves the
+        implied default :class:`ReliabilityConfig` at construction.
+    reliability:
+        A :class:`ReliabilityConfig`, ``"retry"`` (the defaults),
+        ``"none"``/``None``.
+
+    Examples
+    --------
+    >>> cfg = ExecutionConfig(machine=THETA, backend="coop",
+    ...                       wire="phantom", trace=False)
+    >>> result = run_spmd(prog, 1024, config=cfg)
+    """
+
+    machine: MachineProfile = LOCAL
+    trace: str = "full"
+    timeout: float = 120.0
+    backend: str = "threads"
+    wire: str = "bytes"
+    fault_plan: Optional[FaultPlan] = None
+    fault_seed: int = 0
+    on_fault: str = "fail-fast"
+    reliability: Optional[ReliabilityConfig] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.machine, MachineProfile):
+            raise ValueError(
+                f"machine must be a MachineProfile, got {self.machine!r}")
+        # Normalize the trace mode (bools and None are accepted inputs).
+        object.__setattr__(self, "trace", _resolve_trace_mode(self.trace))
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.wire not in WIRE_MODES:
+            raise ValueError(
+                f"wire must be one of {WIRE_MODES}, got {self.wire!r}")
+        if self.on_fault not in ON_FAULT_POLICIES:
+            raise ValueError(
+                f"on_fault must be one of {ON_FAULT_POLICIES}, "
+                f"got {self.on_fault!r}")
+        if isinstance(self.fault_plan, str):
+            object.__setattr__(self, "fault_plan",
+                               FaultPlan.parse(self.fault_plan))
+        elif self.fault_plan is not None and \
+                not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a FaultPlan, a spec string or None, "
+                f"got {self.fault_plan!r}")
+        rel = self.reliability
+        if isinstance(rel, str):
+            if rel == "none":
+                rel = None
+            elif rel == "retry":
+                rel = ReliabilityConfig()
+            else:
+                raise ValueError(
+                    f"reliability must be 'none', 'retry' or a "
+                    f"ReliabilityConfig, got {rel!r}")
+        elif rel is not None and not isinstance(rel, ReliabilityConfig):
+            raise ValueError(
+                f"reliability must be 'none', 'retry', a ReliabilityConfig "
+                f"or None, got {rel!r}")
+        if self.on_fault == "retry" and rel is None:
+            rel = ReliabilityConfig()
+        object.__setattr__(self, "reliability", rel)
+
+    # -- derived views ---------------------------------------------------
+    @property
+    def events_on(self) -> bool:
+        return self.trace in ("full", "events")
+
+    @property
+    def metrics_on(self) -> bool:
+        return self.trace in ("full", "metrics")
+
+    @property
+    def faulted(self) -> bool:
+        """True when the fabric carries an injector (plan or reliability)."""
+        return self.fault_plan is not None or self.reliability is not None
+
+    def replace(self, **overrides) -> "ExecutionConfig":
+        """Return a copy with selected fields replaced (re-validated)."""
+        kwargs = {f.name: getattr(self, f.name) for f in fields(self)}
+        kwargs.update(overrides)
+        return ExecutionConfig(**kwargs)

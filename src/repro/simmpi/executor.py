@@ -32,45 +32,30 @@ backends.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from time import monotonic
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .communicator import Communicator
+from .config import (BACKENDS, ON_FAULT_POLICIES, TRACE_MODES,
+                     ExecutionConfig)
 from .errors import (CommAbortedError, DeadlockError, InjectedCrashError,
                      RankFailedError, SimMPIError)
 from .faults import FaultInjector, FaultPlan, ReliabilityConfig
-from .machine import LOCAL, MachineProfile
+from .machine import MachineProfile
 from .metrics import MetricsRegistry, RunMetrics
 from .network import WIRE_MODES, Network
 from .scheduler import CoopNetwork, CoopScheduler
 from .tracing import MetricsTrace, NullTrace, RankTrace, TraceBase
 
-__all__ = ["run_spmd", "SPMDResult", "TRACE_MODES", "BACKENDS", "WIRE_MODES",
-           "ON_FAULT_POLICIES"]
+__all__ = ["run_spmd", "SPMDResult", "ExecutionConfig", "TRACE_MODES",
+           "BACKENDS", "WIRE_MODES", "ON_FAULT_POLICIES"]
 
-#: Accepted values of ``run_spmd``'s ``backend`` parameter.
-BACKENDS = ("threads", "coop")
-
-#: Accepted values of ``run_spmd``'s ``on_fault`` parameter.
-ON_FAULT_POLICIES = ("fail-fast", "retry", "degrade")
-
-#: Accepted values of ``run_spmd``'s ``trace`` parameter.  Booleans remain
-#: valid: ``True`` maps to ``"full"`` (events + metrics) and ``False`` to
-#: ``"off"``.
-TRACE_MODES = ("off", "events", "metrics", "full")
-
-
-def _resolve_trace_mode(trace: Union[bool, str, None]) -> str:
-    if trace is None or trace is False:
-        return "off"
-    if trace is True:
-        return "full"
-    if isinstance(trace, str) and trace in TRACE_MODES:
-        return trace
-    raise ValueError(
-        f"trace must be a bool or one of {TRACE_MODES}, got {trace!r}"
-    )
+#: Sentinel distinguishing "kwarg not passed" from any real value, so the
+#: deprecation shim can detect legacy keyword use and reject mixing it
+#: with ``config=``.
+_UNSET: Any = object()
 
 
 @dataclass
@@ -86,6 +71,8 @@ class SPMDResult:
     total_bytes: int
     metrics: Optional[RunMetrics] = field(default=None)
     wire: str = "bytes"         # payload transport mode of the run
+    #: Echo of the resolved :class:`ExecutionConfig` the run executed under.
+    config: Optional[ExecutionConfig] = field(default=None)
     #: Ranks excised by ``on_fault="degrade"`` (injected crashes that did
     #: not tear the job down).  Their ``returns`` entry is ``None`` and
     #: their ``clocks`` entry is the simulated crash time.  Empty for
@@ -156,19 +143,26 @@ class SPMDResult:
 
 
 def run_spmd(fn: Callable[..., Any], nprocs: int, *,
-             machine: MachineProfile = LOCAL,
+             config: Optional[ExecutionConfig] = None,
              args: Sequence[Any] = (),
              rank_args: Optional[Sequence[Sequence[Any]]] = None,
-             trace: Union[bool, str, None] = True,
-             timeout: float = 120.0,
-             backend: str = "threads",
-             wire: str = "bytes",
-             fault_plan: Union[FaultPlan, str, None] = None,
-             fault_seed: int = 0,
-             on_fault: str = "fail-fast",
-             reliability: Union[ReliabilityConfig, str, None] = None,
+             machine: MachineProfile = _UNSET,
+             trace: Union[bool, str, None] = _UNSET,
+             timeout: float = _UNSET,
+             backend: str = _UNSET,
+             wire: str = _UNSET,
+             fault_plan: Union[FaultPlan, str, None] = _UNSET,
+             fault_seed: int = _UNSET,
+             on_fault: str = _UNSET,
+             reliability: Union[ReliabilityConfig, str, None] = _UNSET,
              ) -> SPMDResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
+
+    The primary signature is ``run_spmd(fn, nprocs, config=ExecutionConfig
+    (...))``: one validated value object describes how the run executes.
+    The loose keyword arguments below (``machine``, ``trace``, ...) are the
+    legacy surface — they keep working through a deprecation shim that
+    forwards them into a config, but cannot be mixed with ``config=``.
 
     Parameters
     ----------
@@ -176,11 +170,15 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         The SPMD program.  Called as ``fn(comm, *args)`` — or, when
         ``rank_args`` is given, as ``fn(comm, *rank_args[rank])`` so each
         rank can receive its own inputs (e.g. its row of a block-size
-        matrix).
+        matrix).  Under ``backend="tensor"`` this must be a
+        :class:`~repro.simmpi.tensor.TensorProgram` spec object.
     nprocs:
         Number of simulated ranks.  The thread backend is practical up to
-        a few hundred; ``backend="coop"`` scales to thousands (use
-        :mod:`repro.timing` beyond that).
+        a few hundred; ``backend="coop"`` scales to thousands;
+        ``backend="tensor"`` to the paper's 32K.
+    config:
+        An :class:`ExecutionConfig`; mutually exclusive with the legacy
+        keywords below.
     machine:
         Cost-model profile; defaults to the forgiving ``LOCAL`` profile.
     trace:
@@ -240,30 +238,40 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
             f"rank_args must have one entry per rank "
             f"({nprocs}), got {len(rank_args)}"
         )
-    if backend not in BACKENDS:
-        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    if wire not in WIRE_MODES:
-        raise ValueError(f"wire must be one of {WIRE_MODES}, got {wire!r}")
-    if on_fault not in ON_FAULT_POLICIES:
-        raise ValueError(
-            f"on_fault must be one of {ON_FAULT_POLICIES}, got {on_fault!r}")
-    if isinstance(fault_plan, str):
-        fault_plan = FaultPlan.parse(fault_plan)
-    if isinstance(reliability, str):
-        if reliability == "none":
-            reliability = None
-        elif reliability == "retry":
-            reliability = ReliabilityConfig()
-        else:
+    legacy = {name: value for name, value in (
+        ("machine", machine), ("trace", trace), ("timeout", timeout),
+        ("backend", backend), ("wire", wire), ("fault_plan", fault_plan),
+        ("fault_seed", fault_seed), ("on_fault", on_fault),
+        ("reliability", reliability)) if value is not _UNSET}
+    if config is not None:
+        if legacy:
             raise ValueError(
-                f"reliability must be 'none', 'retry' or a "
-                f"ReliabilityConfig, got {reliability!r}")
-    if on_fault == "retry" and reliability is None:
-        reliability = ReliabilityConfig()
+                f"pass either config= or the legacy keyword(s) "
+                f"{sorted(legacy)} — not both")
+        if not isinstance(config, ExecutionConfig):
+            raise ValueError(
+                f"config must be an ExecutionConfig, got {config!r}")
+        cfg = config
+    elif legacy:
+        warnings.warn(
+            "passing machine/trace/timeout/backend/wire/fault_* keywords to "
+            "run_spmd is deprecated; build an ExecutionConfig and pass "
+            "config=", DeprecationWarning, stacklevel=2)
+        cfg = ExecutionConfig(**legacy)
+    else:
+        cfg = ExecutionConfig()
 
-    mode = _resolve_trace_mode(trace)
-    events_on = mode in ("full", "events")
-    metrics_on = mode in ("full", "metrics")
+    if cfg.backend == "tensor":
+        from .tensor import run_tensor
+        return run_tensor(fn, nprocs, cfg, args=args, rank_args=rank_args)
+
+    machine = cfg.machine
+    backend = cfg.backend
+    wire = cfg.wire
+    timeout = cfg.timeout
+    on_fault = cfg.on_fault
+    events_on = cfg.events_on
+    metrics_on = cfg.metrics_on
 
     registry = MetricsRegistry(nprocs) if metrics_on else None
     scheduler: Optional[CoopScheduler] = None
@@ -275,11 +283,11 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
     else:
         network = Network(nprocs, machine, metrics=registry, wire=wire)
         recv_timeout = timeout
-    if fault_plan is not None or reliability is not None:
+    if cfg.faulted:
         # Attached before any Communicator exists: ranks resolve their
         # straggler/crash/reliability state from it at construction.
-        network.injector = FaultInjector(fault_plan, seed=fault_seed,
-                                         reliability=reliability)
+        network.injector = FaultInjector(cfg.fault_plan, seed=cfg.fault_seed,
+                                         reliability=cfg.reliability)
     tracers: List[TraceBase]
     if events_on:
         tracers = [RankTrace(r) for r in range(nprocs)]
@@ -351,6 +359,7 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         total_bytes=network.total_bytes,
         metrics=metrics,
         wire=wire,
+        config=cfg,
         degraded_ranks=sorted(degraded),
     )
 

@@ -1,0 +1,1056 @@
+"""The vectorized whole-fabric "tensor" backend (``backend="tensor"``).
+
+The thread and coop backends drive ``P`` rank programs; their cost is
+O(P × program length) in *host* work, which tops out around a few thousand
+ranks.  This backend evaluates a whole communication step as NumPy arrays
+over all ``P`` ranks at once — per-rank clocks, message charges, LogGP
+costs and fault decisions advance as ``(L,)`` lane vectors — reaching the
+paper's 32K-rank configurations in seconds.
+
+The engine reuses :mod:`repro.timing.engine`'s ``*_vec`` cost helpers (the
+same expressions the analytic model is pinned to) and replays every charge
+the functional kernels make, in per-rank program order, with the same IEEE
+arithmetic:
+
+* sequential clock advances fold through ``np.add.accumulate`` — the exact
+  left-to-right float additions of a ``charge_copy`` loop;
+* zero-byte charges contribute ``+0.0`` (IEEE: ``c + 0.0 == c``), matching
+  the kernels' ``if nbytes:`` guards without branching;
+* receive completion is the simulator's one rule:
+  ``clock = max(clock, depart + head_latency(n)) + serial_time(n, P)``.
+
+Because of this the equivalence tests assert **bit-identical** per-rank
+clocks, message counts and byte totals against the thread/coop backends.
+
+Lanes: ``L = 1`` ("lockstep") when every rank provably performs the same
+charge sequence — constant block sizes, no fault plan, a lane-symmetric
+algorithm — in which case one lane stands for all ``P`` ranks and even the
+32K-rank evaluations cost milliseconds.  Otherwise ``L = P``.
+
+What the backend can simulate: every registered alltoall(v) algorithm in
+:mod:`repro.core.registry`, on the phantom wire, with ``delay``/``jitter``
+fault rules and stragglers.  What it cannot: user programs with
+payload-dependent control flow (it never materializes payloads), event
+traces, crashes/drops/duplicates/reorder, or the reliability transport —
+:func:`run_tensor` rejects those up front with a ``ValueError``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .communicator import MAX_USER_TAG
+from .config import ExecutionConfig
+from .faults import FaultInjector
+from .network import Envelope
+
+__all__ = ["TensorProgram", "TensorAlltoall", "TensorAlltoallv",
+           "run_tensor"]
+
+_INTERNAL_TAG_STRIDE = 8   # mirrors communicator._INTERNAL_TAG_STRIDE
+_FOLD_CHUNK = 512          # accumulate block width for per-lane folds
+_CONST_CHUNK = 1 << 16     # accumulate width for repeated-constant folds
+
+
+def _timing():
+    # Deferred: repro.timing's package __init__ pulls in modules that read
+    # repro.simmpi attributes, so importing it at module load would cycle.
+    from ..timing import engine
+    return engine
+
+
+def _core_common():
+    from ..core import common
+    return common
+
+
+# ======================================================================
+# the lane engine
+# ======================================================================
+
+class _Engine:
+    """Per-rank clocks and charge accounting as ``(L,)`` lane vectors.
+
+    ``L == 1``: every rank performs the identical charge sequence, one
+    lane stands for all of them (accounting is scaled by ``P``).
+    ``L == P``: one lane per rank — required whenever sizes, stragglers or
+    fault decisions differ across ranks.
+    """
+
+    def __init__(self, nprocs: int, machine,
+                 injector: Optional[FaultInjector], lockstep: bool) -> None:
+        self.p = int(nprocs)
+        self.machine = machine
+        self.injector = injector
+        self.L = 1 if lockstep else self.p
+        self.lane = np.arange(self.L, dtype=np.int64)
+        self.clocks = np.zeros(self.L, dtype=np.float64)
+        if injector is not None:
+            straggle = np.array([injector.straggle_factor(r)
+                                 for r in range(self.p)], dtype=np.float64)
+        else:
+            straggle = np.ones(self.L, dtype=np.float64)
+        self.straggle = straggle
+        # The per-op CPU overheads with the straggler multiplier folded in
+        # (the scalar simulator computes ``o * straggle`` afresh each op;
+        # the product is the same float either way).
+        self._o_send = machine.o_send * straggle
+        self._o_recv = machine.o_recv * straggle
+        self.total_messages = 0
+        self.total_bytes = 0
+        self._coll_seq = 0
+        self._phases: List[str] = []
+
+    # -- phases / tags --------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        self._phases.append(name)
+        try:
+            yield
+        finally:
+            self._phases.pop()
+
+    @property
+    def current_phase(self) -> Optional[str]:
+        return self._phases[-1] if self._phases else None
+
+    def collective_tag(self) -> int:
+        """Reserve the next internal collective tag block (same allocation
+        sequence as ``Communicator._next_coll_tags``)."""
+        tag = MAX_USER_TAG + self._coll_seq * _INTERNAL_TAG_STRIDE
+        self._coll_seq += 1
+        return tag
+
+    # -- local charges --------------------------------------------------
+    def charge_compute(self, seconds: float) -> None:
+        self.clocks = self.clocks + seconds
+
+    def charge_copy(self, nbytes) -> None:
+        """One ``charge_copy`` per lane; zero/negative sizes are free."""
+        eng = _timing()
+        self.clocks = self.clocks + eng.copy_time_vec(self.machine, nbytes)
+
+    def charge_datatype(self, nblocks, nbytes) -> None:
+        """One datatype pack/unpack charge per lane."""
+        eng = _timing()
+        self.clocks = self.clocks + eng.datatype_time_vec(
+            self.machine, nblocks, nbytes)
+
+    def charge_copies(self, counts) -> None:
+        """Sequential per-block copies, exactly ``Communicator.charge_copies``.
+
+        ``counts`` is a shared 1-D sequence (same for every lane) or a
+        per-lane ``(L, k)`` matrix.  Zero entries fold as ``+0.0``.
+        """
+        arr = np.asarray(counts, dtype=np.int64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.shape[1] == 0:
+            return
+        m = self.machine
+        times = np.where(arr > 0,
+                         m.kappa_mem + m.gamma_mem * arr.astype(np.float64),
+                         0.0)
+        self.clocks = _fold(self.clocks, times)
+
+    # -- message posting / completion -----------------------------------
+    def _account(self, nbytes, messages: int) -> None:
+        nb = np.asarray(nbytes)
+        self.total_messages += messages
+        if nb.ndim == 0:
+            self.total_bytes += messages * int(nb)
+        else:
+            # one entry per lane; a single lane stands for all P ranks
+            self.total_bytes += int(nb.sum()) * (self.p // self.L)
+
+    def _with_extras(self, dst_off: int, nbytes, tag: int,
+                     departs: np.ndarray) -> np.ndarray:
+        """Run every lane's envelope through the fault engine (delay rules
+        shift the departure the receiver sees; the sender clock is not
+        affected, exactly as in ``Communicator._post_envelope``)."""
+        out = departs.astype(np.float64).copy()
+        phase = self.current_phase
+        nbl = np.broadcast_to(np.asarray(nbytes), (self.p,))
+        for r in range(self.p):
+            env = Envelope(r, (r + dst_off) % self.p, tag, None,
+                           float(out[r]), int(nbl[r]))
+            self.injector.on_post(env, phase)
+            out[r] = env.depart
+        return out
+
+    def post(self, dst_off: int, nbytes, tag: int) -> np.ndarray:
+        """Every rank posts one isend to ``(rank + dst_off) % P``.
+
+        Returns the per-lane departure clocks the *receivers* will see.
+        """
+        self.clocks = self.clocks + self._o_send
+        self._account(nbytes, self.p)
+        if self.injector is not None:
+            return self._with_extras(dst_off, nbytes, tag, self.clocks)
+        return self.clocks.copy()
+
+    def recv_post(self) -> None:
+        """Every rank posts one irecv (the o_recv charge)."""
+        self.clocks = self.clocks + self._o_recv
+
+    def complete(self, departs, nbytes) -> None:
+        """Land one message per lane: the simulator's receive rule."""
+        eng = _timing()
+        head = np.asarray(departs) + eng.head_latency_vec(self.machine,
+                                                          nbytes)
+        self.clocks = np.maximum(self.clocks, head) \
+            + eng.serial_time_vec(self.machine, nbytes, self.p) \
+            * self.straggle
+
+    def from_src(self, values, dst_off: int):
+        """Re-index per-sender values to the receiver lane for an exchange
+        where rank ``r`` sends to ``(r + dst_off) % P`` — the receiver's
+        partner is ``(r - dst_off) % P``.  Lockstep lanes pass through."""
+        v = np.asarray(values)
+        if self.L == 1 or v.ndim == 0:
+            return v
+        return v[(self.lane - dst_off) % self.p]
+
+    def exchange(self, dst_off: int, nbytes, tag: int) -> None:
+        """One ``sendrecv``: isend → irecv → completion, all lanes."""
+        departs = self.post(dst_off, nbytes, tag)
+        self.recv_post()
+        self.complete(self.from_src(departs, dst_off),
+                      self.from_src(nbytes, dst_off))
+
+    # -- collectives ----------------------------------------------------
+    def allreduce_rounds(self) -> None:
+        """Clock effect of a dissemination allreduce of one float64 (the
+        ``max``/``min`` path every kernel uses): ``ceil(log2 P)`` pairwise
+        8-byte control exchanges."""
+        if self.p == 1:
+            return
+        tag = self.collective_tag()
+        k = 1
+        while k < self.p:
+            self.exchange(k, 8, tag)
+            k <<= 1
+
+    def fanout(self, cols, tag: int) -> None:
+        """The spread-out exchange: every rank posts ``P-1`` irecvs, then
+        ``P-1`` isends (ascending offset), then completes the receives in
+        posted order.  ``cols`` is a scalar (uniform) or an ``(L, P-1)``
+        matrix with ``cols[r, off-1]`` = bytes rank ``r`` sends to
+        ``(r + off) % P``.
+        """
+        p, L = self.p, self.L
+        if p == 1:
+            return
+        cols = np.asarray(cols)
+        self._account(cols, p * (p - 1))
+        # All irecvs first: p-1 sequential o_recv charges per lane.
+        self.clocks = _fold(
+            self.clocks, np.broadcast_to(self._o_recv[:, None], (L, p - 1)))
+        # All isends: capture each post's departure.
+        if self.injector is None:
+            block = np.concatenate(
+                [self.clocks[:, None],
+                 np.broadcast_to(self._o_send[:, None], (L, p - 1))], axis=1)
+            acc = np.add.accumulate(block, axis=1)
+            departs = acc[:, 1:]
+            self.clocks = acc[:, -1].copy()
+        else:
+            departs = np.empty((L, p - 1), dtype=np.float64)
+            colsb = (None if cols.ndim == 0
+                     else np.broadcast_to(cols, (L, p - 1)))
+            for off in range(1, p):
+                self.clocks = self.clocks + self._o_send
+                nb = cols if cols.ndim == 0 else colsb[:, off - 1]
+                departs[:, off - 1] = self._with_extras(off, nb, tag,
+                                                        self.clocks)
+        # Completions in posted (offset-ascending) order; rank r's off-th
+        # receive is from src = (r - off) % P, which was src's off-th send.
+        if L == 1 and self.injector is None and cols.ndim == 0:
+            # Scalar fast path: pure-float replay of the completion loop
+            # (identical IEEE ops; keeps 32K-rank fanouts in milliseconds).
+            m = self.machine
+            n = int(cols)
+            head_l = m.head_latency(n)
+            serial = m.serial_time(n, p)
+            c = float(self.clocks[0])
+            row = departs[0]
+            for off in range(1, p):
+                arrive = float(row[off - 1]) + head_l
+                if c < arrive:
+                    c = arrive
+                c = c + serial
+            self.clocks = np.array([c])
+            return
+        for off in range(1, p):
+            src = (self.lane - off) % p
+            d = departs[:, off - 1] if L == 1 else departs[src, off - 1]
+            if cols.ndim == 0:
+                nb = cols
+            else:
+                nb = cols[:, off - 1] if L == 1 else cols[src, off - 1]
+            self.complete(d, nb)
+
+    # -- lane-subset operations (leader/member asymmetric algorithms) ---
+    def post_at(self, sel: np.ndarray, dst, nbytes, tag: int) -> np.ndarray:
+        """Lanes ``sel`` each post one isend to ``dst``; returns their
+        departure clocks (aligned with ``sel``)."""
+        self.clocks[sel] = self.clocks[sel] + self._o_send[sel]
+        nb = np.asarray(nbytes)
+        self.total_messages += len(sel)
+        self.total_bytes += (len(sel) * int(nb) if nb.ndim == 0
+                             else int(nb.sum()))
+        departs = self.clocks[sel].copy()
+        if self.injector is not None:
+            phase = self.current_phase
+            dstb = np.broadcast_to(np.asarray(dst), (len(sel),))
+            nbl = np.broadcast_to(nb, (len(sel),))
+            for i, r in enumerate(np.asarray(sel)):
+                env = Envelope(int(r), int(dstb[i]), tag, None,
+                               float(departs[i]), int(nbl[i]))
+                self.injector.on_post(env, phase)
+                departs[i] = env.depart
+        return departs
+
+    def recv_at(self, sel: np.ndarray) -> None:
+        self.clocks[sel] = self.clocks[sel] + self._o_recv[sel]
+
+    def complete_at(self, sel: np.ndarray, departs, nbytes) -> None:
+        eng = _timing()
+        head = np.asarray(departs) + eng.head_latency_vec(self.machine,
+                                                          nbytes)
+        self.clocks[sel] = np.maximum(self.clocks[sel], head) \
+            + eng.serial_time_vec(self.machine, nbytes, self.p) \
+            * self.straggle[sel]
+
+    def copies_at(self, sel: np.ndarray, counts: np.ndarray) -> None:
+        """Sequential copies on a lane subset: ``counts[i]`` is the block
+        sequence of lane ``sel[i]`` (zero entries free)."""
+        arr = np.asarray(counts, dtype=np.int64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.shape[1] == 0:
+            return
+        m = self.machine
+        times = np.where(arr > 0,
+                         m.kappa_mem + m.gamma_mem * arr.astype(np.float64),
+                         0.0)
+        self.clocks[sel] = _fold(self.clocks[sel], times)
+
+    def const_copies_at(self, sel: np.ndarray, value: int,
+                        counts) -> None:
+        """``counts[i]`` sequential copies of the same ``value`` bytes on
+        lane ``sel[i]``.  Lanes sharing (start clock, count) fold once —
+        the repeated-constant fold is a pure function of both."""
+        if value <= 0:
+            return
+        m = self.machine
+        t = m.kappa_mem + m.gamma_mem * float(value)
+        counts = np.broadcast_to(np.asarray(counts, dtype=np.int64),
+                                 (len(sel),))
+        start = self.clocks[sel]
+        pairs = np.stack([start, counts.astype(np.float64)], axis=1)
+        uniq, inv = np.unique(pairs, axis=0, return_inverse=True)
+        folded = np.empty(len(uniq), dtype=np.float64)
+        for i in range(len(uniq)):
+            c = uniq[i, 0]
+            remaining = int(uniq[i, 1])
+            while remaining > 0:
+                step = min(remaining, _CONST_CHUNK)
+                c = float(np.add.accumulate(
+                    np.concatenate(([c], np.full(step, t))))[-1])
+                remaining -= step
+            folded[i] = c
+        self.clocks[sel] = folded[inv]
+
+    # -- results --------------------------------------------------------
+    def final_clocks(self) -> List[float]:
+        if self.L == self.p:
+            return [float(c) for c in self.clocks]
+        return [float(self.clocks[0])] * self.p
+
+
+def _fold(clocks: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """Left-fold ``times`` rows onto ``clocks`` with the same sequential
+    float additions as a ``+=`` loop (``np.add.accumulate``), chunked to
+    bound memory.  ``times`` has one row (shared) or one row per lane."""
+    L = len(clocks)
+    k = times.shape[1]
+    c = clocks
+    for s in range(0, k, _FOLD_CHUNK):
+        width = min(_FOLD_CHUNK, k - s)
+        chunk = np.broadcast_to(times[:, s:s + width], (L, width))
+        block = np.concatenate([c[:, None], chunk], axis=1)
+        c = np.add.accumulate(block, axis=1)[:, -1]
+    return c
+
+
+# ======================================================================
+# block-size views
+# ======================================================================
+
+class _SizeView:
+    """Uniform access to constant or per-pair block sizes.
+
+    ``mat[i, j]`` is the bytes rank ``i`` sends to rank ``j`` (the
+    ``block_size_matrix`` convention: ``sendcounts = mat[rank]``,
+    ``recvcounts = mat[:, rank]``).
+    """
+
+    def __init__(self, sizes, p: int) -> None:
+        self.p = p
+        if isinstance(sizes, (int, np.integer)):
+            if sizes < 0:
+                raise ValueError(f"block size must be >= 0, got {sizes}")
+            self.is_const = True
+            self.const = int(sizes)
+            self.mat = None
+        else:
+            mat = np.ascontiguousarray(np.asarray(sizes, dtype=np.int64))
+            if mat.shape != (p, p):
+                raise ValueError(
+                    f"size matrix must have shape ({p}, {p}), "
+                    f"got {mat.shape}")
+            if (mat < 0).any():
+                raise ValueError("size matrix entries must be >= 0")
+            self.is_const = False
+            self.const = None
+            self.mat = mat
+
+    def max(self) -> int:
+        return self.const if self.is_const else int(self.mat.max(initial=0))
+
+    def row(self):
+        """Per-rank sendcounts: shared ``(p,)`` or per-lane ``(p, p)``."""
+        if self.is_const:
+            return np.full(self.p, self.const, dtype=np.int64)
+        return self.mat
+
+    def col(self):
+        """Per-rank recvcounts: shared ``(p,)`` or per-lane ``(p, p)``."""
+        if self.is_const:
+            return np.full(self.p, self.const, dtype=np.int64)
+        return np.ascontiguousarray(self.mat.T)
+
+    def self_block(self):
+        if self.is_const:
+            return self.const
+        return np.diagonal(self.mat).copy()
+
+    def row_sum(self):
+        return (self.const * self.p if self.is_const
+                else self.mat.sum(axis=1))
+
+    def col_sum(self):
+        return (self.const * self.p if self.is_const
+                else self.mat.sum(axis=0))
+
+    def row_matrix(self, L: int) -> np.ndarray:
+        """Mutable ``(L, p)`` working copy of each lane's sendcounts."""
+        if self.is_const:
+            return np.full((L, self.p), self.const, dtype=np.int64)
+        return self.mat.copy()
+
+    def col_matrix(self, L: int) -> np.ndarray:
+        if self.is_const:
+            return np.full((L, self.p), self.const, dtype=np.int64)
+        return np.ascontiguousarray(self.mat.T)
+
+    def fanout_cols(self, lane: np.ndarray):
+        """Spread-out send sizes: scalar, or ``(L, p-1)`` with column
+        ``off-1`` = bytes sent to ``(rank + off) % p``."""
+        if self.is_const:
+            return self.const
+        offs = np.arange(1, self.p, dtype=np.int64)
+        return self.mat[lane[:, None], (lane[:, None] + offs[None, :])
+                        % self.p]
+
+
+# ======================================================================
+# algorithm evaluators (one per registered kernel)
+# ======================================================================
+
+def _eval_bruck(eng: _Engine, n: int, *, sign: int, use_dt: bool,
+                final_rotation: bool, tag_base: int = 0) -> None:
+    """basic/modified Bruck, memcpy or datatype build."""
+    p = eng.p
+    if n == 0:
+        return
+    common = _core_common()
+    with eng.phase("initial_rotation"):
+        eng.charge_copies(np.full(p, n, dtype=np.int64))
+    with eng.phase("communication"):
+        for k in range(common.num_steps(p)):
+            dist = common.send_block_distances(k, p)
+            if not dist:
+                continue
+            m = len(dist)
+            if use_dt:
+                eng.charge_datatype(m, m * n)
+            else:
+                eng.charge_copies(np.full(m, n, dtype=np.int64))
+            eng.exchange(sign * (1 << k), m * n, tag_base + k)
+            if use_dt:
+                eng.charge_datatype(m, m * n)
+            else:
+                eng.charge_copies(np.full(m, n, dtype=np.int64))
+    if final_rotation:
+        with eng.phase("final_rotation"):
+            eng.charge_copy(p * n)
+            eng.charge_copies(np.full(p, n, dtype=np.int64))
+
+
+def _eval_zero_rotation(eng: _Engine, n: int, *, tag_base: int = 0) -> None:
+    p = eng.p
+    if n == 0:
+        return
+    common = _core_common()
+    with eng.phase("index_setup"):
+        eng.charge_compute(p * 1.0e-9)
+    eng.charge_copy(n)
+    with eng.phase("communication"):
+        for k in range(common.num_steps(p)):
+            dist = common.send_block_distances(k, p)
+            if not dist:
+                continue
+            m = len(dist)
+            eng.charge_copies(np.full(m, n, dtype=np.int64))
+            eng.exchange(-(1 << k), m * n, tag_base + k)
+            eng.charge_copies(np.full(m, n, dtype=np.int64))
+
+
+def _eval_zero_copy(eng: _Engine, n: int, *, tag_base: int = 0) -> None:
+    p = eng.p
+    if n == 0:
+        return
+    common = _core_common()
+    with eng.phase("initial_rotation"):
+        eng.charge_copies(np.full(p, n, dtype=np.int64))
+    with eng.phase("communication"):
+        for k in range(common.num_steps(p)):
+            dist = common.send_block_distances(k, p)
+            if not dist:
+                continue
+            m = len(dist)
+            # Remaining-hop parity split: mr blocks travel R→T, mt T→R.
+            mr = sum(1 for i in dist
+                     if int(i >> (k + 1)).bit_count() % 2 == 1)
+            mt = m - mr
+            if mr:
+                eng.charge_datatype(mr, mr * n)   # pack from R
+            if mt:
+                eng.charge_datatype(mt, mt * n)   # pack from T
+            eng.exchange(-(1 << k), m * n, tag_base + k)
+            if mt:
+                eng.charge_datatype(mt, mt * n)   # unpack into R
+            if mr:
+                eng.charge_datatype(mr, mr * n)   # unpack into T
+    # no final rotation (modified orientation)
+
+
+def _eval_spread_out(eng: _Engine, n: int, *, tag_base: int = 0) -> None:
+    if n == 0:
+        return
+    with eng.phase("communication"):
+        eng.charge_copy(n)
+        eng.fanout(n, tag_base)
+
+
+def _eval_vendor_alltoall(eng: _Engine, n: int) -> None:
+    tag = eng.collective_tag()
+    eng.charge_copy(n)
+    eng.fanout(n, tag)
+
+
+def _eval_padded(eng: _Engine, sv: _SizeView, *, vendor: bool,
+                 tag_base: int = 0) -> None:
+    with eng.phase("padding"):
+        eng.allreduce_rounds()
+        max_n = sv.max()
+        if max_n == 0:
+            return
+        eng.charge_copies(sv.row())
+    if vendor:
+        _eval_vendor_alltoall(eng, max_n)
+    else:
+        _eval_zero_rotation(eng, max_n, tag_base=tag_base)
+    with eng.phase("scan"):
+        eng.charge_copies(sv.col())
+
+
+def _eval_two_phase(eng: _Engine, sv: _SizeView, *, tag_base: int = 0) -> None:
+    p, L = eng.p, eng.L
+    common = _core_common()
+    with eng.phase("setup"):
+        eng.allreduce_rounds()
+        eng.charge_compute(p * 1.0e-9)
+        if sv.max() == 0:
+            return
+    cur = sv.row_matrix(L)          # working counts keyed by block index
+    eng.charge_copy(sv.self_block())
+    for k in range(common.num_steps(p)):
+        dist = common.send_block_distances(k, p)
+        if not dist:
+            continue
+        m = len(dist)
+        d = np.asarray(dist, dtype=np.int64)
+        keys = (eng.lane[:, None] - d[None, :]) % p     # I[(dist+rank)%p]
+        with eng.phase("metadata_exchange"):
+            eng.exchange(-(1 << k), 4 * m, tag_base + 2 * k)
+        with eng.phase("data_exchange"):
+            counts_out = np.take_along_axis(cur, keys, axis=1)
+            eng.charge_copies(counts_out)
+            out_total = counts_out.sum(axis=1)
+            eng.exchange(-(1 << k), out_total, tag_base + 2 * k + 1)
+            counts_in = eng.from_src(counts_out, -(1 << k))
+            eng.charge_copies(counts_in)
+            np.put_along_axis(cur, keys, counts_in, axis=1)
+
+
+def _eval_sloav(eng: _Engine, sv: _SizeView, *, tag_base: int = 0) -> None:
+    p, L = eng.p, eng.L
+    common = _core_common()
+    with eng.phase("setup"):
+        eng.charge_compute(p * 1.0e-9)
+    cur = sv.row_matrix(L)           # block size at slot j's original dest
+    temp_sizes = np.zeros((L, p), dtype=np.int64)
+    stored = np.zeros(L, dtype=np.int64)
+    capacity = np.full(L, 4096, dtype=np.int64)
+    with eng.phase("communication"):
+        for k in range(common.num_steps(p)):
+            dist = common.send_block_distances(k, p)
+            if not dist:
+                continue
+            m = len(dist)
+            d = np.asarray(dist, dtype=np.int64)
+            keys = (eng.lane[:, None] + d[None, :]) % p   # rot[j], slot j=i
+            meta_out = np.take_along_axis(cur, keys, axis=1)
+            data_total = meta_out.sum(axis=1)
+            eng.charge_copy(4 * m)                    # meta into combined
+            eng.charge_copies(meta_out)               # per-block pack
+            eng.exchange(1 << k, 4, tag_base + 2 * k)             # header
+            eng.exchange(1 << k, 4 * m + data_total,
+                         tag_base + 2 * k + 1)                    # combined
+            eng.charge_copy(4 * m)                    # meta out of combined
+            meta_in = eng.from_src(meta_out, 1 << k)
+            if L == 1:
+                _sloav_store_scalar(eng, dist, k, meta_in[0],
+                                    temp_sizes, stored, capacity)
+            else:
+                _sloav_store_vector(eng, dist, k, meta_in,
+                                    temp_sizes, stored, capacity)
+            np.put_along_axis(cur, keys, meta_in, axis=1)
+    with eng.phase("final_rotation"):
+        # Every slot 1..p-1 was stored at least once; rotate in slot order.
+        eng.charge_copies(temp_sizes[:, 1:])
+    with eng.phase("scan"):
+        eng.charge_copy(sv.self_block())
+        rc = sv.col_matrix(L)
+        if L == 1:
+            rc[0, 0] = 0      # the self entry is skipped (same fold on
+        else:                 # every rank: the remaining values are equal)
+            rc[eng.lane, eng.lane] = 0
+        eng.charge_copies(rc)
+
+
+def _sloav_store_scalar(eng: _Engine, dist, k: int, meta_row,
+                        temp_sizes, stored, capacity) -> None:
+    """Lockstep replay of ``_GrowableTemp.store`` with Python floats (the
+    same ``copy_time`` expression, so bit-identical to the charge loop)."""
+    m = eng.machine
+    c = float(eng.clocks[0])
+    st = int(stored[0])
+    cap = int(capacity[0])
+    low_mask = (1 << k) - 1
+    for a, j in enumerate(dist):
+        cnt = int(meta_row[a])
+        first = (j & low_mask) == 0   # first visit <=> no lower bit set
+        st += cnt - int(temp_sizes[0, j])
+        sub = cnt if first else 0
+        while st > cap:
+            grow = st - sub
+            if grow > 0:
+                c += m.copy_time(grow)
+            cap *= 2
+        if cnt > 0:
+            c += m.copy_time(cnt)
+        temp_sizes[0, j] = cnt
+    eng.clocks = np.array([c])
+    stored[0] = st
+    capacity[0] = cap
+
+
+def _sloav_store_vector(eng: _Engine, dist, k: int, meta_in,
+                        temp_sizes, stored, capacity) -> None:
+    low_mask = (1 << k) - 1
+    for a, j in enumerate(dist):
+        cnt = meta_in[:, a]
+        first = (j & low_mask) == 0
+        stored += cnt - temp_sizes[:, j]
+        sub = cnt if first else np.zeros_like(cnt)
+        while True:
+            mask = stored > capacity
+            if not mask.any():
+                break
+            eng.charge_copy(np.where(mask, stored - sub, 0))
+            capacity[mask] *= 2
+        eng.charge_copy(cnt)
+        temp_sizes[:, j] = cnt
+
+
+def _eval_spread_out_v(eng: _Engine, sv: _SizeView, *,
+                       tag_base: int = 0) -> None:
+    eng.charge_copy(sv.self_block())
+    eng.fanout(sv.fanout_cols(eng.lane), tag_base)
+
+
+def _eval_vendor_alltoallv(eng: _Engine, sv: _SizeView) -> None:
+    tag = eng.collective_tag()
+    eng.charge_copy(sv.self_block())
+    eng.fanout(sv.fanout_cols(eng.lane), tag)
+
+
+def _eval_grouped(eng: _Engine, sv: _SizeView, *, group_size: int = 8,
+                  tag_base: int = 0) -> None:
+    """Leader-based grouped alltoallv.  Leaders and members run different
+    programs, so this always evaluates with ``L == P`` lanes."""
+    p = eng.p
+    if eng.L != p:
+        raise ValueError("grouped evaluation requires one lane per rank")
+    g = min(group_size, p)
+    n_groups = (p + g - 1) // g
+    lane = eng.lane
+    lead = (lane // g) * g
+    leads = np.arange(n_groups, dtype=np.int64) * g
+    gsize = np.minimum(leads + g, p) - leads
+    members = lane[lane != lead]
+    t = tag_base
+    row_sum = np.broadcast_to(np.asarray(sv.row_sum()), (p,))
+    col_sum = np.broadcast_to(np.asarray(sv.col_sum()), (p,))
+
+    # -- phase 1: members funnel counts + data to their leader ----------
+    with eng.phase("gather_to_leader"):
+        d_up_counts = np.zeros(p, dtype=np.float64)
+        d_up_data = np.zeros(p, dtype=np.float64)
+        if members.size:
+            d_up_counts[members] = eng.post_at(
+                members, lead[members], 8 * p, t + 0)
+            d_up_data[members] = eng.post_at(
+                members, lead[members], row_sum[members], t + 1)
+        for j in range(1, g):
+            sel = leads[gsize > j]
+            if sel.size == 0:
+                continue
+            mem = sel + j
+            eng.recv_at(sel)
+            eng.complete_at(sel, d_up_counts[mem], 8 * p)
+            eng.recv_at(sel)
+            eng.complete_at(sel, d_up_data[mem], row_sum[mem])
+
+    # -- phase 2: leaders exchange aggregated counts + blobs ------------
+    with eng.phase("leader_exchange"):
+        if n_groups > 1:
+            gi = np.arange(n_groups)
+            if sv.is_const:
+                blob_bytes = sv.const * np.outer(gsize, gsize)
+                # Build charges: for each og (ascending, skip own) the
+                # kernel copies gsize[gi]*gsize[og] blocks of `const` —
+                # all equal, so the fold over all og collapses into one.
+                eng.const_copies_at(leads, sv.const, gsize * (p - gsize))
+            else:
+                S = sv.mat
+                starts = leads
+                blob_bytes = np.add.reduceat(
+                    np.add.reduceat(S, starts, axis=0), starts, axis=1)
+                member_idx = leads[:, None] + np.arange(g)[None, :]
+                member_ok = np.arange(g)[None, :] < gsize[:, None]
+                member_idx = np.where(member_ok, member_idx, 0)
+                for og in range(n_groups):
+                    sel_mask = gi != og
+                    sel = leads[sel_mask]
+                    dsts = np.arange(leads[og], leads[og] + gsize[og])
+                    srcs = member_idx[sel_mask]            # (nsel, g)
+                    ok = member_ok[sel_mask]
+                    counts = S[srcs[:, :, None], dsts[None, None, :]]
+                    counts = counts * ok[:, :, None]
+                    eng.copies_at(sel, counts.reshape(len(sel), -1))
+            # Post loop: per og (ascending, skip own) each leader isends
+            # its count header then its blob.
+            cnt_bytes = 8 * np.outer(gsize, gsize)
+            Dc = np.zeros((n_groups, n_groups), dtype=np.float64)
+            Db = np.zeros((n_groups, n_groups), dtype=np.float64)
+            for og in range(n_groups):
+                sel_mask = gi != og
+                sel = leads[sel_mask]
+                Dc[sel_mask, og] = eng.post_at(
+                    sel, leads[og], cnt_bytes[sel_mask, og], t + 2)
+                Db[sel_mask, og] = eng.post_at(
+                    sel, leads[og], blob_bytes[sel_mask, og], t + 3)
+            # Receive loop: per og ascending, counts then blob.
+            for og in range(n_groups):
+                sel_mask = gi != og
+                sel = leads[sel_mask]
+                eng.recv_at(sel)
+                eng.complete_at(sel, Dc[og, sel_mask],
+                                cnt_bytes[og, sel_mask])
+                eng.recv_at(sel)
+                eng.complete_at(sel, Db[og, sel_mask],
+                                blob_bytes[og, sel_mask])
+
+    # -- phase 3: leaders deliver; members receive and place ------------
+    with eng.phase("scatter_from_leader"):
+        d_down = np.zeros(p, dtype=np.float64)
+        for j in range(g):
+            sel = leads[gsize > j]
+            if sel.size == 0:
+                continue
+            mem = sel + j
+            # Blob build: one copy per own-group source block (ascending).
+            if sv.is_const:
+                eng.const_copies_at(sel, sv.const, gsize[gsize > j])
+            else:
+                own_idx = sel[:, None] + np.arange(g)[None, :]
+                ok = np.arange(g)[None, :] < gsize[gsize > j][:, None]
+                own_idx = np.where(ok, own_idx, 0)
+                counts = sv.mat[own_idx, mem[:, None]] * ok
+                eng.copies_at(sel, counts)
+            if j == 0:
+                # The leader's own slice: placed directly (every source
+                # ascending), no send.
+                if sv.is_const:
+                    eng.const_copies_at(sel, sv.const,
+                                        np.full(sel.size, p))
+                else:
+                    eng.copies_at(sel, np.ascontiguousarray(
+                        sv.mat[:, mem].T))
+            else:
+                d_down[mem] = eng.post_at(sel, mem, col_sum[mem], t + 4)
+        if members.size:
+            eng.recv_at(members)
+            eng.complete_at(members, d_down[members], col_sum[members])
+            if sv.is_const:
+                eng.const_copies_at(members, sv.const,
+                                    np.full(members.size, p))
+            else:
+                eng.copies_at(members, np.ascontiguousarray(
+                    sv.mat[:, members].T))
+
+
+# ======================================================================
+# program specs
+# ======================================================================
+
+class TensorProgram:
+    """A declarative SPMD program the tensor backend can evaluate.
+
+    The tensor backend cannot run arbitrary rank functions (it never
+    executes per-rank Python), so ``run_spmd(..., backend="tensor")``
+    takes one of these spec objects instead.  A spec is *also* callable as
+    a normal rank program — ``fn(comm)`` runs the real registered kernel —
+    so the identical object drives the threads/coop backends in
+    equivalence tests.
+    """
+
+    kind: str = ""
+    algorithm: str = ""
+
+    def lockstep_ok(self) -> bool:
+        raise NotImplementedError
+
+    def evaluate(self, eng: _Engine) -> None:
+        raise NotImplementedError
+
+    def __call__(self, comm) -> None:
+        raise NotImplementedError
+
+
+class TensorAlltoall(TensorProgram):
+    """Uniform alltoall spec: ``algorithm`` over ``block_nbytes`` blocks."""
+
+    kind = "uniform"
+
+    _EVALS = {
+        "basic_bruck": dict(sign=+1, use_dt=False, final_rotation=True),
+        "basic_bruck_dt": dict(sign=+1, use_dt=True, final_rotation=True),
+        "modified_bruck": dict(sign=-1, use_dt=False, final_rotation=False),
+        "modified_bruck_dt": dict(sign=-1, use_dt=True,
+                                  final_rotation=False),
+    }
+
+    def __init__(self, algorithm: str, block_nbytes: int) -> None:
+        from ..core.registry import get_algorithm
+        get_algorithm(algorithm, "uniform")   # raises KeyError if unknown
+        if block_nbytes < 0:
+            raise ValueError(
+                f"block_nbytes must be >= 0, got {block_nbytes}")
+        self.algorithm = algorithm
+        self.block_nbytes = int(block_nbytes)
+
+    def lockstep_ok(self) -> bool:
+        return True
+
+    def evaluate(self, eng: _Engine) -> None:
+        n = self.block_nbytes
+        if self.algorithm in self._EVALS:
+            _eval_bruck(eng, n, **self._EVALS[self.algorithm])
+        elif self.algorithm == "zero_rotation_bruck":
+            _eval_zero_rotation(eng, n)
+        elif self.algorithm == "zero_copy_bruck_dt":
+            _eval_zero_copy(eng, n)
+        elif self.algorithm == "spread_out":
+            _eval_spread_out(eng, n)
+        elif self.algorithm == "vendor":
+            _eval_vendor_alltoall(eng, n)
+        else:  # pragma: no cover - registry and this table move together
+            raise KeyError(
+                f"no tensor evaluator for uniform algorithm "
+                f"{self.algorithm!r}")
+
+    def __call__(self, comm) -> None:
+        from ..core.uniform import alltoall
+        p = comm.size
+        n = self.block_nbytes
+        send = np.zeros(p * n, dtype=np.uint8)
+        recv = np.zeros(p * n, dtype=np.uint8)
+        alltoall(comm, send, recv, n, algorithm=self.algorithm)
+
+    def __repr__(self) -> str:
+        return (f"TensorAlltoall({self.algorithm!r}, "
+                f"block_nbytes={self.block_nbytes})")
+
+
+class TensorAlltoallv(TensorProgram):
+    """Non-uniform alltoallv spec.
+
+    ``sizes`` is either one int (every pair exchanges that many bytes —
+    the form that scales to 32K ranks, since no P×P matrix exists) or a
+    ``(P, P)`` matrix with ``sizes[i, j]`` = bytes rank ``i`` sends to
+    rank ``j``.
+    """
+
+    kind = "nonuniform"
+
+    def __init__(self, algorithm: str, sizes,
+                 group_size: int = 8) -> None:
+        from ..core.registry import get_algorithm
+        get_algorithm(algorithm, "nonuniform")
+        self.algorithm = algorithm
+        self.sizes = sizes
+        self.group_size = int(group_size)
+
+    def lockstep_ok(self) -> bool:
+        return (isinstance(self.sizes, (int, np.integer))
+                and self.algorithm != "grouped")
+
+    def evaluate(self, eng: _Engine) -> None:
+        sv = _SizeView(self.sizes, eng.p)
+        if self.algorithm == "padded_bruck":
+            _eval_padded(eng, sv, vendor=False)
+        elif self.algorithm == "padded_alltoall":
+            _eval_padded(eng, sv, vendor=True)
+        elif self.algorithm == "two_phase_bruck":
+            _eval_two_phase(eng, sv)
+        elif self.algorithm == "sloav":
+            _eval_sloav(eng, sv)
+        elif self.algorithm == "spread_out":
+            _eval_spread_out_v(eng, sv)
+        elif self.algorithm == "grouped":
+            _eval_grouped(eng, sv, group_size=self.group_size)
+        elif self.algorithm == "vendor":
+            _eval_vendor_alltoallv(eng, sv)
+        else:  # pragma: no cover - registry and this table move together
+            raise KeyError(
+                f"no tensor evaluator for nonuniform algorithm "
+                f"{self.algorithm!r}")
+
+    def size_matrix(self, p: int) -> np.ndarray:
+        if isinstance(self.sizes, (int, np.integer)):
+            return np.full((p, p), int(self.sizes), dtype=np.int64)
+        return np.asarray(self.sizes, dtype=np.int64)
+
+    def __call__(self, comm) -> None:
+        from ..core.registry import get_algorithm
+        from ..workloads import build_vargs
+        mat = self.size_matrix(comm.size)
+        args = build_vargs(comm.rank, mat)
+        kwargs = ({"group_size": self.group_size}
+                  if self.algorithm == "grouped" else {})
+        fn = get_algorithm(self.algorithm, "nonuniform").fn
+        fn(comm, *args.as_tuple(), **kwargs)
+
+    def __repr__(self) -> str:
+        shape = (self.sizes if isinstance(self.sizes, (int, np.integer))
+                 else f"matrix{np.asarray(self.sizes).shape}")
+        return f"TensorAlltoallv({self.algorithm!r}, sizes={shape})"
+
+
+# ======================================================================
+# the backend entry point
+# ======================================================================
+
+def run_tensor(fn, nprocs: int, config: ExecutionConfig, *,
+               args: Sequence = (), rank_args=None):
+    """Execute a :class:`TensorProgram` on the vectorized backend.
+
+    Called by ``run_spmd`` when ``config.backend == "tensor"``.  Produces
+    an :class:`~repro.simmpi.executor.SPMDResult` whose per-rank clocks
+    and message/byte totals are bit-identical to the threads/coop backends
+    on the phantom wire.
+    """
+    from .executor import SPMDResult
+
+    if not isinstance(fn, TensorProgram):
+        raise ValueError(
+            f"backend='tensor' requires a TensorProgram spec "
+            f"(TensorAlltoall / TensorAlltoallv), got {fn!r}")
+    if args or rank_args is not None:
+        raise ValueError(
+            "backend='tensor' does not support args/rank_args: the "
+            "TensorProgram spec carries all inputs")
+    if config.wire != "phantom":
+        raise ValueError(
+            "backend='tensor' requires wire='phantom' (it never "
+            "materializes payload bytes)")
+    if config.trace != "off":
+        raise ValueError(
+            "backend='tensor' does not record traces or metrics; "
+            "use trace=False")
+    if config.reliability is not None:
+        raise ValueError(
+            "backend='tensor' does not support the reliability transport")
+    if config.on_fault != "fail-fast":
+        raise ValueError(
+            f"backend='tensor' supports on_fault='fail-fast' only, "
+            f"got {config.on_fault!r}")
+
+    plan = config.fault_plan
+    injector: Optional[FaultInjector] = None
+    if plan is not None and not plan.empty:
+        if plan.crashes:
+            raise ValueError(
+                "backend='tensor' does not support crash rules")
+        unsupported = sorted({r.kind for r in plan.rules} - {"delay"})
+        if unsupported:
+            raise ValueError(
+                f"backend='tensor' supports 'delay' fault rules and "
+                f"stragglers only; plan has {unsupported}")
+        injector = FaultInjector(plan, seed=config.fault_seed)
+
+    lockstep = injector is None and fn.lockstep_ok()
+    eng = _Engine(nprocs, config.machine, injector, lockstep)
+    fn.evaluate(eng)
+
+    return SPMDResult(
+        nprocs=nprocs,
+        machine=config.machine,
+        returns=[None] * nprocs,
+        clocks=eng.final_clocks(),
+        traces=None,
+        total_messages=eng.total_messages,
+        total_bytes=eng.total_bytes,
+        metrics=None,
+        wire=config.wire,
+        config=config,
+    )

@@ -11,8 +11,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.nonuniform import NONUNIFORM_ALGORITHMS, alltoallv
-from repro.core.uniform import UNIFORM_ALGORITHMS, alltoall
+from repro.core.nonuniform import alltoallv
+from repro.core.registry import list_algorithms
+from repro.core.uniform import alltoall
 from repro.simmpi import LOCAL, run_spmd
 from repro.workloads import UniformBlocks, block_size_matrix, build_vargs
 
@@ -48,7 +49,7 @@ class TestUniformAgreement:
     def test_all_variants_agree(self, p):
         n = 9
         reference = gather_uniform_recv("spread_out", p, n, seed=1)
-        for algorithm in sorted(UNIFORM_ALGORITHMS):
+        for algorithm in list_algorithms("uniform"):
             got = gather_uniform_recv(algorithm, p, n, seed=1)
             for r in range(p):
                 assert np.array_equal(got[r], reference[r]), (algorithm, r)
@@ -68,7 +69,7 @@ class TestNonuniformAgreement:
     def test_all_algorithms_agree(self, p):
         sizes = block_size_matrix(UniformBlocks(40), p, seed=2)
         reference = gather_nonuniform_recv("spread_out", sizes, seed=3)
-        for algorithm in sorted(NONUNIFORM_ALGORITHMS):
+        for algorithm in list_algorithms("nonuniform"):
             got = gather_nonuniform_recv(algorithm, sizes, seed=3)
             for r in range(p):
                 assert np.array_equal(got[r], reference[r]), (algorithm, r)

@@ -6,7 +6,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.nonuniform import NONUNIFORM_ALGORITHMS, alltoallv
+from repro.core.nonuniform import alltoallv
+from repro.core.registry import list_algorithms
 from repro.simmpi import LOCAL, THETA, run_spmd
 from repro.workloads import (
     NormalBlocks,
@@ -19,7 +20,7 @@ from repro.workloads import (
 
 from ..conftest import SMALL_PROCS
 
-ALGORITHMS = sorted(NONUNIFORM_ALGORITHMS) + ["vendor"]
+ALGORITHMS = list_algorithms("nonuniform")
 
 
 def vprog(algorithm, sizes):
@@ -93,7 +94,8 @@ class TestCorrectness:
         with pytest.raises(KeyError, match="bogus"):
             run_spmd(prog, 2)
 
-    @pytest.mark.parametrize("algorithm", sorted(NONUNIFORM_ALGORITHMS))
+    @pytest.mark.parametrize("algorithm",
+                             [n for n in ALGORITHMS if n != "vendor"])
     def test_sendbuf_not_modified(self, algorithm):
         sizes = block_size_matrix(UniformBlocks(16), 6, seed=4)
 

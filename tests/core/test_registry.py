@@ -4,14 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import registry
-from repro.core.nonuniform import NONUNIFORM_ALGORITHMS
 from repro.core.registry import (
     Algorithm,
     get_algorithm,
     list_algorithms,
     register_algorithm,
 )
-from repro.core.uniform import UNIFORM_ALGORITHMS, alltoall
+from repro.core.uniform import alltoall
 from repro.simmpi import LOCAL, run_spmd
 
 
@@ -19,11 +18,11 @@ class TestLookup:
     def test_uniform_names(self):
         names = list_algorithms("uniform")
         assert names == sorted(names)
-        assert set(UNIFORM_ALGORITHMS) | {"vendor"} == set(names)
+        assert "basic_bruck" in names and "vendor" in names
 
     def test_nonuniform_names(self):
         names = list_algorithms("nonuniform")
-        assert set(NONUNIFORM_ALGORITHMS) | {"vendor"} == set(names)
+        assert "two_phase_bruck" in names and "vendor" in names
 
     def test_all_kinds(self):
         assert set(list_algorithms()) == \
@@ -65,13 +64,40 @@ class TestLookup:
 
 
 class TestDeprecatedAliases:
-    def test_uniform_dict_mirrors_registry(self):
-        for name, fn in UNIFORM_ALGORITHMS.items():
+    def test_uniform_stub_warns_and_mirrors_registry(self):
+        import repro.core.uniform as uni
+
+        with pytest.warns(DeprecationWarning, match="UNIFORM_ALGORITHMS"):
+            aliases = uni.UNIFORM_ALGORITHMS
+        assert "vendor" not in aliases
+        for name, fn in aliases.items():
             assert get_algorithm(name, kind="uniform").fn is fn
 
-    def test_nonuniform_dict_mirrors_registry(self):
-        for name, fn in NONUNIFORM_ALGORITHMS.items():
+    def test_nonuniform_stub_warns_and_mirrors_registry(self):
+        import repro.core.nonuniform as non
+
+        with pytest.warns(DeprecationWarning,
+                          match="NONUNIFORM_ALGORITHMS"):
+            aliases = non.NONUNIFORM_ALGORITHMS
+        assert "vendor" not in aliases
+        for name, fn in aliases.items():
             assert get_algorithm(name, kind="nonuniform").fn is fn
+
+    def test_top_level_reexports_forward(self):
+        import repro
+        import repro.core
+
+        for mod in (repro, repro.core):
+            with pytest.warns(DeprecationWarning):
+                assert "basic_bruck" in mod.UNIFORM_ALGORITHMS
+            with pytest.warns(DeprecationWarning):
+                assert "sloav" in mod.NONUNIFORM_ALGORITHMS
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.core.uniform as uni
+
+        with pytest.raises(AttributeError):
+            uni.NO_SUCH_THING
 
 
 class TestRegistration:

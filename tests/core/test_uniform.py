@@ -6,12 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.common import num_steps, send_block_distances
-from repro.core.uniform import UNIFORM_ALGORITHMS, alltoall
+from repro.core.registry import list_algorithms
+from repro.core.uniform import alltoall
 from repro.simmpi import LOCAL, THETA, run_spmd
 
 from ..conftest import SMALL_PROCS
 
-ALGORITHMS = sorted(UNIFORM_ALGORITHMS) + ["vendor"]
+ALGORITHMS = list_algorithms("uniform")
 
 
 def fill_pattern(rank, dest, n):
@@ -45,7 +46,8 @@ class TestCorrectness:
     def test_single_byte_blocks(self, algorithm):
         run_spmd(uniform_prog(algorithm, 1), 7)
 
-    @pytest.mark.parametrize("algorithm", sorted(UNIFORM_ALGORITHMS))
+    @pytest.mark.parametrize("algorithm",
+                             [n for n in ALGORITHMS if n != "vendor"])
     def test_zero_byte_blocks_noop(self, algorithm):
         def prog(comm):
             recv = np.full(comm.size, 9, dtype=np.uint8)

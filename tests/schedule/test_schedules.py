@@ -8,8 +8,9 @@ from its documented schedule, these tests fail.
 import numpy as np
 import pytest
 
-from repro.core.nonuniform import NONUNIFORM_ALGORITHMS, alltoallv
-from repro.core.uniform import UNIFORM_ALGORITHMS, alltoall
+from repro.core.nonuniform import alltoallv
+from repro.core.registry import list_algorithms
+from repro.core.uniform import alltoall
 from repro.schedule import nonuniform_schedule, schedule_volume, uniform_schedule
 from repro.simmpi import LOCAL, MAX_USER_TAG, run_spmd
 from repro.workloads import UniformBlocks, block_size_matrix, build_vargs
@@ -22,7 +23,9 @@ def traced_sends(res):
 
 
 class TestUniformSchedules:
-    @pytest.mark.parametrize("algorithm", sorted(UNIFORM_ALGORITHMS))
+    @pytest.mark.parametrize("algorithm",
+                             [n for n in list_algorithms("uniform")
+                              if n != "vendor"])
     @pytest.mark.parametrize("p", [2, 3, 5, 8, 13])
     def test_matches_trace(self, algorithm, p):
         n = 16
@@ -49,7 +52,8 @@ class TestUniformSchedules:
 # The grouped (leader-based) algorithm has data-dependent multi-hop
 # routing and no analytic schedule; its structure is asserted directly in
 # tests/core/test_grouped.py instead.
-SCHEDULED = sorted(set(NONUNIFORM_ALGORITHMS) - {"grouped"})
+SCHEDULED = [n for n in list_algorithms("nonuniform")
+             if n not in ("grouped", "vendor")]
 
 
 class TestNonuniformSchedules:
@@ -127,3 +131,92 @@ class TestVolumeAccounting:
             nonuniform_schedule("two_phase_bruck", r, sizes))["bytes"]
             for r in range(p))
         assert padded > 1.5 * tp
+
+
+class TestFabricSchedules:
+    """The whole-fabric (src, dst, nbytes, tag) array form."""
+
+    @pytest.mark.parametrize("p", [2, 5, 16])
+    @pytest.mark.parametrize("algorithm",
+                             [n for n in list_algorithms("uniform")
+                              if n != "vendor"])
+    def test_uniform_matches_per_rank_schedule(self, algorithm, p):
+        from repro.schedule import fabric_schedule
+        n = 16
+        per_rank = {r: [(m.dst, m.nbytes)
+                        for m in uniform_schedule(algorithm, r, p, n)]
+                    for r in range(p)}
+        fabric = {r: [] for r in range(p)}
+        for step in fabric_schedule(algorithm, "uniform", p,
+                                    block_nbytes=n):
+            for s, d, nb in zip(step.src, step.dst, step.nbytes):
+                fabric[int(s)].append((int(d), int(nb)))
+        assert fabric == per_rank
+
+    @pytest.mark.parametrize("p", [2, 5, 16])
+    @pytest.mark.parametrize("algorithm", SCHEDULED)
+    def test_nonuniform_matches_per_rank_schedule(self, algorithm, p):
+        from repro.schedule import fabric_schedule
+        sizes = block_size_matrix(UniformBlocks(32), p, seed=5)
+        per_rank = {r: [(m.dst, m.nbytes)
+                        for m in nonuniform_schedule(algorithm, r, sizes)]
+                    for r in range(p)}
+        fabric = {r: [] for r in range(p)}
+        for step in fabric_schedule(algorithm, "nonuniform", p,
+                                    sizes=sizes):
+            for s, d, nb in zip(step.src, step.dst, step.nbytes):
+                fabric[int(s)].append((int(d), int(nb)))
+        assert fabric == per_rank
+
+    @pytest.mark.parametrize("p", [4, 16, 13])
+    def test_volumes_match_tensor_run_accounting(self, p):
+        """fabric_volume == the tensor backend's wire statistics (after
+        adding back the internal allreduce traffic the schedule layer
+        excludes by documented convention)."""
+        import math
+
+        from repro.schedule import fabric_schedule, fabric_volume
+        from repro.simmpi import ExecutionConfig, TensorAlltoallv, THETA
+        from repro.simmpi import run_spmd
+
+        sizes = block_size_matrix(UniformBlocks(32), p, seed=5)
+        cfg = ExecutionConfig(machine=THETA, backend="tensor",
+                              wire="phantom", trace=False)
+        ar = p * math.ceil(math.log2(p)) if p > 1 else 0
+        for algorithm in list_algorithms("nonuniform"):
+            res = run_spmd(TensorAlltoallv(algorithm, sizes), p,
+                           config=cfg)
+            vol = fabric_volume(fabric_schedule(algorithm, "nonuniform",
+                                                p, sizes=sizes))
+            msgs, nbytes = vol["messages"], vol["bytes"]
+            if algorithm in ("padded_bruck", "padded_alltoall",
+                             "two_phase_bruck"):
+                msgs += ar
+                nbytes += 8 * ar
+            assert (msgs, nbytes) == \
+                (res.total_messages, res.total_bytes), algorithm
+
+    def test_grouped_has_fabric_schedule(self):
+        from repro.schedule import fabric_schedule
+        p = 16
+        sizes = block_size_matrix(UniformBlocks(32), p, seed=5)
+        steps = fabric_schedule("grouped", "nonuniform", p, sizes=sizes,
+                                group_size=4)
+        labels = [s.label for s in steps]
+        assert labels == ["gather_counts", "gather_data", "leader_counts",
+                          "leader_blobs", "scatter_data"]
+        # conservation: every rank's payload leaves it and reaches it
+        total = sizes.sum() - np.diagonal(sizes).sum()
+        gather = steps[1].total_bytes
+        assert gather == sizes.sum(axis=1)[steps[1].src].sum()
+
+    def test_validation(self):
+        from repro.schedule import fabric_schedule
+        with pytest.raises(KeyError):
+            fabric_schedule("nope", "uniform", 8, block_nbytes=4)
+        with pytest.raises(KeyError):
+            fabric_schedule("basic_bruck", "diagonal", 8, block_nbytes=4)
+        with pytest.raises(ValueError):
+            fabric_schedule("basic_bruck", "uniform", 8)
+        with pytest.raises(ValueError):
+            fabric_schedule("sloav", "nonuniform", 8)

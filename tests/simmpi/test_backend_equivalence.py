@@ -19,7 +19,14 @@ import numpy as np
 import pytest
 
 from repro.core.registry import get_algorithm, list_algorithms
-from repro.simmpi import THETA, WIRE_MODES, run_spmd
+from repro.simmpi import (
+    ExecutionConfig,
+    TensorAlltoall,
+    TensorAlltoallv,
+    THETA,
+    WIRE_MODES,
+    run_spmd,
+)
 from repro.workloads import (
     block_size_matrix,
     build_vargs,
@@ -130,6 +137,79 @@ def _run_faulted(name: str, nprocs: int, backend: str, wire: str):
 def _fault_sequences(result):
     return [tuple((e.kind, e.src, e.dst, e.tag, e.nbytes, e.clock)
                   for e in tr.faults) for tr in result.traces]
+
+
+# ----------------------------------------------------------------------
+# tensor cells: the vectorized backend joins the matrix (phantom wire)
+# ----------------------------------------------------------------------
+
+def _assert_tensor_matches_coop(spec, nprocs, fault_plan=None):
+    """A TensorProgram spec is also a runnable rank program: the same
+    object drives the coop backend (executing the real registered kernel)
+    and the tensor backend (evaluating the vectorized recurrence) — the
+    clocks and wire statistics must agree bit for bit."""
+    base = dict(machine=THETA, trace=False, timeout=300, wire="phantom",
+                fault_plan=fault_plan, fault_seed=23)
+    ref = run_spmd(spec, nprocs,
+                   config=ExecutionConfig(backend="coop", **base))
+    cfg = ExecutionConfig(backend="tensor", **base)
+    tens = run_spmd(spec, nprocs, config=cfg)
+    assert tens.clocks == ref.clocks  # exact, not approx
+    assert tens.total_messages == ref.total_messages
+    assert tens.total_bytes == ref.total_bytes
+    assert tens.config is cfg
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+@pytest.mark.parametrize("name", list_algorithms("uniform"))
+def test_tensor_uniform_clocks_bit_identical(name, nprocs):
+    _assert_tensor_matches_coop(TensorAlltoall(name, BLOCK), nprocs)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+@pytest.mark.parametrize("name", list_algorithms("nonuniform"))
+def test_tensor_nonuniform_clocks_bit_identical(name, nprocs):
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              nprocs, seed=7)
+    _assert_tensor_matches_coop(TensorAlltoallv(name, sizes), nprocs)
+
+
+@pytest.mark.parametrize("name", list_algorithms("nonuniform"))
+def test_tensor_nonuniform_const_sizes(name):
+    # The constant-size form (no P x P matrix) takes the lockstep
+    # single-lane path for most algorithms — same clocks either way.
+    _assert_tensor_matches_coop(TensorAlltoallv(name, BLOCK), 16)
+
+
+#: The fault-feature subset the tensor backend supports: delay/jitter
+#: rules and stragglers (no crashes, drops, duplicates, or reordering).
+TENSOR_FAULT_SPEC = "delay:d=30us,jitter=15us,p=0.6;straggler:ranks=2,factor=3"
+
+
+@pytest.mark.parametrize("name", ["two_phase_bruck", "sloav"])
+def test_tensor_faulted_cell(name):
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              16, seed=7)
+    _assert_tensor_matches_coop(TensorAlltoallv(name, sizes), 16,
+                                fault_plan=TENSOR_FAULT_SPEC)
+
+
+def test_tensor_rejects_unsupported_features():
+    spec = TensorAlltoall("basic_bruck", BLOCK)
+    with pytest.raises(ValueError, match="phantom"):
+        run_spmd(spec, 4, config=ExecutionConfig(
+            backend="tensor", machine=THETA, trace=False, wire="bytes"))
+    with pytest.raises(ValueError, match="TensorProgram"):
+        run_spmd(lambda comm: None, 4, config=ExecutionConfig(
+            backend="tensor", machine=THETA, trace=False, wire="phantom"))
+    with pytest.raises(ValueError, match="crash"):
+        run_spmd(spec, 4, config=ExecutionConfig(
+            backend="tensor", machine=THETA, trace=False, wire="phantom",
+            fault_plan="crash:rank=1,step=3"))
+    with pytest.raises(ValueError, match="delay"):
+        run_spmd(spec, 4, config=ExecutionConfig(
+            backend="tensor", machine=THETA, trace=False, wire="phantom",
+            fault_plan="drop:p=0.5"))
 
 
 @pytest.mark.parametrize("name", ["two_phase_bruck", "spread_out"])

@@ -1,0 +1,135 @@
+"""ExecutionConfig: validation, the kwarg deprecation shim, config echo."""
+
+import pytest
+
+from repro.simmpi import (
+    ExecutionConfig,
+    FaultPlan,
+    LOCAL,
+    ReliabilityConfig,
+    THETA,
+    run_spmd,
+)
+
+
+def _prog(comm):
+    comm.barrier()
+    return comm.clock
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = ExecutionConfig()
+        assert cfg.machine is LOCAL
+        assert cfg.trace == "full"
+        assert cfg.backend == "threads"
+        assert cfg.wire == "bytes"
+        assert cfg.on_fault == "fail-fast"
+        assert cfg.fault_plan is None and cfg.reliability is None
+
+    def test_unknown_backend_names_valid_set(self):
+        with pytest.raises(ValueError, match="threads.*coop.*tensor"):
+            ExecutionConfig(backend="cuda")
+
+    def test_unknown_wire_names_valid_set(self):
+        with pytest.raises(ValueError, match="bytes.*phantom"):
+            ExecutionConfig(wire="laser")
+
+    def test_unknown_on_fault_names_valid_set(self):
+        with pytest.raises(ValueError, match="fail-fast.*retry.*degrade"):
+            ExecutionConfig(on_fault="panic")
+
+    def test_unknown_trace_mode(self):
+        with pytest.raises(ValueError, match="trace"):
+            ExecutionConfig(trace="verbose")
+
+    @pytest.mark.parametrize("trace,expected", [
+        (True, "full"), (False, "off"), (None, "off"),
+        ("events", "events"), ("metrics", "metrics"), ("full", "full"),
+    ])
+    def test_trace_normalization(self, trace, expected):
+        assert ExecutionConfig(trace=trace).trace == expected
+
+    def test_bad_machine(self):
+        with pytest.raises(ValueError, match="MachineProfile"):
+            ExecutionConfig(machine="theta")
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ExecutionConfig(timeout=0)
+
+    def test_fault_plan_spec_string_parsed(self):
+        cfg = ExecutionConfig(fault_plan="delay:d=10us,p=0.5")
+        assert isinstance(cfg.fault_plan, FaultPlan)
+        assert cfg.faulted
+
+    def test_bad_fault_plan_spec_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(fault_plan="explode:now")
+
+    def test_retry_implies_reliability(self):
+        cfg = ExecutionConfig(on_fault="retry")
+        assert isinstance(cfg.reliability, ReliabilityConfig)
+
+    def test_reliability_strings(self):
+        assert ExecutionConfig(reliability="none").reliability is None
+        assert isinstance(ExecutionConfig(reliability="retry").reliability,
+                          ReliabilityConfig)
+        with pytest.raises(ValueError, match="reliability"):
+            ExecutionConfig(reliability="always")
+
+    def test_frozen(self):
+        cfg = ExecutionConfig()
+        with pytest.raises(AttributeError):
+            cfg.backend = "coop"
+
+    def test_replace_revalidates(self):
+        cfg = ExecutionConfig(machine=THETA)
+        coop = cfg.replace(backend="coop")
+        assert coop.backend == "coop" and coop.machine is THETA
+        with pytest.raises(ValueError):
+            cfg.replace(backend="cuda")
+
+    def test_derived_views(self):
+        assert ExecutionConfig(trace="events").events_on
+        assert not ExecutionConfig(trace="events").metrics_on
+        assert ExecutionConfig(trace="metrics").metrics_on
+        assert not ExecutionConfig(trace=False).events_on
+
+
+class TestShim:
+    def test_legacy_kwargs_warn_and_match_config(self):
+        with pytest.warns(DeprecationWarning, match="ExecutionConfig"):
+            legacy = run_spmd(_prog, 4, machine=THETA, trace=False,
+                              backend="coop", wire="phantom")
+        modern = run_spmd(_prog, 4, config=ExecutionConfig(
+            machine=THETA, trace=False, backend="coop", wire="phantom"))
+        assert legacy.clocks == modern.clocks
+        assert legacy.total_messages == modern.total_messages
+
+    def test_mixing_config_and_legacy_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_spmd(_prog, 4, config=ExecutionConfig(machine=THETA),
+                     backend="coop")
+
+    def test_config_must_be_execution_config(self):
+        with pytest.raises(ValueError, match="ExecutionConfig"):
+            run_spmd(_prog, 4, config={"machine": THETA})
+
+    def test_no_kwargs_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_spmd(_prog, 2, config=ExecutionConfig(machine=LOCAL,
+                                                      trace=False))
+
+    def test_result_echoes_config(self):
+        cfg = ExecutionConfig(machine=THETA, trace=False, backend="coop")
+        res = run_spmd(_prog, 4, config=cfg)
+        assert res.config is cfg
+
+    def test_legacy_bad_backend_fails_before_spawn(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="backend"):
+                run_spmd(_prog, 4, backend="cuda")

@@ -20,7 +20,7 @@ from repro.simmpi import (
 
 class TestBasics:
     def test_backends_constant(self):
-        assert BACKENDS == ("threads", "coop")
+        assert BACKENDS == ("threads", "coop", "tensor")
 
     def test_invalid_backend(self):
         with pytest.raises(ValueError, match="backend"):
