@@ -21,18 +21,23 @@ import os
 from pathlib import Path
 
 from repro.core.registry import get_algorithm
-from repro.simmpi import (ExecutionConfig, THETA, MachineProfile,
-                          format_summary, run_spmd)
+from repro.simmpi import (ExecutionConfig, MACHINE_MODEL_VERSION, THETA,
+                          MachineProfile, format_summary, run_spmd)
 from repro.workloads import build_vargs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def save_report(name: str, text: str) -> None:
-    """Write one reproduced figure to benchmarks/results/<name>.txt."""
+    """Write one reproduced figure to benchmarks/results/<name>.txt.
+
+    Every file leads with the machine-model version so a committed
+    artifact can be matched against the cost model that produced it.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
+    header = f"# machine-model v{MACHINE_MODEL_VERSION}\n"
+    path.write_text(header + text + "\n")
     # Also echo for -s runs.
     print(f"\n[{name}] written to {path}\n{text}")
 

@@ -1,15 +1,30 @@
-"""Fig. 13 — generality across machines (Cori and Stampede2 profiles).
+"""Fig. 13 — generality across machines (Cori and Stampede2 profiles),
+plus a ppn sweep of the two-level hierarchical machine model.
 
 Weak scaling with windowed-normal block sizes at N = 64.  Expected shape
 (paper §7): two-phase Bruck outperforms the vendor implementation on both
 machines, padded Bruck trails at these loads.
+
+The ppn sweep runs the locality-aware Bruck variants against their flat
+equivalents on Theta with 1/4/16/64 ranks per node.  Under the model's
+per-rank share of node injection bandwidth, concentrating a node's
+traffic in one leader serializes at that leader, so the node-aware
+variants trade wall-clock for a large reduction in inter-node messages
+and bytes — the sweep reports both sides of that trade.
 """
 
 from repro.bench import fig13_other_machines, format_series_table
+from repro.simmpi import THETA
+from repro.workloads import block_size_matrix, distribution_by_name
 
-from _common import once, save_report
+from _common import once, run_alltoallv, save_report
 
 PROCS = (128, 512, 2048, 8192, 32768)
+
+PPN_SWEEP = (1, 4, 16, 64)
+PPN_NPROCS = 256
+PPN_PAIRS = (("padded_bruck", "locality_padded_bruck"),
+             ("two_phase_bruck", "locality_two_phase_bruck"))
 
 
 def test_fig13(benchmark):
@@ -26,3 +41,62 @@ def test_fig13(benchmark):
             assert tp[p].median < vendor[p].median, (mname, p)
     assert set(out) == {"cori", "stampede2"}
     save_report("fig13_other_machines", "\n".join(lines))
+
+
+def _inter_messages(result, ppn: int):
+    """(count, bytes) of messages crossing a node boundary."""
+    msgs = nbytes = 0
+    for tr in result.traces:
+        for e in tr.sends:
+            if e.src // ppn != e.dst // ppn:
+                msgs += 1
+                nbytes += e.nbytes
+    return msgs, nbytes
+
+
+def test_fig13_ppn_sweep(benchmark):
+    sizes = block_size_matrix(distribution_by_name("normal", 64),
+                              PPN_NPROCS, seed=3)
+
+    def drive():
+        rows = {}
+        for ppn in PPN_SWEEP:
+            machine = THETA.with_overrides(ppn=ppn)
+            cells = {}
+            for name in [a for pair in PPN_PAIRS for a in pair]:
+                res = run_alltoallv(name, sizes, machine=machine,
+                                    backend="coop")
+                cells[name] = (max(res.clocks),) \
+                    + _inter_messages(res, ppn)
+            rows[ppn] = cells
+        return rows
+
+    rows = once(benchmark, drive)
+
+    lines = [f"Fig. 13 (ppn sweep): locality-aware vs flat Bruck at "
+             f"P={PPN_NPROCS}, normal dist, N=64 B (theta)",
+             "-" * 74,
+             f"{'ppn':>4} {'algorithm':>26} {'sim ms':>9} "
+             f"{'inter msgs':>11} {'inter MB':>9}"]
+    for ppn in PPN_SWEEP:
+        for flat, loc in PPN_PAIRS:
+            for name in (flat, loc):
+                t, msgs, nbytes = rows[ppn][name]
+                lines.append(f"{ppn:>4} {name:>26} {t * 1e3:>9.3f} "
+                             f"{msgs:>11} {nbytes / 1e6:>9.3f}")
+        lines.append("")
+
+    for flat, loc in PPN_PAIRS:
+        # ppn=1 is the flat machine: the locality kernels delegate and
+        # must match their flat equivalents exactly.
+        assert rows[1][loc] == rows[1][flat], (flat, loc)
+        for ppn in PPN_SWEEP[1:]:
+            # The variants' raison d'etre: strictly less inter-node
+            # traffic (both message count and bytes) than the flat run.
+            assert rows[ppn][loc][1] < rows[ppn][flat][1], (loc, ppn)
+            assert rows[ppn][loc][2] < rows[ppn][flat][2], (loc, ppn)
+        # The intra-tier discount alone speeds up the *flat* algorithms
+        # as more of their pairs land on one node.
+        assert rows[64][flat][0] < rows[1][flat][0], flat
+
+    save_report("fig13_ppn_sweep", "\n".join(lines))

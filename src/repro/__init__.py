@@ -101,10 +101,19 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # Deprecated alias dicts; the stubs in repro.core warn on access.
+    # One-release compatibility stubs for the removed alias dicts; warn
+    # here (not via repro.core's stub — the extra delegation frame would
+    # make stacklevel=2 point inside the library, not at the caller).
     if name in ("UNIFORM_ALGORITHMS", "NONUNIFORM_ALGORITHMS"):
-        from . import core
+        import warnings
 
-        return getattr(core, name)
+        kind = "uniform" if name == "UNIFORM_ALGORITHMS" else "nonuniform"
+        warnings.warn(
+            f"{name} is deprecated; use repro.core.registry."
+            f"list_algorithms({kind!r}) / get_algorithm(name, {kind!r}) "
+            "instead", DeprecationWarning, stacklevel=2)
+        from .core.registry import deprecated_alias_dict
+
+        return deprecated_alias_dict(kind)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")

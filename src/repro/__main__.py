@@ -70,7 +70,21 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "P x P matrix is materialized)")
     p.add_argument("--machine", default="theta", choices=sorted(PROFILES),
                    help="machine profile (default: theta)")
+    p.add_argument("--ppn", type=int, default=None, metavar="R",
+                   help="ranks per node (two-level hierarchical machine "
+                        "model: intra-node messages use the cheaper "
+                        "intra-tier constants and pay no network "
+                        "congestion); default: the profile's own ppn "
+                        "(1 = flat)")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _resolve_machine(args: argparse.Namespace):
+    machine = get_profile(args.machine)
+    ppn = getattr(args, "ppn", None)
+    if ppn is not None:
+        machine = machine.with_overrides(ppn=ppn)
+    return machine
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
@@ -78,7 +92,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
         print("error: the analytic predictor takes a distribution; "
               "use --dist uniform/normal/power_law", file=sys.stderr)
         return 2
-    machine = get_profile(args.machine)
+    machine = _resolve_machine(args)
     dist = distribution_by_name(args.dist, args.max_block)
     result = predict_alltoallv(args.algorithm, machine, args.nprocs, dist,
                                seed=args.seed)
@@ -111,7 +125,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    machine = get_profile(args.machine)
+    machine = _resolve_machine(args)
     phantom = args.wire == "phantom"
     # Per-event traces at thousands of ranks are pure overhead here;
     # aggregate metrics keep large-P runs fast.  The tensor backend
@@ -196,7 +210,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
               "(use `run --backend coop` for large-P functional runs)",
               file=sys.stderr)
         return 2
-    machine = get_profile(args.machine)
+    machine = _resolve_machine(args)
     dist = distribution_by_name(args.dist, args.max_block)
     sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
 
@@ -239,6 +253,11 @@ def cmd_profiles(_args: argparse.Namespace) -> int:
               f"o={m.o_send * 1e6:.1f}/{m.o_recv * 1e6:.1f}us "
               f"eager<= {m.eager_threshold}B x{m.eager_factor} "
               f"congestion K={m.congestion_procs:.0f}")
+        print(f"{'':>10}  ppn={m.ppn} "
+              f"intra: alpha={m.alpha_intra * 1e6:.2f}us "
+              f"beta={1 / m.beta_intra / 1e6:.0f}MB/s "
+              f"o={m.o_send_intra * 1e6:.2f}/{m.o_recv_intra * 1e6:.2f}us "
+              f"x{m.eager_factor_intra} (no congestion)")
     return 0
 
 
@@ -306,6 +325,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["uniform", "normal", "power_law"],
                    help="block-size distribution (default: uniform)")
     p.add_argument("--machine", default="theta", choices=sorted(PROFILES))
+    p.add_argument("--ppn", type=int, default=None, metavar="R",
+                   help="ranks per node (hierarchical machine model)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--backend", default="threads",
                    choices=["threads", "coop"],

@@ -127,9 +127,10 @@ def score_profile(machine: MachineProfile,
 
 def calibrate(base: MachineProfile = None,
               targets: CalibrationTargets = PAPER_TARGETS,
-              o_grid: Sequence[float] = (3e-6, 4e-6, 5e-6, 6e-6),
-              eager_grid: Sequence[float] = (5.0, 5.5, 6.0),
-              congestion_grid: Sequence[float] = (9000.0, 13000.0, 17000.0),
+              o_grid: Sequence[float] = (4e-6, 5e-6, 6e-6, 7e-6),
+              eager_grid: Sequence[float] = (4.5, 5.0, 5.5),
+              congestion_grid: Sequence[float] = (5000.0, 6000.0, 7000.0,
+                                                  9000.0),
               ) -> CalibrationResult:
     """Grid-search the three free constants, re-anchoring beta per
     candidate; returns the best-scoring profile."""

@@ -84,15 +84,21 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # Deprecated alias dicts now live behind compatibility stubs in the
-    # implementation packages (which emit the DeprecationWarning).
-    if name == "UNIFORM_ALGORITHMS":
-        from . import uniform
+    # One-release compatibility stubs for the removed alias dicts.  The
+    # warning is emitted *here* rather than by delegating to the
+    # implementation packages' stubs: each delegation hop adds a stack
+    # frame, which would make ``stacklevel=2`` point inside the library
+    # instead of at the caller's attribute access.
+    if name in ("UNIFORM_ALGORITHMS", "NONUNIFORM_ALGORITHMS"):
+        import warnings
 
-        return uniform.UNIFORM_ALGORITHMS
-    if name == "NONUNIFORM_ALGORITHMS":
-        from . import nonuniform
+        kind = "uniform" if name == "UNIFORM_ALGORITHMS" else "nonuniform"
+        warnings.warn(
+            f"{name} is deprecated; use repro.core.registry."
+            f"list_algorithms({kind!r}) / get_algorithm(name, {kind!r}) "
+            "instead", DeprecationWarning, stacklevel=2)
+        from .registry import deprecated_alias_dict
 
-        return nonuniform.NONUNIFORM_ALGORITHMS
+        return deprecated_alias_dict(kind)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")

@@ -19,6 +19,7 @@ import numpy as np
 from ...simmpi.communicator import Communicator
 from ..registry import get_algorithm, register_algorithm
 from .grouped import grouped_alltoallv
+from .locality import locality_padded_bruck, locality_two_phase_bruck
 from .padded import padded_alltoall, padded_bruck
 from .sloav import sloav_alltoallv
 from .spread_out_v import spread_out_v
@@ -31,6 +32,8 @@ __all__ = [
     "spread_out_v",
     "sloav_alltoallv",
     "grouped_alltoallv",
+    "locality_padded_bruck",
+    "locality_two_phase_bruck",
     "alltoallv",
 ]
 
@@ -49,6 +52,12 @@ for _name, _fn, _desc in (
      "send-layout-optimized alltoallv variant"),
     ("grouped", grouped_alltoallv,
      "group-wise staged alltoallv variant"),
+    ("locality_padded_bruck", locality_padded_bruck,
+     "node-aware padded Bruck: intra-node gather, inter-node Bruck "
+     "over ppn^2-aggregated super-blocks, intra-node scatter"),
+    ("locality_two_phase_bruck", locality_two_phase_bruck,
+     "node-aware two-phase Bruck: true-size super-blobs with coupled "
+     "metadata over the inter-node tier"),
 ):
     register_algorithm(_name, "nonuniform", _fn, _desc)
 
@@ -64,10 +73,9 @@ def __getattr__(name: str):
             "repro.core.registry.list_algorithms('nonuniform') / "
             "get_algorithm(name, 'nonuniform') instead",
             DeprecationWarning, stacklevel=2)
-        from ..registry import get_algorithm, list_algorithms
+        from ..registry import deprecated_alias_dict
 
-        return {n: get_algorithm(n, "nonuniform").fn
-                for n in list_algorithms("nonuniform") if n != "vendor"}
+        return deprecated_alias_dict("nonuniform")
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")
 

@@ -117,6 +117,19 @@ def list_algorithms(kind: Optional[str] = None) -> List[str]:
     return sorted(names)
 
 
+def deprecated_alias_dict(kind: str) -> Dict[str, Callable[..., None]]:
+    """Registry-backed body of the removed ``*_ALGORITHMS`` alias dicts.
+
+    Used only by the one-release compatibility stubs (module
+    ``__getattr__`` hooks); each stub emits its own DeprecationWarning
+    with ``stacklevel=2`` so the warning points at the *caller's* access,
+    then returns this dict.  Excludes the vendor stand-in, matching the
+    removed dicts.
+    """
+    return {n: get_algorithm(n, kind).fn
+            for n in list_algorithms(kind) if n != "vendor"}
+
+
 # ----------------------------------------------------------------------
 # The vendor stand-ins: the communicator's builtin (spread-out)
 # collectives, mirroring a call into the MPI library itself.

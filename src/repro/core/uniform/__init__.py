@@ -60,10 +60,9 @@ def __getattr__(name: str):
             "repro.core.registry.list_algorithms('uniform') / "
             "get_algorithm(name, 'uniform') instead",
             DeprecationWarning, stacklevel=2)
-        from ..registry import get_algorithm, list_algorithms
+        from ..registry import deprecated_alias_dict
 
-        return {n: get_algorithm(n, "uniform").fn
-                for n in list_algorithms("uniform") if n != "vendor"}
+        return deprecated_alias_dict("uniform")
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")
 

@@ -18,6 +18,15 @@ __all__ = ["Message", "uniform_schedule", "nonuniform_schedule",
            "schedule_volume", "ExchangeStep", "fabric_schedule",
            "fabric_volume"]
 
+# Schedules describe the flat (ppn = 1) machine, where the node-aware
+# locality kernels delegate verbatim to their flat counterparts — so the
+# aliases are exact.  Hierarchical (ppn > 1) traffic has no single
+# machine-independent schedule at this layer.
+_FLAT_EQUIVALENT = {
+    "locality_padded_bruck": "padded_bruck",
+    "locality_two_phase_bruck": "two_phase_bruck",
+}
+
 
 @dataclass(frozen=True)
 class Message:
@@ -102,6 +111,7 @@ def _sloav_bytes_out(rank: int, sizes: np.ndarray, k: int,
 def nonuniform_schedule(algorithm: str, rank: int,
                         sizes: np.ndarray) -> List[Message]:
     """Messages rank ``rank`` sends for the given ``P × P`` size matrix."""
+    algorithm = _FLAT_EQUIVALENT.get(algorithm, algorithm)
     p = sizes.shape[0]
     if sizes.shape != (p, p):
         raise ValueError(f"sizes must be square, got {sizes.shape}")
@@ -262,6 +272,7 @@ def fabric_schedule(algorithm: str, kind: str, nprocs: int, *,
     are reported as the builtin collective would allocate them on an
     otherwise-quiet communicator.
     """
+    algorithm = _FLAT_EQUIVALENT.get(algorithm, algorithm)
     p = int(nprocs)
     if p <= 0:
         raise ValueError(f"nprocs must be positive, got {p}")

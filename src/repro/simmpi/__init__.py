@@ -53,7 +53,16 @@ from .faults import (
     ReliabilityConfig,
     StragglerRule,
 )
-from .machine import CORI, LOCAL, PROFILES, STAMPEDE2, THETA, MachineProfile, get_profile
+from .machine import (
+    CORI,
+    LOCAL,
+    MACHINE_MODEL_VERSION,
+    PROFILES,
+    STAMPEDE2,
+    THETA,
+    MachineProfile,
+    get_profile,
+)
 from .metrics import Counter, Histogram, MetricsRegistry, RunMetrics
 from .network import WIRE_MODES, Envelope, Network
 from .scheduler import CoopNetwork, CoopScheduler
@@ -113,6 +122,7 @@ __all__ = [
     "MachineProfile",
     "get_profile",
     "PROFILES",
+    "MACHINE_MODEL_VERSION",
     "THETA",
     "CORI",
     "STAMPEDE2",

@@ -191,7 +191,7 @@ class Communicator:
                        dest: int, tag: int) -> SendRequest:
         self._bump_op()
         begin = self._clock
-        self._clock += self.machine.o_send * self._straggle
+        self._clock += self._o_send_to(dest) * self._straggle
         depart = self._clock
         records = self._network.post(
             Envelope(self._rank, dest, tag, payload, depart, nbytes),
@@ -212,8 +212,18 @@ class Communicator:
 
     def _irecv_raw(self, buf: Buffer, source: int, tag: int) -> RecvRequest:
         self._bump_op()
-        self._clock += self.machine.o_recv * self._straggle
+        self._clock += self._o_recv_from(source) * self._straggle
         return RecvRequest(self, source, tag, buf)
+
+    def _o_send_to(self, dest: int) -> float:
+        """Per-message injection overhead on the tier ``dest`` selects."""
+        m = self.machine
+        return m.o_send_intra if m.is_intra(self._rank, dest) else m.o_send
+
+    def _o_recv_from(self, source: int) -> float:
+        """Per-message retire overhead on the tier ``source`` selects."""
+        m = self.machine
+        return m.o_recv_intra if m.is_intra(source, self._rank) else m.o_recv
 
     def _bump_op(self) -> None:
         """Advance the posted-op counter; trip this rank's crash rule.
@@ -296,7 +306,7 @@ class Communicator:
         source = self._check_peer(source, "source")
         tag = self._check_tag(tag)
         self._bump_op()
-        self._clock += self.machine.o_recv * self._straggle
+        self._clock += self._o_recv_from(source) * self._straggle
         env = self._collect(source, tag)
         if env.mark == "dead":
             self._complete_dead_recv(env)
@@ -391,7 +401,7 @@ class Communicator:
                        + self._network.serial_time(env) * self._straggle)
         rel = self._reliability
         if rel is not None and rel.ack_overhead:
-            self._clock += self.machine.o_send * self._straggle
+            self._clock += self._o_send_to(env.src) * self._straggle
         self._trace.record_recv(env.src, env.dst, env.tag, env.nbytes,
                                 self._clock, begin=landing_start)
 

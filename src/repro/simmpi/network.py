@@ -319,8 +319,10 @@ class Network:
     # ------------------------------------------------------------------
     def head_time(self, env: Envelope) -> float:
         """Simulated clock at which ``env``'s first byte reaches the
-        receiver (departure plus head latency)."""
-        return env.depart + self.machine.head_latency(env.nbytes)
+        receiver (departure plus head latency, on the tier the message's
+        endpoints select)."""
+        return env.depart + self.machine.head_latency(
+            env.nbytes, self.machine.is_intra(env.src, env.dst))
 
     def serial_time(self, env: Envelope) -> float:
         """Receiver occupancy while landing ``env``'s bytes.
@@ -328,9 +330,11 @@ class Network:
         Receives serialize at the receiver: completion is
         ``max(receiver clock, head_time) + serial_time`` — back-to-back
         messages queue behind each other, which is how ingress bandwidth
-        saturation in an all-to-all is modelled.
+        saturation in an all-to-all is modelled.  Intra-node messages use
+        the shared-memory tier constants.
         """
-        return self.machine.serial_time(env.nbytes, self.nprocs)
+        return self.machine.serial_time(
+            env.nbytes, self.nprocs, self.machine.is_intra(env.src, env.dst))
 
     # ------------------------------------------------------------------
     def flush_sender(self, rank: int) -> None:

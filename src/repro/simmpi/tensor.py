@@ -54,6 +54,10 @@ _INTERNAL_TAG_STRIDE = 8   # mirrors communicator._INTERNAL_TAG_STRIDE
 _FOLD_CHUNK = 512          # accumulate block width for per-lane folds
 _CONST_CHUNK = 1 << 16     # accumulate width for repeated-constant folds
 
+#: Node-aware kernels whose leader/member programs diverge whenever the
+#: machine has more than one rank per node.
+_LOCALITY_ALGORITHMS = ("locality_padded_bruck", "locality_two_phase_bruck")
+
 
 def _timing():
     # Deferred: repro.timing's package __init__ pulls in modules that read
@@ -99,6 +103,13 @@ class _Engine:
         # the product is the same float either way).
         self._o_send = machine.o_send * straggle
         self._o_recv = machine.o_recv * straggle
+        self._o_send_intra = machine.o_send_intra * straggle
+        self._o_recv_intra = machine.o_recv_intra * straggle
+        # Tier structure of the two-level hierarchy: with every pair on
+        # one tier (flat model, or a single-node job) lockstep lanes stay
+        # sound; otherwise per-(lane, peer) masks select the tier.
+        self._tier_uniform = machine.ppn <= 1 or machine.ppn >= self.p
+        self._all_intra = machine.ppn > 1 and machine.ppn >= self.p
         self.total_messages = 0
         self.total_bytes = 0
         self._coll_seq = 0
@@ -124,9 +135,48 @@ class _Engine:
         self._coll_seq += 1
         return tag
 
+    # -- tier selection (two-level hierarchy) ---------------------------
+    def _intra_pair(self, src, dst):
+        """``machine.is_intra`` vectorized over rank arrays; the scalar
+        ``False`` on the flat model (so flat-path arithmetic is untouched)."""
+        m = self.machine
+        if m.ppn <= 1:
+            return False
+        return (np.asarray(src) // m.ppn) == (np.asarray(dst) // m.ppn)
+
+    def intra_to_off(self, dst_off: int):
+        """Tier of each lane's send to ``(lane + dst_off) % P``: a scalar
+        bool when every pair shares one tier, else an ``(L,)`` mask (which
+        requires one lane per rank — enforced by ``lockstep_ok``)."""
+        m = self.machine
+        if m.ppn <= 1:
+            return False
+        if m.ppn >= self.p:
+            return True
+        return ((self.lane // m.ppn)
+                == (((self.lane + dst_off) % self.p) // m.ppn))
+
+    def _o_send_sel(self, intra):
+        if intra is False:
+            return self._o_send
+        if intra is True:
+            return self._o_send_intra
+        return np.where(intra, self._o_send_intra, self._o_send)
+
+    def _o_recv_sel(self, intra):
+        if intra is False:
+            return self._o_recv
+        if intra is True:
+            return self._o_recv_intra
+        return np.where(intra, self._o_recv_intra, self._o_recv)
+
     # -- local charges --------------------------------------------------
     def charge_compute(self, seconds: float) -> None:
         self.clocks = self.clocks + seconds
+
+    def compute_at(self, sel: np.ndarray, seconds: float) -> None:
+        """``charge_compute`` on a lane subset (e.g. leaders only)."""
+        self.clocks[sel] = self.clocks[sel] + seconds
 
     def charge_copy(self, nbytes) -> None:
         """One ``charge_copy`` per lane; zero/negative sizes are free."""
@@ -186,23 +236,24 @@ class _Engine:
 
         Returns the per-lane departure clocks the *receivers* will see.
         """
-        self.clocks = self.clocks + self._o_send
+        self.clocks = self.clocks + self._o_send_sel(self.intra_to_off(dst_off))
         self._account(nbytes, self.p)
         if self.injector is not None:
             return self._with_extras(dst_off, nbytes, tag, self.clocks)
         return self.clocks.copy()
 
-    def recv_post(self) -> None:
-        """Every rank posts one irecv (the o_recv charge)."""
-        self.clocks = self.clocks + self._o_recv
+    def recv_post(self, intra=False) -> None:
+        """Every rank posts one irecv (the o_recv charge, on the tier its
+        source selects)."""
+        self.clocks = self.clocks + self._o_recv_sel(intra)
 
-    def complete(self, departs, nbytes) -> None:
+    def complete(self, departs, nbytes, intra=False) -> None:
         """Land one message per lane: the simulator's receive rule."""
         eng = _timing()
         head = np.asarray(departs) + eng.head_latency_vec(self.machine,
-                                                          nbytes)
+                                                          nbytes, intra)
         self.clocks = np.maximum(self.clocks, head) \
-            + eng.serial_time_vec(self.machine, nbytes, self.p) \
+            + eng.serial_time_vec(self.machine, nbytes, self.p, intra) \
             * self.straggle
 
     def from_src(self, values, dst_off: int):
@@ -217,9 +268,15 @@ class _Engine:
     def exchange(self, dst_off: int, nbytes, tag: int) -> None:
         """One ``sendrecv``: isend → irecv → completion, all lanes."""
         departs = self.post(dst_off, nbytes, tag)
-        self.recv_post()
+        intra = self.intra_to_off(dst_off)
+        # Receiver r's partner is (r - dst_off) % P, whose *send* mask
+        # entry describes exactly that pair — so the receive-side tier is
+        # the send mask re-indexed to the receiver lane.
+        intra_r = intra if isinstance(intra, bool) \
+            else self.from_src(intra, dst_off)
+        self.recv_post(intra_r)
         self.complete(self.from_src(departs, dst_off),
-                      self.from_src(nbytes, dst_off))
+                      self.from_src(nbytes, dst_off), intra_r)
 
     # -- collectives ----------------------------------------------------
     def allreduce_rounds(self) -> None:
@@ -246,14 +303,25 @@ class _Engine:
             return
         cols = np.asarray(cols)
         self._account(cols, p * (p - 1))
+        tiers = self._fanout_tiers()
+        if tiers is None:
+            recv_mask = None
+            o_send_mat = np.broadcast_to(
+                self._o_send_sel(self._all_intra)[:, None], (L, p - 1))
+            o_recv_mat = np.broadcast_to(
+                self._o_recv_sel(self._all_intra)[:, None], (L, p - 1))
+        else:
+            send_mask, recv_mask = tiers
+            o_send_mat = np.where(send_mask, self._o_send_intra[:, None],
+                                  self._o_send[:, None])
+            o_recv_mat = np.where(recv_mask, self._o_recv_intra[:, None],
+                                  self._o_recv[:, None])
         # All irecvs first: p-1 sequential o_recv charges per lane.
-        self.clocks = _fold(
-            self.clocks, np.broadcast_to(self._o_recv[:, None], (L, p - 1)))
+        self.clocks = _fold(self.clocks, o_recv_mat)
         # All isends: capture each post's departure.
         if self.injector is None:
-            block = np.concatenate(
-                [self.clocks[:, None],
-                 np.broadcast_to(self._o_send[:, None], (L, p - 1))], axis=1)
+            block = np.concatenate([self.clocks[:, None], o_send_mat],
+                                   axis=1)
             acc = np.add.accumulate(block, axis=1)
             departs = acc[:, 1:]
             self.clocks = acc[:, -1].copy()
@@ -262,7 +330,7 @@ class _Engine:
             colsb = (None if cols.ndim == 0
                      else np.broadcast_to(cols, (L, p - 1)))
             for off in range(1, p):
-                self.clocks = self.clocks + self._o_send
+                self.clocks = self.clocks + o_send_mat[:, off - 1]
                 nb = cols if cols.ndim == 0 else colsb[:, off - 1]
                 departs[:, off - 1] = self._with_extras(off, nb, tag,
                                                         self.clocks)
@@ -271,10 +339,11 @@ class _Engine:
         if L == 1 and self.injector is None and cols.ndim == 0:
             # Scalar fast path: pure-float replay of the completion loop
             # (identical IEEE ops; keeps 32K-rank fanouts in milliseconds).
+            # Only reachable on a uniform tier (lockstep implies it).
             m = self.machine
             n = int(cols)
-            head_l = m.head_latency(n)
-            serial = m.serial_time(n, p)
+            head_l = m.head_latency(n, self._all_intra)
+            serial = m.serial_time(n, p, self._all_intra)
             c = float(self.clocks[0])
             row = departs[0]
             for off in range(1, p):
@@ -291,13 +360,34 @@ class _Engine:
                 nb = cols
             else:
                 nb = cols[:, off - 1] if L == 1 else cols[src, off - 1]
-            self.complete(d, nb)
+            tier = self._all_intra if recv_mask is None \
+                else recv_mask[:, off - 1]
+            self.complete(d, nb, tier)
+
+    def _fanout_tiers(self):
+        """``(send, recv)`` tier masks of shape ``(L, p-1)`` for a
+        spread-out fanout — ``send[l, off-1]`` covers ``l -> (l+off)%P``
+        and ``recv[l, off-1]`` covers ``(l-off)%P -> l`` — or ``None``
+        when every pair shares one tier."""
+        if self._tier_uniform:
+            return None
+        ppn = self.machine.ppn
+        offs = np.arange(1, self.p, dtype=np.int64)
+        node = self.lane[:, None] // ppn
+        send = node == (((self.lane[:, None] + offs[None, :]) % self.p)
+                        // ppn)
+        recv = node == (((self.lane[:, None] - offs[None, :]) % self.p)
+                        // ppn)
+        return send, recv
 
     # -- lane-subset operations (leader/member asymmetric algorithms) ---
     def post_at(self, sel: np.ndarray, dst, nbytes, tag: int) -> np.ndarray:
         """Lanes ``sel`` each post one isend to ``dst``; returns their
         departure clocks (aligned with ``sel``)."""
-        self.clocks[sel] = self.clocks[sel] + self._o_send[sel]
+        intra = self._intra_pair(sel, dst)
+        o = self._o_send[sel] if intra is False \
+            else np.where(intra, self._o_send_intra[sel], self._o_send[sel])
+        self.clocks[sel] = self.clocks[sel] + o
         nb = np.asarray(nbytes)
         self.total_messages += len(sel)
         self.total_bytes += (len(sel) * int(nb) if nb.ndim == 0
@@ -314,15 +404,22 @@ class _Engine:
                 departs[i] = env.depart
         return departs
 
-    def recv_at(self, sel: np.ndarray) -> None:
-        self.clocks[sel] = self.clocks[sel] + self._o_recv[sel]
+    def recv_at(self, sel: np.ndarray, src=None) -> None:
+        """Lanes ``sel`` each post one irecv; ``src`` (scalar or aligned
+        array) selects the tier of the expected sender."""
+        intra = False if src is None else self._intra_pair(src, sel)
+        o = self._o_recv[sel] if intra is False \
+            else np.where(intra, self._o_recv_intra[sel], self._o_recv[sel])
+        self.clocks[sel] = self.clocks[sel] + o
 
-    def complete_at(self, sel: np.ndarray, departs, nbytes) -> None:
+    def complete_at(self, sel: np.ndarray, departs, nbytes,
+                    src=None) -> None:
+        intra = False if src is None else self._intra_pair(src, sel)
         eng = _timing()
         head = np.asarray(departs) + eng.head_latency_vec(self.machine,
-                                                          nbytes)
+                                                          nbytes, intra)
         self.clocks[sel] = np.maximum(self.clocks[sel], head) \
-            + eng.serial_time_vec(self.machine, nbytes, self.p) \
+            + eng.serial_time_vec(self.machine, nbytes, self.p, intra) \
             * self.straggle[sel]
 
     def copies_at(self, sel: np.ndarray, counts: np.ndarray) -> None:
@@ -744,10 +841,10 @@ def _eval_grouped(eng: _Engine, sv: _SizeView, *, group_size: int = 8,
             if sel.size == 0:
                 continue
             mem = sel + j
-            eng.recv_at(sel)
-            eng.complete_at(sel, d_up_counts[mem], 8 * p)
-            eng.recv_at(sel)
-            eng.complete_at(sel, d_up_data[mem], row_sum[mem])
+            eng.recv_at(sel, mem)
+            eng.complete_at(sel, d_up_counts[mem], 8 * p, mem)
+            eng.recv_at(sel, mem)
+            eng.complete_at(sel, d_up_data[mem], row_sum[mem], mem)
 
     # -- phase 2: leaders exchange aggregated counts + blobs ------------
     with eng.phase("leader_exchange"):
@@ -792,12 +889,12 @@ def _eval_grouped(eng: _Engine, sv: _SizeView, *, group_size: int = 8,
             for og in range(n_groups):
                 sel_mask = gi != og
                 sel = leads[sel_mask]
-                eng.recv_at(sel)
+                eng.recv_at(sel, leads[og])
                 eng.complete_at(sel, Dc[og, sel_mask],
-                                cnt_bytes[og, sel_mask])
-                eng.recv_at(sel)
+                                cnt_bytes[og, sel_mask], leads[og])
+                eng.recv_at(sel, leads[og])
                 eng.complete_at(sel, Db[og, sel_mask],
-                                blob_bytes[og, sel_mask])
+                                blob_bytes[og, sel_mask], leads[og])
 
     # -- phase 3: leaders deliver; members receive and place ------------
     with eng.phase("scatter_from_leader"):
@@ -828,14 +925,225 @@ def _eval_grouped(eng: _Engine, sv: _SizeView, *, group_size: int = 8,
             else:
                 d_down[mem] = eng.post_at(sel, mem, col_sum[mem], t + 4)
         if members.size:
-            eng.recv_at(members)
-            eng.complete_at(members, d_down[members], col_sum[members])
+            eng.recv_at(members, lead[members])
+            eng.complete_at(members, d_down[members], col_sum[members],
+                            lead[members])
             if sv.is_const:
                 eng.const_copies_at(members, sv.const,
                                     np.full(members.size, p))
             else:
                 eng.copies_at(members, np.ascontiguousarray(
                     sv.mat[:, members].T))
+
+
+def _node_layout(eng: _Engine):
+    """Shared node geometry for the locality evaluators: ``(ppn, nn,
+    leads, lsize, lead, members)`` with ``leads``/``lsize`` per node and
+    ``lead`` per lane."""
+    p = eng.p
+    ppn = min(int(eng.machine.ppn), p)
+    nn = (p + ppn - 1) // ppn
+    leads = np.arange(nn, dtype=np.int64) * ppn
+    lsize = np.minimum(leads + ppn, p) - leads
+    lead = (eng.lane // ppn) * ppn
+    members = eng.lane[eng.lane != lead]
+    return ppn, nn, leads, lsize, lead, members
+
+
+def _eval_locality_padded(eng: _Engine, sv: _SizeView, *,
+                          tag_base: int = 0) -> None:
+    """Node-aware padded Bruck (``core.nonuniform.locality``): on the
+    flat machine this is exactly ``_eval_padded``; otherwise leaders and
+    members run different programs (one lane per rank)."""
+    p = eng.p
+    if min(int(eng.machine.ppn), p) <= 1:
+        return _eval_padded(eng, sv, vendor=False, tag_base=tag_base)
+    if eng.L != p:
+        raise ValueError(
+            "locality evaluation requires one lane per rank")
+    common = _core_common()
+    ppn, nn, leads, lsize, lead, members = _node_layout(eng)
+    K = common.num_steps(nn)
+    t_up = tag_base
+    t_step = tag_base + 1
+    t_down = tag_base + 1 + K
+
+    with eng.phase("padding"):
+        eng.allreduce_rounds()
+        max_n = sv.max()
+        if max_n == 0:
+            return
+        eng.charge_copies(sv.row())
+
+    with eng.phase("node_gather"):
+        d_up = np.zeros(p, dtype=np.float64)
+        if members.size:
+            d_up[members] = eng.post_at(members, lead[members],
+                                        p * max_n, t_up)
+        for j in range(1, ppn):
+            sel = leads[lsize > j]
+            if sel.size == 0:
+                continue
+            mem = sel + j
+            eng.recv_at(sel, mem)
+            eng.complete_at(sel, d_up[mem], p * max_n, mem)
+
+    super_n = ppn * ppn * max_n
+    with eng.phase("inter_bruck"):
+        # Super-block build: per destination node h (ascending), one
+        # hsize·N copy per member (ascending) — zero columns pad the
+        # partial last node and fold free.
+        base = np.repeat(lsize * max_n, ppn)               # (nn*ppn,)
+        member_ok = np.arange(ppn)[None, :] < lsize[:, None]
+        counts = base[None, :] * np.tile(member_ok, (1, nn))
+        eng.copies_at(leads, counts)
+        eng.compute_at(leads, nn * 1.0e-9)
+        eng.const_copies_at(leads, super_n, 1)             # self super-block
+        node_i = np.arange(nn, dtype=np.int64)
+        for k in range(K):
+            dist = common.send_block_distances(k, nn)
+            if not dist:
+                continue
+            m = len(dist)
+            dstL = ((node_i - (1 << k)) % nn) * ppn
+            src_i = (node_i + (1 << k)) % nn
+            srcL = src_i * ppn
+            eng.const_copies_at(leads, super_n, m)
+            D = eng.post_at(leads, dstL, m * super_n, t_step + k)
+            eng.recv_at(leads, srcL)
+            eng.complete_at(leads, D[src_i], m * super_n, srcL)
+            eng.const_copies_at(leads, super_n, m)
+
+    with eng.phase("node_scatter"):
+        d_down = np.zeros(p, dtype=np.float64)
+        for i in range(ppn):
+            sel = leads[lsize > i]
+            if sel.size == 0:
+                continue
+            eng.const_copies_at(sel, max_n, np.full(sel.size, p))
+            if i > 0:
+                mem = sel + i
+                d_down[mem] = eng.post_at(sel, mem, p * max_n, t_down)
+        if members.size:
+            eng.recv_at(members, lead[members])
+            eng.complete_at(members, d_down[members], p * max_n,
+                            lead[members])
+
+    with eng.phase("scan"):
+        eng.charge_copies(sv.col())
+
+
+def _eval_locality_two_phase(eng: _Engine, sv: _SizeView, *,
+                             tag_base: int = 0) -> None:
+    """Node-aware two-phase Bruck (``core.nonuniform.locality``)."""
+    p = eng.p
+    if min(int(eng.machine.ppn), p) <= 1:
+        return _eval_two_phase(eng, sv, tag_base=tag_base)
+    if eng.L != p:
+        raise ValueError(
+            "locality evaluation requires one lane per rank")
+    common = _core_common()
+    ppn, nn, leads, lsize, lead, members = _node_layout(eng)
+    K = common.num_steps(nn)
+    t_up_c = tag_base
+    t_up_d = tag_base + 1
+    t_meta = tag_base + 2
+    t_data = tag_base + 3
+    t_down = tag_base + 2 + 2 * K
+    S = (sv.mat if sv.mat is not None
+         else np.full((p, p), sv.const, dtype=np.int64))
+    row_sum = S.sum(axis=1)
+    col_sum = S.sum(axis=0)
+
+    with eng.phase("node_gather"):
+        d_up_c = np.zeros(p, dtype=np.float64)
+        d_up_d = np.zeros(p, dtype=np.float64)
+        if members.size:
+            d_up_c[members] = eng.post_at(members, lead[members],
+                                          8 * p, t_up_c)
+            d_up_d[members] = eng.post_at(members, lead[members],
+                                          row_sum[members], t_up_d)
+        for j in range(1, ppn):
+            sel = leads[lsize > j]
+            if sel.size == 0:
+                continue
+            mem = sel + j
+            eng.recv_at(sel, mem)
+            eng.complete_at(sel, d_up_c[mem], 8 * p, mem)
+            eng.recv_at(sel, mem)
+            eng.complete_at(sel, d_up_d[mem], row_sum[mem], mem)
+
+    with eng.phase("setup"):
+        eng.compute_at(leads, nn * 1.0e-9)
+
+    # Node-aggregated working sizes, exactly `cur` of _eval_two_phase
+    # lifted to node granularity: curN[g, h] = current bytes of the
+    # super-blob keyed h held at node g's leader.
+    curN = np.add.reduceat(
+        np.add.reduceat(S, leads, axis=0), leads, axis=1)
+    # SEG[s, h]: bytes rank s sends into node h (one contiguous segment
+    # of its packed row under the canonical layout).
+    SEG = np.add.reduceat(S, leads, axis=1)
+    member_rows = leads[:, None] + np.arange(ppn)[None, :]  # (nn, ppn)
+    member_ok = np.arange(ppn)[None, :] < lsize[:, None]
+    member_rows = np.where(member_ok, member_rows, 0)
+    node_i = np.arange(nn, dtype=np.int64)
+    for k in range(K):
+        dist = common.send_block_distances(k, nn)
+        if not dist:
+            continue
+        m = len(dist)
+        d = np.asarray(dist, dtype=np.int64)
+        keys = (node_i[:, None] - d[None, :]) % nn
+        dstL = ((node_i - (1 << k)) % nn) * ppn
+        src_i = (node_i + (1 << k)) % nn
+        srcL = src_i * ppn
+        with eng.phase("metadata_exchange"):
+            Dm = eng.post_at(leads, dstL, 4 * ppn * ppn * m,
+                             t_meta + 2 * k)
+            eng.recv_at(leads, srcL)
+            eng.complete_at(leads, Dm[src_i], 4 * ppn * ppn * m, srcL)
+        with eng.phase("data_exchange"):
+            counts_out = np.take_along_axis(curN, keys, axis=1)
+            # Pack charges, slot-ascending: a parked blob forwards as one
+            # copy of its current total; a fresh one as one segment per
+            # member (whether a super-blob has moved is a pure function
+            # of its node distance and the step, identical on every
+            # leader).
+            pack = []
+            for a in range(m):
+                if common.block_moved_before(int(d[a]), k):
+                    pack.append(counts_out[:, a:a + 1])
+                else:
+                    segs = SEG[member_rows, keys[:, a:a + 1]] * member_ok
+                    pack.append(segs)
+            eng.copies_at(leads, np.concatenate(pack, axis=1))
+            out_total = counts_out.sum(axis=1)
+            Dd = eng.post_at(leads, dstL, out_total, t_data + 2 * k)
+            eng.recv_at(leads, srcL)
+            eng.complete_at(leads, Dd[src_i], out_total[src_i], srcL)
+            counts_in = counts_out[src_i]
+            eng.copies_at(leads, counts_in)
+            np.put_along_axis(curN, keys, counts_in, axis=1)
+
+    with eng.phase("node_scatter"):
+        d_down = np.zeros(p, dtype=np.float64)
+        for i in range(ppn):
+            sel = leads[lsize > i]
+            if sel.size == 0:
+                continue
+            mem = sel + i
+            col = np.ascontiguousarray(S[:, mem].T)
+            eng.copies_at(sel, col)                # blob build
+            if i == 0:
+                eng.copies_at(sel, col)            # place own column
+            else:
+                d_down[mem] = eng.post_at(sel, mem, col_sum[mem], t_down)
+        if members.size:
+            eng.recv_at(members, lead[members])
+            eng.complete_at(members, d_down[members], col_sum[members],
+                            lead[members])
+            eng.copies_at(members, np.ascontiguousarray(S[:, members].T))
 
 
 # ======================================================================
@@ -856,7 +1164,10 @@ class TensorProgram:
     kind: str = ""
     algorithm: str = ""
 
-    def lockstep_ok(self) -> bool:
+    def lockstep_ok(self, machine, nprocs: int) -> bool:
+        """Whether one lane can stand for all ranks: requires an
+        identical charge sequence on every rank, which on the hierarchical
+        model additionally requires every pair to share one tier."""
         raise NotImplementedError
 
     def evaluate(self, eng: _Engine) -> None:
@@ -888,8 +1199,8 @@ class TensorAlltoall(TensorProgram):
         self.algorithm = algorithm
         self.block_nbytes = int(block_nbytes)
 
-    def lockstep_ok(self) -> bool:
-        return True
+    def lockstep_ok(self, machine, nprocs: int) -> bool:
+        return machine.ppn <= 1 or machine.ppn >= nprocs
 
     def evaluate(self, eng: _Engine) -> None:
         n = self.block_nbytes
@@ -940,9 +1251,14 @@ class TensorAlltoallv(TensorProgram):
         self.sizes = sizes
         self.group_size = int(group_size)
 
-    def lockstep_ok(self) -> bool:
-        return (isinstance(self.sizes, (int, np.integer))
-                and self.algorithm != "grouped")
+    def lockstep_ok(self, machine, nprocs: int) -> bool:
+        if not isinstance(self.sizes, (int, np.integer)):
+            return False
+        if self.algorithm == "grouped":
+            return False
+        if machine.ppn > 1 and self.algorithm in _LOCALITY_ALGORITHMS:
+            return False   # leader/member asymmetric once nodes exist
+        return machine.ppn <= 1 or machine.ppn >= nprocs
 
     def evaluate(self, eng: _Engine) -> None:
         sv = _SizeView(self.sizes, eng.p)
@@ -958,6 +1274,10 @@ class TensorAlltoallv(TensorProgram):
             _eval_spread_out_v(eng, sv)
         elif self.algorithm == "grouped":
             _eval_grouped(eng, sv, group_size=self.group_size)
+        elif self.algorithm == "locality_padded_bruck":
+            _eval_locality_padded(eng, sv)
+        elif self.algorithm == "locality_two_phase_bruck":
+            _eval_locality_two_phase(eng, sv)
         elif self.algorithm == "vendor":
             _eval_vendor_alltoallv(eng, sv)
         else:  # pragma: no cover - registry and this table move together
@@ -1038,7 +1358,7 @@ def run_tensor(fn, nprocs: int, config: ExecutionConfig, *,
                 f"stragglers only; plan has {unsupported}")
         injector = FaultInjector(plan, seed=config.fault_seed)
 
-    lockstep = injector is None and fn.lockstep_ok()
+    lockstep = injector is None and fn.lockstep_ok(config.machine, nprocs)
     eng = _Engine(nprocs, config.machine, injector, lockstep)
     fn.evaluate(eng)
 

@@ -42,26 +42,38 @@ __all__ = [
 ArrayLike = Union[float, np.ndarray]
 
 
-def head_latency_vec(machine: MachineProfile, nbytes: ArrayLike) -> ArrayLike:
-    """Vectorized ``MachineProfile.head_latency``."""
+def head_latency_vec(machine: MachineProfile, nbytes: ArrayLike,
+                     intra: ArrayLike = False) -> ArrayLike:
+    """Vectorized ``MachineProfile.head_latency``.
+
+    ``intra`` may be a scalar bool or a boolean array broadcastable against
+    ``nbytes`` (per-message tier selection in the hierarchical model).
+    """
     nbytes = np.asarray(nbytes, dtype=np.float64)
-    return machine.alpha * (1.0 + (nbytes > machine.eager_threshold))
+    a = np.where(intra, machine.alpha_intra, machine.alpha)
+    return a * (1.0 + (nbytes > machine.eager_threshold))
 
 
 def serial_time_vec(machine: MachineProfile, nbytes: ArrayLike,
-                    nprocs: int) -> ArrayLike:
-    """Vectorized ``MachineProfile.serial_time`` (eager-tier bandwidth)."""
+                    nprocs: int, intra: ArrayLike = False) -> ArrayLike:
+    """Vectorized ``MachineProfile.serial_time`` (piecewise eager tiering).
+
+    The first ``eager_threshold`` bytes of every message pay the eager
+    per-byte penalty; the remainder streams.  Uses the exact expression of
+    the scalar method (same association order) so the two stay bit-equal.
+    """
     nbytes = np.asarray(nbytes, dtype=np.float64)
-    rate = machine.beta_eff(nprocs) * np.where(
-        nbytes <= machine.eager_threshold, machine.eager_factor, 1.0)
-    return rate * nbytes
+    rate = np.where(intra, machine.beta_intra, machine.beta_eff(nprocs))
+    factor = np.where(intra, machine.eager_factor_intra, machine.eager_factor)
+    eager = np.minimum(nbytes, machine.eager_threshold)
+    return rate * (factor * eager + (nbytes - eager))
 
 
 def wire_time_vec(machine: MachineProfile, nbytes: ArrayLike,
-                  nprocs: int) -> ArrayLike:
+                  nprocs: int, intra: ArrayLike = False) -> ArrayLike:
     """Vectorized end-to-end time of one isolated message."""
-    return head_latency_vec(machine, nbytes) \
-        + serial_time_vec(machine, nbytes, nprocs)
+    return head_latency_vec(machine, nbytes, intra) \
+        + serial_time_vec(machine, nbytes, nprocs, intra)
 
 
 def copy_time_vec(machine: MachineProfile, nbytes: ArrayLike) -> ArrayLike:

@@ -387,19 +387,24 @@ def _serial_moments(machine: MachineProfile, dist: BlockSizeDistribution,
     """Mean and variance of one message's serial (transfer) time."""
     beta = machine.beta_eff(p)
     thr = machine.eager_threshold
+    ef = machine.eager_factor
     pmf = getattr(dist, "_pmf", None)
     if pmf is not None:
         x = np.arange(dist.max_block + 1, dtype=np.float64)
-        s = beta * x * np.where(x <= thr, machine.eager_factor, 1.0)
+        eager = np.minimum(x, thr)
+        s = beta * (ef * eager + (x - eager))
         mean = float((s * pmf).sum())
         var = float(((s - mean) ** 2 * pmf).sum())
         return mean, var
     if dist.max_block <= thr:
-        scale = beta * machine.eager_factor
+        # Every block is on the eager path, where the piecewise charge is
+        # the pure linear form beta * ef * n.
+        scale = beta * ef
         return scale * dist.mean, scale * scale * dist.variance
     # Mixed regime without a tabulated pmf: fall back to a small sample.
     sample = np.random.default_rng(0).integers(0, dist.max_block + 1, 4096)
-    s = beta * sample * np.where(sample <= thr, machine.eager_factor, 1.0)
+    eager = np.minimum(sample, thr).astype(np.float64)
+    s = beta * (ef * eager + (sample - eager))
     return float(s.mean()), float(s.var())
 
 

@@ -93,6 +93,28 @@ class TestDeprecatedAliases:
             with pytest.warns(DeprecationWarning):
                 assert "sloav" in mod.NONUNIFORM_ALGORITHMS
 
+    def test_warning_points_at_caller(self):
+        # Every access point warns with the *caller's* file as the
+        # warning location — the top-level re-exports must not delegate
+        # to an inner stub (each delegation hop adds a frame and used to
+        # make stacklevel=2 blame library code).
+        import warnings
+
+        import repro
+        import repro.core
+        import repro.core.nonuniform as non
+        import repro.core.uniform as uni
+
+        for mod, attr in ((repro, "NONUNIFORM_ALGORITHMS"),
+                          (repro.core, "UNIFORM_ALGORITHMS"),
+                          (uni, "UNIFORM_ALGORITHMS"),
+                          (non, "NONUNIFORM_ALGORITHMS")):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                getattr(mod, attr)
+            assert len(caught) == 1, (mod.__name__, attr)
+            assert caught[0].filename == __file__, (mod.__name__, attr)
+
     def test_unknown_attribute_still_raises(self):
         import repro.core.uniform as uni
 

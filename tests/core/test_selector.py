@@ -8,10 +8,13 @@ from repro.simmpi import THETA
 
 @pytest.fixture(scope="module")
 def fitted():
-    # Coarse but fast fit covering the small-to-huge range.
+    # Coarse but fast fit covering the small-to-huge range.  The grid
+    # reaches down to N=4: under the piecewise eager model padded Bruck's
+    # niche sits at single-digit block sizes (the old model's cost
+    # inversion had artificially widened it).
     return PerformanceModel.fit(
         THETA, procs=(128, 1024, 4096, 16384, 32768),
-        blocks=(16, 64, 256, 1024, 2048))
+        blocks=(4, 16, 64, 256, 1024, 2048))
 
 
 class TestFit:

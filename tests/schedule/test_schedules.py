@@ -190,7 +190,8 @@ class TestFabricSchedules:
                                                 p, sizes=sizes))
             msgs, nbytes = vol["messages"], vol["bytes"]
             if algorithm in ("padded_bruck", "padded_alltoall",
-                             "two_phase_bruck"):
+                             "two_phase_bruck", "locality_padded_bruck",
+                             "locality_two_phase_bruck"):
                 msgs += ar
                 nbytes += 8 * ar
             assert (msgs, nbytes) == \

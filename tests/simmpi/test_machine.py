@@ -56,10 +56,16 @@ class TestCostPrimitives:
         n = m.eager_threshold
         eager = m.serial_time(n, 64)
         assert eager == pytest.approx(m.beta_eff(64) * m.eager_factor * n)
-        # Just above the threshold, the streaming path is *cheaper* per
-        # byte — the protocol-switch discontinuity.
+        # Above the threshold the first ``eager_threshold`` bytes still pay
+        # the eager penalty; only the *remainder* streams — so cost is
+        # monotone (no protocol-switch cliff), with the extra byte charged
+        # at the streaming rate.
         streaming = m.serial_time(n + 1, 64)
-        assert streaming < eager
+        assert streaming > eager
+        assert streaming - eager == pytest.approx(m.beta_eff(64))
+        big = m.serial_time(4 * n, 64)
+        assert big == pytest.approx(
+            m.beta_eff(64) * (m.eager_factor * n + 3 * n))
 
     def test_wire_time_is_head_plus_serial(self):
         m = CORI
@@ -96,6 +102,61 @@ class TestCostPrimitives:
         assert THETA.peak_bandwidth == pytest.approx(1.0 / THETA.beta)
         free = THETA.with_overrides(beta=0.0)
         assert math.isinf(free.peak_bandwidth)
+
+
+class TestHierarchy:
+    def test_default_is_flat(self):
+        for m in ALL_MACHINES:
+            assert m.ppn == 1
+            assert m.num_nodes(64) == 64
+            assert not m.is_intra(3, 3)  # even self-sends stay inter at ppn=1
+
+    def test_ppn_below_one_rejected(self):
+        with pytest.raises(ValueError, match="ppn"):
+            THETA.with_overrides(ppn=0)
+
+    def test_intra_constants_derived(self):
+        m = THETA.with_overrides(ppn=4)
+        assert m.alpha_intra == pytest.approx(0.1 * THETA.alpha)
+        assert m.beta_intra == pytest.approx(0.25 * THETA.beta)
+        assert m.o_send_intra == pytest.approx(0.5 * THETA.o_send)
+        assert m.o_recv_intra == pytest.approx(0.5 * THETA.o_recv)
+        assert m.eager_factor_intra == THETA.eager_factor
+
+    def test_explicit_intra_constants_kept(self):
+        m = THETA.with_overrides(ppn=4, beta_intra=1.0e-10)
+        assert m.beta_intra == 1.0e-10
+
+    def test_negative_intra_constant_rejected(self):
+        with pytest.raises(ValueError, match="beta_intra"):
+            THETA.with_overrides(ppn=4, beta_intra=-1.0)
+
+    def test_node_mapping(self):
+        m = THETA.with_overrides(ppn=4)
+        assert [m.node_of(r) for r in (0, 3, 4, 7, 8)] == [0, 0, 1, 1, 2]
+        assert m.is_intra(0, 3) and m.is_intra(5, 6)
+        assert not m.is_intra(3, 4)
+        assert m.num_nodes(16) == 4
+        assert m.num_nodes(13) == 4  # partial last node still counts
+
+    def test_congestion_charged_per_node(self):
+        flat, hier = THETA, THETA.with_overrides(ppn=16)
+        assert hier.congestion(256) == pytest.approx(flat.congestion(16))
+        assert hier.congestion(256) < flat.congestion(256)
+
+    def test_intra_costs_cheaper(self):
+        m = THETA.with_overrides(ppn=8)
+        for n in (64, m.eager_threshold, 4 * m.eager_threshold):
+            assert m.serial_time(n, 64, intra=True) \
+                < m.serial_time(n, 64, intra=False)
+            assert m.head_latency(n, intra=True) < m.head_latency(n)
+            assert m.message_time(n, 64, intra=True) \
+                < m.message_time(n, 64)
+
+    def test_intra_serial_time_ignores_congestion(self):
+        m = THETA.with_overrides(ppn=8)
+        assert m.serial_time(100, 8, intra=True) == \
+            m.serial_time(100, 8192, intra=True)
 
 
 class TestOverridesAndRegistry:
