@@ -17,6 +17,7 @@ the expected shapes.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -26,18 +27,33 @@ from repro.simmpi import (ExecutionConfig, MACHINE_MODEL_VERSION, THETA,
 from repro.workloads import build_vargs
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
-def save_report(name: str, text: str) -> None:
+def save_report(name: str, text: str, data=None) -> None:
     """Write one reproduced figure to benchmarks/results/<name>.txt.
 
     Every file leads with the machine-model version so a committed
     artifact can be matched against the cost model that produced it.
+
+    When ``data`` (any JSON-able value) is given, the same report is
+    additionally emitted machine-readably: a sibling
+    ``benchmarks/results/<name>.json`` and a repo-root
+    ``BENCH_<name>.json`` — the committed perf-trajectory artifacts.
+    Both carry the machine-model version inside the document, so a
+    trend-line consumer can drop records that predate a recalibration.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     header = f"# machine-model v{MACHINE_MODEL_VERSION}\n"
     path.write_text(header + text + "\n")
+    if data is not None:
+        doc = {"name": name,
+               "machine_model_version": MACHINE_MODEL_VERSION,
+               "data": data}
+        payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        (RESULTS_DIR / f"{name}.json").write_text(payload)
+        (REPO_ROOT / f"BENCH_{name}.json").write_text(payload)
     # Also echo for -s runs.
     print(f"\n[{name}] written to {path}\n{text}")
 

@@ -19,7 +19,9 @@ Examples
     python -m repro run -a sloav -p 32768 -n 64 --backend tensor \\
         --wire phantom --dist const
     python -m repro trace --algorithm two_phase_bruck --nprocs 64 \\
-        --out trace.json
+        --out trace.json --critical-path
+    python -m repro trace -a two_phase_bruck -p 32768 -n 64 --dist const \\
+        --backend tensor --level metrics
     python -m repro recommend -p 350 -n 800
     python -m repro sweep -p 4096
 """
@@ -129,9 +131,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     phantom = args.wire == "phantom"
     # Per-event traces at thousands of ranks are pure overhead here;
     # aggregate metrics keep large-P runs fast.  The tensor backend
-    # records neither.
+    # records vectorized aggregates at any P.
     if args.backend == "tensor":
-        trace = False
+        trace = "metrics"
     else:
         trace = "metrics" if args.nprocs > 256 else True
     try:
@@ -139,7 +141,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                                  timeout=600.0, backend=args.backend,
                                  wire=args.wire, fault_plan=args.faults,
                                  fault_seed=args.fault_seed,
-                                 on_fault=args.on_fault)
+                                 on_fault=args.on_fault,
+                                 ledger=args.ledger)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -174,6 +177,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                 verify_recv(comm.rank, sizes, vargs.recvbuf)
             return comm.clock - start
 
+    # Workload labels for the run ledger (tensor specs already carry
+    # .algorithm; the closure needs stamping).
+    prog.algorithm = args.algorithm
+    prog.distribution = args.dist
+
     try:
         result = run_spmd(prog, args.nprocs, config=config)
     except (SimMPIError, ValueError) as exc:
@@ -205,28 +213,91 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    if args.nprocs > 256:
-        print("error: per-event traced runs are practical up to 256 ranks "
-              "(use `run --backend coop` for large-P functional runs)",
+    events_on = args.level in ("full", "events")
+    # Only *per-event* traces carry the O(messages) recording cost that
+    # makes large P impractical; aggregate metrics are bounded and run
+    # at any P the chosen backend reaches (32K on tensor).
+    if events_on and args.nprocs > 256:
+        print("error: per-event traced runs are practical up to 256 ranks; "
+              "use --level metrics (with --backend coop or tensor) for "
+              "large-P aggregate observability", file=sys.stderr)
+        return 2
+    if args.backend == "threads" and args.nprocs > 256:
+        print("error: the thread backend is practical up to 256 ranks; "
+              "pass --backend coop or tensor", file=sys.stderr)
+        return 2
+    if args.backend == "tensor" and events_on:
+        print("error: the tensor backend records no per-event traces; "
+              "pass --level metrics", file=sys.stderr)
+        return 2
+    if args.out and not events_on:
+        print("error: the Chrome/Perfetto export needs per-event traces; "
+              "drop --out or use --level full/events", file=sys.stderr)
+        return 2
+    if args.dist == "const" and args.backend != "tensor":
+        print("error: --dist const is the tensor backend's scale form; "
+              "pass --backend tensor (or pick a sampled distribution)",
               file=sys.stderr)
         return 2
+    error = _check_backend_limits(args.backend, args.nprocs, args.dist)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     machine = _resolve_machine(args)
-    dist = distribution_by_name(args.dist, args.max_block)
-    sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
+    trace = True if args.level == "full" else args.level
+    # Event-level runs keep the byte wire (and verification) of the
+    # original trace command; metrics-level runs go phantom so large P
+    # doesn't move gigabytes of host memory for identical clocks.
+    wire = "bytes" if events_on and args.backend != "tensor" else "phantom"
+    config = ExecutionConfig(machine=machine, trace=trace,
+                             backend=args.backend, wire=wire,
+                             fault_plan=args.faults,
+                             fault_seed=args.fault_seed,
+                             ledger=args.ledger)
 
-    def prog(comm):
-        vargs = build_vargs(comm.rank, sizes)
-        alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
-        verify_recv(comm.rank, sizes, vargs.recvbuf)
+    if args.backend == "tensor":
+        if args.dist == "const":
+            sizes = args.max_block
+        else:
+            dist = distribution_by_name(args.dist, args.max_block)
+            sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
+        prog = TensorAlltoallv(args.algorithm, sizes)
+    else:
+        dist = distribution_by_name(args.dist, args.max_block)
+        sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
+        fill = wire == "bytes"
+        clean = args.faults is None
 
-    result = run_spmd(prog, args.nprocs,
-                      config=ExecutionConfig(machine=machine, trace=True,
-                                             backend=args.backend))
+        def prog(comm):
+            vargs = build_vargs(comm.rank, sizes, fill=fill)
+            alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
+            if fill and clean:
+                verify_recv(comm.rank, sizes, vargs.recvbuf)
+
+    # Workload labels for the run ledger (tensor specs already carry
+    # .algorithm; the closure needs stamping).
+    prog.algorithm = args.algorithm
+    prog.distribution = args.dist
+
+    try:
+        result = run_spmd(prog, args.nprocs, config=config)
+    except (SimMPIError, ValueError) as exc:
+        print(f"run failed with {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
     print(result.summary(
         title=f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
-              f"({args.dist}, {machine.name}):"))
+              f"({args.dist}, {machine.name}, {args.backend} backend):"))
+    if args.critical_path:
+        try:
+            print()
+            print(result.critical_path().format())
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     if args.out:
-        result.export_chrome_trace(args.out)
+        result.export_chrome_trace(args.out,
+                                   critical_path=args.critical_path)
         print(f"timeline written to {args.out} — load it in "
               f"chrome://tracing or https://ui.perfetto.dev")
     return 0
@@ -311,10 +382,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(reliable transport: retransmit + dedup + "
                         "reassemble), or degrade (excise crashed ranks, "
                         "survivors complete)")
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="append one structured JSON record of this run "
+                        "to the JSONL ledger at PATH (runs recording "
+                        "metrics only)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
-        "trace", help="functional run exported as a Chrome/Perfetto trace")
+        "trace", help="observed functional run: summary, critical path, "
+                      "Chrome/Perfetto timeline")
     p.add_argument("-a", "--algorithm", default="two_phase_bruck",
                    choices=ALGORITHM_CHOICES)
     p.add_argument("-p", "--nprocs", type=int, required=True,
@@ -322,18 +398,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--max-block", type=int, default=64,
                    help="maximum block size N in bytes (default: 64)")
     p.add_argument("--dist", default="uniform",
-                   choices=["uniform", "normal", "power_law"],
-                   help="block-size distribution (default: uniform)")
+                   choices=["uniform", "normal", "power_law", "const"],
+                   help="block-size distribution (default: uniform); "
+                        "'const' is the tensor backend's paper-scale "
+                        "form (no P x P matrix)")
     p.add_argument("--machine", default="theta", choices=sorted(PROFILES))
     p.add_argument("--ppn", type=int, default=None, metavar="R",
                    help="ranks per node (hierarchical machine model)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--backend", default="threads",
-                   choices=["threads", "coop"],
-                   help="executor backend (default: threads)")
+    p.add_argument("--backend", default="threads", choices=BACKENDS,
+                   help="executor backend (default: threads); metrics-"
+                        "level tracing works at any P coop/tensor reach")
+    p.add_argument("--level", default="full",
+                   choices=["full", "events", "metrics"],
+                   help="observability level: full (events + metrics, "
+                        "<= 256 ranks), events (per-event traces only, "
+                        "<= 256 ranks), metrics (aggregates only — any "
+                        "P, the only level the tensor backend records)")
+    p.add_argument("--critical-path", action="store_true",
+                   help="print the critical-path walk and per-rank "
+                        "makespan attribution (and highlight the path "
+                        "in the --out timeline)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault-plan spec (same grammar as `run --faults`)")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="append one structured JSON record of this run "
+                        "to the JSONL ledger at PATH")
     p.add_argument("--out", default=None, metavar="PATH",
-                   help="write the trace-event JSON here "
-                        "(omit to print the summary only)")
+                   help="write the trace-event JSON here (needs --level "
+                        "full/events; omit to print the summary only)")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("recommend", help="Fig. 9 advisor")

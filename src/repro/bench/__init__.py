@@ -21,10 +21,24 @@ from .figures import (
     fig10_distributions,
     fig13_other_machines,
 )
+from .ledger import (
+    LEDGER_VERSION,
+    append_record,
+    append_run,
+    config_fingerprint,
+    read_ledger,
+    run_record,
+)
 from .reporting import format_series_table, format_speedup, format_table
 from .runner import DEFAULT_ITERATIONS, run_functional_iterations, run_iterations
 
 __all__ = [
+    "LEDGER_VERSION",
+    "append_record",
+    "append_run",
+    "config_fingerprint",
+    "read_ledger",
+    "run_record",
     "CalibrationTargets",
     "CalibrationResult",
     "PAPER_TARGETS",

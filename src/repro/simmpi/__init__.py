@@ -25,6 +25,13 @@ See ``DESIGN.md`` §5 for the cost rules and calibration rationale.
 
 from .communicator import MAX_USER_TAG, Communicator
 from .config import ExecutionConfig
+from .critical_path import (
+    BUCKETS,
+    CriticalPathResult,
+    PathSegment,
+    RankAttribution,
+    analyze as analyze_critical_path,
+)
 from .datatype import IndexedBlocks
 from .errors import (
     CommAbortedError,
@@ -148,6 +155,11 @@ __all__ = [
     "RunMetrics",
     "Counter",
     "Histogram",
+    "BUCKETS",
+    "CriticalPathResult",
+    "PathSegment",
+    "RankAttribution",
+    "analyze_critical_path",
     "chrome_trace",
     "export_chrome_trace",
     "format_summary",

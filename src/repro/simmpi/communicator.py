@@ -364,7 +364,7 @@ class Communicator:
                                  env.nbytes, self._clock, detail)
         metrics = self._network.metrics
         if metrics is not None:
-            metrics.on_fault(kind)
+            metrics.on_fault(kind, rank=self._rank)
 
     def _complete_dead_recv(self, env: Envelope) -> None:
         """Land a synthetic envelope from an excised rank: no bytes, no
@@ -395,8 +395,8 @@ class Communicator:
         landing_start = max(self._clock, head)
         metrics = self._network.metrics
         if metrics is not None:
-            metrics.on_retire(queue_wait=max(0.0, self._clock - head),
-                              recv_wait=max(0.0, head - self._clock))
+            metrics.on_retire(env.src, self._rank, env.tag,
+                              env.depart, head, self._clock)
         self._clock = (landing_start
                        + self._network.serial_time(env) * self._straggle)
         rel = self._reliability

@@ -94,6 +94,12 @@ class ExecutionConfig:
     reliability:
         A :class:`ReliabilityConfig`, ``"retry"`` (the defaults),
         ``"none"``/``None``.
+    ledger:
+        Path of a JSONL run ledger.  When set and the run records
+        metrics (``trace="metrics"``/``"full"``), the executor appends
+        one structured record per run — config fingerprint, machine
+        model version, aggregates, attribution buckets — via
+        :mod:`repro.bench.ledger`.  ``None`` (default) disables it.
 
     Examples
     --------
@@ -111,6 +117,7 @@ class ExecutionConfig:
     fault_seed: int = 0
     on_fault: str = "fail-fast"
     reliability: Optional[ReliabilityConfig] = field(default=None)
+    ledger: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.machine, MachineProfile):
@@ -155,6 +162,9 @@ class ExecutionConfig:
         if self.on_fault == "retry" and rel is None:
             rel = ReliabilityConfig()
         object.__setattr__(self, "reliability", rel)
+        if self.ledger is not None and not isinstance(self.ledger, str):
+            raise ValueError(
+                f"ledger must be a path string or None, got {self.ledger!r}")
 
     # -- derived views ---------------------------------------------------
     @property

@@ -78,6 +78,13 @@ class SPMDResult:
     #: their ``clocks`` entry is the simulated crash time.  Empty for
     #: clean runs and for the fail-fast/retry policies.
     degraded_ranks: List[int] = field(default_factory=list)
+    #: Tensor-backend only: raw per-rank attribution bucket sums
+    #: (overhead/transmit/congestion/fault_delay/queue_wait) recorded by
+    #: the lane engine, consumed by :meth:`critical_path`.  ``None`` on
+    #: the threads/coop backends (attribution is derived from event
+    #: traces there) and when metrics were off.  The ``"step_log"`` key
+    #: carries the engine's coarse per-step records for the path walk.
+    raw_attribution: Optional[Dict[str, Any]] = field(default=None)
 
     @property
     def degraded(self) -> bool:
@@ -127,19 +134,32 @@ class SPMDResult:
             "trace='metrics'"
         )
 
-    def export_chrome_trace(self, path: Optional[str] = None) -> dict:
+    def export_chrome_trace(self, path: Optional[str] = None,
+                            critical_path: bool = False) -> dict:
         """Render this run to Chrome/Perfetto trace-event JSON.
 
         Needs event traces (``trace=True`` or ``trace="events"``).  Writes
-        the document to ``path`` when given; always returns it.
+        the document to ``path`` when given; always returns it.  With
+        ``critical_path=True`` the document gains a pinned track tracing
+        the chain of events that bounded the makespan.
         """
         from .trace_export import export_chrome_trace
-        return export_chrome_trace(self, path)
+        return export_chrome_trace(self, path, critical_path=critical_path)
 
     def summary(self, title: str = "") -> str:
         """Plain-text per-phase / per-step accounting of this run."""
         from .trace_export import format_summary
         return format_summary(self, title)
+
+    def critical_path(self) -> "CriticalPathResult":
+        """Critical-path walk + per-rank makespan attribution.
+
+        Needs event traces (``trace=True``/``"events"``) or, on the tensor
+        backend, ``trace="metrics"`` (coarse per-step path from the lane
+        engine's step log).  See :mod:`repro.simmpi.critical_path`.
+        """
+        from .critical_path import analyze
+        return analyze(self)
 
 
 def run_spmd(fn: Callable[..., Any], nprocs: int, *,
@@ -263,7 +283,9 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
 
     if cfg.backend == "tensor":
         from .tensor import run_tensor
-        return run_tensor(fn, nprocs, cfg, args=args, rank_args=rank_args)
+        result = run_tensor(fn, nprocs, cfg, args=args, rank_args=rank_args)
+        _maybe_append_ledger(result, fn)
+        return result
 
     machine = cfg.machine
     backend = cfg.backend
@@ -349,7 +371,7 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         metrics = registry.snapshot(phase_times=phase_times,
                                     collective_times=coll_times)
 
-    return SPMDResult(
+    result = SPMDResult(
         nprocs=nprocs,
         machine=machine,
         returns=returns,
@@ -362,6 +384,29 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         config=cfg,
         degraded_ranks=sorted(degraded),
     )
+    _maybe_append_ledger(result, fn)
+    return result
+
+
+def _maybe_append_ledger(result: SPMDResult, fn: Callable) -> None:
+    """Record the run into ``config.ledger`` when one is configured.
+
+    Only metric-bearing runs are ledger-worthy (the record is built
+    around the aggregates); ``trace="off"``/``"events"`` runs skip
+    silently so a ledger-configured config stays usable for quick
+    unobserved runs.  Workload labels come off the program object when
+    it carries them — tensor specs have ``.algorithm``, and any rank
+    closure can be stamped with ``algorithm``/``distribution``
+    attributes (the CLI does).  Imported lazily — the ledger lives in
+    the bench layer, which sits above simmpi.
+    """
+    cfg = result.config
+    if cfg is None or cfg.ledger is None or result.metrics is None:
+        return
+    from repro.bench.ledger import append_run
+    append_run(cfg.ledger, result,
+               algorithm=getattr(fn, "algorithm", None),
+               distribution=getattr(fn, "distribution", None))
 
 
 def _run_threaded(worker: Callable[[int], None], nprocs: int,

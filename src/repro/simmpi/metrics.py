@@ -8,17 +8,34 @@ registry keeps cheap running aggregates —
 * per-link ``(src, dst)`` traffic and the **maximum number of in-flight
   messages** per link and globally (the congestion signal the paper's
   Fig. 8 sensitivity study reasons about);
-* per-step (per-tag) message/byte/in-flight aggregates — the Bruck
-  algorithms use one tag per exchange step, so this is the per-step
+* per-step (per-tag) message/byte/in-flight/queue-wait aggregates — the
+  Bruck algorithms use one tag per exchange step, so this is the per-step
   congestion table;
 * simulated **queue-wait** time: how long retired messages sat delivered
   in their channel before the receiver got to them, and how long receivers
   idled waiting for the wire.
 
+Every aggregate is a pure function of *simulated* timestamps, never of
+host scheduling.  A message is **in flight** over the simulated interval
+``[depart, landing_start]`` — from the instant its first byte leaves the
+sender (post-fault-injection departure) until the receiver begins landing
+it (``landing_start = max(receiver clock, head arrival)``).  The maxima
+are computed at snapshot time by a sweep over those intervals, with the
+pinned tie-break that at equal timestamps a departure counts before a
+landing (touching intervals overlap, so every message registers a depth
+of at least one).  Because the simulated timestamps are bit-identical
+across the threads / coop / tensor backends, so are the metrics — the
+older implementation counted posts and deliveries as host events and was
+therefore scheduling-dependent on the threads backend.
+
+Wait totals are accumulated per receiving rank (each rank appends its own
+receives in program order — no lock needed) and combined at snapshot time
+with :func:`math.fsum`, which is correctly rounded and therefore
+independent of rank order.
+
 The :class:`~repro.simmpi.network.Network` feeds the registry from
-``post``/``collect`` under its existing lock; the communicator feeds the
-receive-wait decomposition from the rank threads through
-:meth:`MetricsRegistry.on_retire` (guarded by the registry's own lock).
+``post`` under its existing lock; the communicator feeds the per-receive
+record from the rank threads through :meth:`MetricsRegistry.on_retire`.
 When metrics are disabled the network holds ``None`` and pays a single
 ``is not None`` branch per message — near-zero overhead.
 
@@ -28,17 +45,20 @@ snapshot exposed as ``SPMDResult.metrics``.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
     "Counter",
     "Histogram",
-    "LinkStats",
-    "StepStats",
     "MetricsRegistry",
     "RunMetrics",
+    "max_overlap",
+    "max_overlap_by_group",
 ]
 
 
@@ -83,6 +103,21 @@ class Histogram:
         if value > self.max_value:
             self.max_value = value
 
+    def add_bucket_counts(self, counts: Sequence[int], total: int,
+                          max_value: int, n: int) -> None:
+        """Bulk-merge pre-bucketed samples (the tensor backend's path).
+
+        ``counts[i]`` is the number of samples in bucket ``i`` — the same
+        bucketing rule as :meth:`add` (``(v - 1).bit_length()``).
+        """
+        for b, c in enumerate(counts):
+            if c:
+                self._counts[b] = self._counts.get(b, 0) + int(c)
+        self.count += int(n)
+        self.total += int(total)
+        if max_value > self.max_value:
+            self.max_value = int(max_value)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -100,53 +135,77 @@ class Histogram:
         return f"Histogram({self.name!r}, n={self.count}, sum={self.total})"
 
 
-@dataclass
-class LinkStats:
-    """Aggregates for one directed ``(src, dst)`` link."""
+def max_overlap(starts: np.ndarray, ends: np.ndarray,
+                weights: Optional[np.ndarray] = None) -> int:
+    """Maximum number of simultaneously-open ``[start, end]`` intervals.
 
-    messages: int = 0
-    nbytes: int = 0
-    in_flight: int = 0
-    max_in_flight: int = 0
+    Tie-break: at equal timestamps an interval *opening* is processed
+    before an interval *closing*, so touching intervals overlap and every
+    non-empty input yields at least ``min(weights)``.  ``weights`` lets a
+    single interval stand for many identical messages (the tensor
+    backend's lockstep pattern events).
+    """
+    n = len(starts)
+    if n == 0:
+        return 0
+    if weights is None:
+        deltas = np.ones(2 * n, dtype=np.int64)
+        deltas[n:] = -1
+    else:
+        w = np.asarray(weights, dtype=np.int64)
+        deltas = np.concatenate([w, -w])
+    times = np.concatenate([np.asarray(starts, dtype=np.float64),
+                            np.asarray(ends, dtype=np.float64)])
+    closing = np.zeros(2 * n, dtype=np.int8)
+    closing[n:] = 1
+    order = np.lexsort((closing, times))
+    return int(np.cumsum(deltas[order]).max())
 
-    def on_post(self, nbytes: int) -> None:
-        self.messages += 1
-        self.nbytes += nbytes
-        self.in_flight += 1
-        if self.in_flight > self.max_in_flight:
-            self.max_in_flight = self.in_flight
 
-    def on_deliver(self) -> None:
-        self.in_flight -= 1
+def max_overlap_by_group(gids: np.ndarray, starts: np.ndarray,
+                         ends: np.ndarray,
+                         weights: Optional[np.ndarray] = None,
+                         ) -> Dict[int, int]:
+    """:func:`max_overlap` computed independently per integer group id.
 
-
-@dataclass
-class StepStats:
-    """Aggregates for one tag (one exchange step of an algorithm)."""
-
-    messages: int = 0
-    nbytes: int = 0
-    in_flight: int = 0
-    max_in_flight: int = 0
-
-    def on_post(self, nbytes: int) -> None:
-        self.messages += 1
-        self.nbytes += nbytes
-        self.in_flight += 1
-        if self.in_flight > self.max_in_flight:
-            self.max_in_flight = self.in_flight
-
-    def on_deliver(self) -> None:
-        self.in_flight -= 1
+    Returns ``{gid: max_overlap}`` for every group present.  One sort over
+    all events; within each group the running depth is the global running
+    sum minus the sum at the group's boundary.
+    """
+    n = len(starts)
+    if n == 0:
+        return {}
+    gids = np.asarray(gids, dtype=np.int64)
+    if weights is None:
+        deltas = np.ones(2 * n, dtype=np.int64)
+        deltas[n:] = -1
+    else:
+        w = np.asarray(weights, dtype=np.int64)
+        deltas = np.concatenate([w, -w])
+    times = np.concatenate([np.asarray(starts, dtype=np.float64),
+                            np.asarray(ends, dtype=np.float64)])
+    closing = np.zeros(2 * n, dtype=np.int8)
+    closing[n:] = 1
+    g2 = np.concatenate([gids, gids])
+    order = np.lexsort((closing, times, g2))
+    g_sorted = g2[order]
+    cum = np.cumsum(deltas[order])
+    bounds = np.flatnonzero(np.r_[True, g_sorted[1:] != g_sorted[:-1]])
+    base = np.zeros(len(bounds), dtype=np.int64)
+    base[1:] = cum[bounds[1:] - 1]
+    lengths = np.diff(np.r_[bounds, len(cum)])
+    depth = cum - np.repeat(base, lengths)
+    gmax = np.maximum.reduceat(depth, bounds)
+    return {int(g): int(m) for g, m in zip(g_sorted[bounds], gmax)}
 
 
 class MetricsRegistry:
     """Live aggregates of one SPMD run.
 
-    The network-facing hooks (:meth:`on_post` / :meth:`on_deliver`) are
-    invoked under the network's lock, so they need no synchronization of
-    their own; :meth:`on_retire` is invoked concurrently from rank threads
-    and takes the registry lock.
+    The network-facing hook (:meth:`on_post`) is invoked under the
+    network's lock; :meth:`on_retire` is invoked from rank threads but
+    each rank only touches its own per-rank stores, so it is lock-free;
+    :meth:`on_fault` takes the registry lock for the shared count table.
     """
 
     def __init__(self, nprocs: int) -> None:
@@ -154,21 +213,28 @@ class MetricsRegistry:
         self.messages = Counter("messages")
         self.wire_bytes = Counter("wire_bytes")
         self.message_sizes = Histogram("message_nbytes")
-        self.per_link: Dict[Tuple[int, int], LinkStats] = {}
-        self.per_step: Dict[int, StepStats] = {}
-        self.in_flight = 0
-        self.max_in_flight = 0
-        self.queue_wait_total = 0.0
-        self.queue_wait_max = 0.0
-        self.recv_wait_total = 0.0
-        self.recv_wait_max = 0.0
+        #: Per-link / per-step byte+message totals (in-flight maxima are
+        #: derived from the flight intervals at snapshot time).
+        self.per_link: Dict[Tuple[int, int], List[int]] = {}
+        self.per_step: Dict[int, List[int]] = {}
+        # Per-receiving-rank stores: each rank appends only to its own
+        # slot, in program order, so no lock is needed and totals are
+        # deterministic.
+        self._flights: List[List[Tuple[int, int, int, float, float]]] = [
+            [] for _ in range(nprocs)]
+        self._qw_total = [0.0] * nprocs
+        self._qw_max = [0.0] * nprocs
+        self._rw_total = [0.0] * nprocs
+        self._rw_max = [0.0] * nprocs
+        self._step_qw_max: List[Dict[int, float]] = [
+            {} for _ in range(nprocs)]
         #: Injected-fault aggregates (chaos runs): counts per fault kind
-        #: and the total simulated delay added to message departures.
+        #: and, per posting rank, the simulated delay added to departures.
         self.fault_counts: Dict[str, int] = {}
-        self.injected_delay_total = 0.0
+        self._delay_by_rank = [0.0] * nprocs
         self._lock = threading.Lock()
 
-    # -- network-side hooks (called under the network lock) --------------
+    # -- network-side hook (called under the network lock) ----------------
     def on_post(self, src: int, dst: int, tag: int, nbytes: int) -> None:
         """One message entered its channel."""
         self.messages.add()
@@ -176,62 +242,92 @@ class MetricsRegistry:
         self.message_sizes.add(nbytes)
         link = self.per_link.get((src, dst))
         if link is None:
-            link = self.per_link[(src, dst)] = LinkStats()
-        link.on_post(nbytes)
+            link = self.per_link[(src, dst)] = [0, 0]
+        link[0] += 1
+        link[1] += nbytes
         step = self.per_step.get(tag)
         if step is None:
-            step = self.per_step[tag] = StepStats()
-        step.on_post(nbytes)
-        self.in_flight += 1
-        if self.in_flight > self.max_in_flight:
-            self.max_in_flight = self.in_flight
-
-    def on_deliver(self, src: int, dst: int, tag: int, nbytes: int) -> None:
-        """One message left its channel (popped by a receiver)."""
-        self.per_link[(src, dst)].on_deliver()
-        self.per_step[tag].on_deliver()
-        self.in_flight -= 1
+            step = self.per_step[tag] = [0, 0]
+        step[0] += 1
+        step[1] += nbytes
 
     # -- fault-engine hook (network post path or rank threads) -----------
-    def on_fault(self, kind: str, delay: float = 0.0) -> None:
+    def on_fault(self, kind: str, delay: float = 0.0,
+                 rank: Optional[int] = None) -> None:
         """Count one injected fault / reliability action.
 
-        Called both from the network's post path and from rank threads
-        (receiver-side suppression), so it takes the registry lock.
+        ``rank`` is the posting rank whose message the delay was added to;
+        per-rank delay accumulation keeps ``injected_delay_total``
+        independent of host scheduling (each rank's faults occur in its
+        own program order; :func:`math.fsum` combines ranks at snapshot).
         """
         with self._lock:
             self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
-            self.injected_delay_total += delay
+            if delay:
+                self._delay_by_rank[rank if rank is not None else 0] += delay
 
     # -- communicator-side hook (called from rank threads) ---------------
-    def on_retire(self, queue_wait: float, recv_wait: float) -> None:
-        """Account one completed receive's simulated wait decomposition.
+    def on_retire(self, src: int, dst: int, tag: int,
+                  depart: float, head: float, clock: float) -> None:
+        """Account one completed receive on rank ``dst``.
 
-        ``queue_wait`` — time the message sat arrived-but-unretired in its
-        channel (receiver was busy); ``recv_wait`` — time the receiver
-        idled before the message's first byte arrived.  Exactly one of the
-        two is non-zero per receive.
+        ``depart`` is the message's simulated departure (post-fault),
+        ``head`` the simulated arrival of its first byte, and ``clock``
+        the receiver's simulated clock when it retired the message.  The
+        wait decomposition — ``queue_wait = max(0, clock - head)`` (the
+        message sat arrived-but-unretired) versus ``recv_wait = max(0,
+        head - clock)`` (the receiver idled for the wire); exactly one is
+        non-zero — and the flight interval ``[depart, max(clock, head)]``
+        are derived here.  Only rank ``dst``'s thread touches rank
+        ``dst``'s slots, so this needs no lock.
         """
-        with self._lock:
-            self.queue_wait_total += queue_wait
-            if queue_wait > self.queue_wait_max:
-                self.queue_wait_max = queue_wait
-            self.recv_wait_total += recv_wait
-            if recv_wait > self.recv_wait_max:
-                self.recv_wait_max = recv_wait
+        queue_wait = max(0.0, clock - head)
+        recv_wait = max(0.0, head - clock)
+        self._qw_total[dst] += queue_wait
+        if queue_wait > self._qw_max[dst]:
+            self._qw_max[dst] = queue_wait
+        self._rw_total[dst] += recv_wait
+        if recv_wait > self._rw_max[dst]:
+            self._rw_max[dst] = recv_wait
+        step_max = self._step_qw_max[dst]
+        if queue_wait > step_max.get(tag, 0.0):
+            step_max[tag] = queue_wait
+        landing = clock if clock > head else head
+        self._flights[dst].append((src, dst, tag, depart, landing))
 
     # -- snapshot ---------------------------------------------------------
     def snapshot(self, phase_times: Optional[Dict[str, float]] = None,
                  collective_times: Optional[Dict[str, float]] = None,
                  ) -> "RunMetrics":
         """Freeze the registry into an immutable-by-convention snapshot."""
+        events = [ev for per_rank in self._flights for ev in per_rank]
+        p = self.nprocs
+        if events:
+            arr = np.asarray(events, dtype=np.float64)
+            srcs = arr[:, 0].astype(np.int64)
+            dsts = arr[:, 1].astype(np.int64)
+            tags = arr[:, 2].astype(np.int64)
+            starts = arr[:, 3]
+            ends = arr[:, 4]
+            global_max = max_overlap(starts, ends)
+            link_max = max_overlap_by_group(srcs * p + dsts, starts, ends)
+            step_max = max_overlap_by_group(tags, starts, ends)
+        else:
+            global_max = 0
+            link_max = {}
+            step_max = {}
         per_link = {
-            link: (s.messages, s.nbytes, s.max_in_flight)
-            for link, s in self.per_link.items()
+            (src, dst): (m, b, link_max.get(src * p + dst, 0))
+            for (src, dst), (m, b) in self.per_link.items()
         }
+        step_qw: Dict[int, float] = {}
+        for per_rank in self._step_qw_max:
+            for tag, qw in per_rank.items():
+                if qw > step_qw.get(tag, 0.0):
+                    step_qw[tag] = qw
         per_step = {
-            tag: (s.messages, s.nbytes, s.max_in_flight)
-            for tag, s in self.per_step.items()
+            tag: (m, b, step_max.get(tag, 0), step_qw.get(tag, 0.0))
+            for tag, (m, b) in self.per_step.items()
         }
         return RunMetrics(
             nprocs=self.nprocs,
@@ -239,17 +335,17 @@ class MetricsRegistry:
             total_bytes=self.wire_bytes.value,
             message_size_buckets=self.message_sizes.buckets(),
             max_message_nbytes=self.message_sizes.max_value,
-            max_in_flight=self.max_in_flight,
+            max_in_flight=global_max,
             per_link=per_link,
             per_step=per_step,
-            queue_wait_total=self.queue_wait_total,
-            queue_wait_max=self.queue_wait_max,
-            recv_wait_total=self.recv_wait_total,
-            recv_wait_max=self.recv_wait_max,
+            queue_wait_total=math.fsum(self._qw_total),
+            queue_wait_max=max(self._qw_max),
+            recv_wait_total=math.fsum(self._rw_total),
+            recv_wait_max=max(self._rw_max),
             phase_times=dict(phase_times or {}),
             collective_times=dict(collective_times or {}),
             fault_counts=dict(self.fault_counts),
-            injected_delay_total=self.injected_delay_total,
+            injected_delay_total=math.fsum(self._delay_by_rank),
         )
 
 
@@ -257,9 +353,12 @@ class MetricsRegistry:
 class RunMetrics:
     """Frozen aggregates of one SPMD run (``SPMDResult.metrics``).
 
-    ``per_link``/``per_step`` values are ``(messages, nbytes,
-    max_in_flight)`` tuples; ``phase_times`` is the max-over-ranks table
-    (the bulk-synchronous bound: everyone waits for the slowest rank).
+    ``per_link`` values are ``(messages, nbytes, max_in_flight)`` tuples;
+    ``per_step`` values are ``(messages, nbytes, max_in_flight,
+    queue_wait_max)``; ``phase_times`` is the max-over-ranks table (the
+    bulk-synchronous bound: everyone waits for the slowest rank).  All
+    fields are pure functions of simulated time, so snapshots are
+    bit-identical across backends and host schedules.
     """
 
     nprocs: int
@@ -269,7 +368,7 @@ class RunMetrics:
     max_message_nbytes: int
     max_in_flight: int
     per_link: Dict[Tuple[int, int], Tuple[int, int, int]]
-    per_step: Dict[int, Tuple[int, int, int]]
+    per_step: Dict[int, Tuple[int, int, int, float]]
     queue_wait_total: float
     queue_wait_max: float
     recv_wait_total: float
@@ -295,12 +394,17 @@ class RunMetrics:
 
     def busiest_links(self, limit: int = 5) -> List[Tuple[Tuple[int, int],
                                                           Tuple[int, int, int]]]:
-        """The ``limit`` links carrying the most bytes, descending."""
+        """The ``limit`` links carrying the most bytes, descending.
+
+        Deterministic tie-break: links are ranked by ``(-nbytes, (src,
+        dst))`` — equal-byte links appear in ascending ``(src, dst)``
+        order, so the table is stable across runs and backends.
+        """
         ranked = sorted(self.per_link.items(),
                         key=lambda kv: (-kv[1][1], kv[0]))
         return ranked[:limit]
 
-    def step_table(self) -> List[Tuple[int, int, int, int]]:
-        """Per-step rows ``(tag, messages, nbytes, max_in_flight)``,
-        ordered by tag (the algorithms' step order)."""
+    def step_table(self) -> List[Tuple[int, int, int, int, float]]:
+        """Per-step rows ``(tag, messages, nbytes, max_in_flight,
+        queue_wait_max)``, ordered by tag (the algorithms' step order)."""
         return [(tag,) + self.per_step[tag] for tag in sorted(self.per_step)]

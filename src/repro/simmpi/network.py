@@ -194,8 +194,6 @@ class Network:
         env = chan.popleft()
         if not chan:
             del self._channels[key]
-        if self.metrics is not None and env.mark != "lost":
-            self.metrics.on_deliver(env.src, env.dst, env.tag, env.nbytes)
         return env
 
     def _inject(self, env: Envelope,
@@ -215,7 +213,7 @@ class Network:
         envs, records = self.injector.on_post(env, phase)
         if records and self.metrics is not None:
             for rec in records:
-                self.metrics.on_fault(rec.kind, rec.delay)
+                self.metrics.on_fault(rec.kind, rec.delay, rank=rec.src)
         return envs, records
 
     # ------------------------------------------------------------------

@@ -37,14 +37,17 @@ traces, crashes/drops/duplicates/reorder, or the reliability transport —
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .communicator import MAX_USER_TAG
 from .config import ExecutionConfig
 from .faults import FaultInjector
+from .metrics import (Histogram, RunMetrics, max_overlap,
+                      max_overlap_by_group)
 from .network import Envelope
 
 __all__ = ["TensorProgram", "TensorAlltoall", "TensorAlltoallv",
@@ -69,6 +72,305 @@ def _timing():
 def _core_common():
     from ..core import common
     return common
+
+
+# ======================================================================
+# vectorized metrics accumulation
+# ======================================================================
+
+#: Power-of-two bucket edges: ``searchsorted(_P2, v, 'left')`` equals the
+#: scalar registry's ``(v - 1).bit_length() if v > 0 else 0``.
+_P2_TABLE = 1 << np.arange(63, dtype=np.int64)
+
+
+class _TensorMetrics:
+    """Lane-vector metrics accumulation for the tensor engine.
+
+    Produces the same :class:`~repro.simmpi.metrics.RunMetrics` snapshot
+    shape (and, at matching P, the same bits) as the threads/coop
+    registry.  Two storage regimes mirror the engine's lane regimes:
+
+    * ``L == 1`` (lockstep): every exchange contributes one **pattern
+      event** ``(offset, tag, depart, landing)`` standing for ``P``
+      identical messages, one per link ``(r, (r + offset) % P)``.  The
+      per-link table expands offsets at snapshot time, so memory is
+      O(steps + distinct_offsets × P) — practical at 32K ranks for the
+      log-step Bruck family, not for the P² links of spread-out fanouts.
+    * ``L == P``: columnar ``(src, dst, tag, nbytes, depart, landing)``
+      chunks, grouped with one sort at snapshot time.
+
+    Wait totals accumulate per lane in program order — the identical
+    float additions each coop rank performs — and are combined with
+    ``math.fsum`` exactly like the registry.  Attribution bucket vectors
+    (overhead / transmit / congestion / fault / wait) feed the
+    critical-path engine; they are advisory sums, made exact against the
+    makespan by residual normalization in ``critical_path``.
+    """
+
+    def __init__(self, p: int, L: int) -> None:
+        self.p = p
+        self.L = L
+        self.hist_counts = np.zeros(64, dtype=np.int64)
+        self.hist_total = 0
+        self.hist_n = 0
+        self.max_nbytes = 0
+        if L == 1:
+            #: off -> [messages, nbytes] totals per link of that offset.
+            self.pat_link: Dict[int, List[int]] = {}
+            self.pat_events: List[Tuple[int, int, float, float]] = []
+        else:
+            self.ex_src: List[np.ndarray] = []
+            self.ex_dst: List[np.ndarray] = []
+            self.ex_tag: List[np.ndarray] = []
+            self.ex_nbytes: List[np.ndarray] = []
+            self.ex_start: List[np.ndarray] = []
+            self.ex_end: List[np.ndarray] = []
+        self.step_tot: Dict[int, List[int]] = {}
+        self.step_qw_max: Dict[int, float] = {}
+        self.qw_total = np.zeros(L)
+        self.qw_max = np.zeros(L)
+        self.rw_total = np.zeros(L)
+        self.rw_max = np.zeros(L)
+        self.phase_totals: Dict[str, np.ndarray] = {}
+        self.coll_totals: Dict[str, np.ndarray] = {}
+        self.fault_counts: Dict[str, int] = {}
+        self.delay_by_rank = np.zeros(p)
+        # Attribution raw buckets (per lane) + the coarse step log
+        # (tag, phase, end clock, slowest rank) for the critical path.
+        self.attr_overhead = np.zeros(L)
+        self.attr_transmit = np.zeros(L)
+        self.attr_congestion = np.zeros(L)
+        self.attr_fault = np.zeros(L)
+        self.attr_wait = np.zeros(L)
+        self.step_log: List[Tuple[int, Optional[str], float, int]] = []
+
+    # -- per-event hooks -------------------------------------------------
+    def _hist_const(self, nbytes: int, count: int) -> None:
+        b = int(np.searchsorted(_P2_TABLE, nbytes, side="left"))
+        self.hist_counts[b] += count
+        self.hist_total += nbytes * count
+        self.hist_n += count
+        if nbytes > self.max_nbytes:
+            self.max_nbytes = nbytes
+
+    def _hist_vec(self, nb: np.ndarray) -> None:
+        buckets = np.searchsorted(_P2_TABLE, nb, side="left")
+        np.add.at(self.hist_counts, buckets, 1)
+        self.hist_total += int(nb.sum())
+        self.hist_n += len(nb)
+        mx = int(nb.max()) if len(nb) else 0
+        if mx > self.max_nbytes:
+            self.max_nbytes = mx
+
+    def _note_step(self, tag: int, messages: int, nbytes: int) -> None:
+        tot = self.step_tot.get(tag)
+        if tot is None:
+            tot = self.step_tot[tag] = [0, 0]
+        tot[0] += messages
+        tot[1] += nbytes
+
+    def _note_waits(self, tag: int, qw: np.ndarray, rw: np.ndarray,
+                    sel=None) -> None:
+        if sel is None:
+            self.qw_total += qw
+            np.maximum(self.qw_max, qw, out=self.qw_max)
+            self.rw_total += rw
+            np.maximum(self.rw_max, rw, out=self.rw_max)
+        else:
+            self.qw_total[sel] += qw
+            self.qw_max[sel] = np.maximum(self.qw_max[sel], qw)
+            self.rw_total[sel] += rw
+            self.rw_max[sel] = np.maximum(self.rw_max[sel], rw)
+        top = float(qw.max()) if len(qw) else 0.0
+        if top > self.step_qw_max.get(tag, 0.0):
+            self.step_qw_max[tag] = top
+
+    def on_fault(self, kind: str, delay: float, rank: int) -> None:
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        if delay:
+            self.delay_by_rank[rank] += delay
+
+    def on_exchange_complete(self, eng: "_Engine", dst_off: int, tag: int,
+                             nbytes, departs: np.ndarray, head: np.ndarray,
+                             serial: np.ndarray, intra) -> None:
+        """One all-lanes exchange completion (``_Engine.complete``)."""
+        clocks = eng.clocks
+        qw = np.maximum(0.0, clocks - head)
+        rw = np.maximum(0.0, head - clocks)
+        self._note_waits(tag, qw, rw)
+        landing = np.maximum(clocks, head)
+        nb = np.broadcast_to(np.asarray(nbytes, dtype=np.int64), (self.L,))
+        if self.L == 1:
+            off = dst_off % self.p
+            n0 = int(nb[0])
+            lk = self.pat_link.get(off)
+            if lk is None:
+                lk = self.pat_link[off] = [0, 0]
+            lk[0] += 1
+            lk[1] += n0
+            dep = np.asarray(departs, dtype=np.float64).reshape(-1)
+            self.pat_events.append((off, tag, float(dep[0]),
+                                    float(landing[0])))
+            self._note_step(tag, self.p, self.p * n0)
+            self._hist_const(n0, self.p)
+        else:
+            src = (eng.lane - dst_off) % self.p
+            self.ex_src.append(src)
+            self.ex_dst.append(eng.lane.copy())
+            self.ex_tag.append(np.full(self.L, tag, dtype=np.int64))
+            self.ex_nbytes.append(np.asarray(nb, dtype=np.int64).copy())
+            self.ex_start.append(
+                np.broadcast_to(np.asarray(departs, dtype=np.float64),
+                                (self.L,)).copy())
+            self.ex_end.append(landing)
+            self._note_step(tag, self.L, int(nb.sum()))
+            self._hist_vec(nb)
+        self._attr_serial(eng, nb, serial, intra, rw)
+
+    def on_subset_complete(self, eng: "_Engine", sel: np.ndarray, src,
+                           tag: int, nbytes, departs, head: np.ndarray,
+                           serial, intra) -> None:
+        """A lane-subset completion (``_Engine.complete_at``)."""
+        clocks = eng.clocks[sel]
+        qw = np.maximum(0.0, clocks - head)
+        rw = np.maximum(0.0, head - clocks)
+        self._note_waits(tag, qw, rw, sel=sel)
+        landing = np.maximum(clocks, head)
+        k = len(sel)
+        nb = np.broadcast_to(np.asarray(nbytes, dtype=np.int64), (k,))
+        srcb = np.broadcast_to(np.asarray(src if src is not None else 0,
+                                          dtype=np.int64), (k,))
+        self.ex_src.append(srcb.copy())
+        self.ex_dst.append(np.asarray(sel, dtype=np.int64).copy())
+        self.ex_tag.append(np.full(k, tag, dtype=np.int64))
+        self.ex_nbytes.append(nb.copy())
+        self.ex_start.append(
+            np.broadcast_to(np.asarray(departs, dtype=np.float64),
+                            (k,)).copy())
+        self.ex_end.append(landing)
+        self._note_step(tag, k, int(nb.sum()))
+        self._hist_vec(nb)
+        uncong = _timing().serial_time_vec(eng.machine, nbytes, 1, intra)
+        self.attr_transmit[sel] += uncong
+        self.attr_congestion[sel] += serial - uncong
+        self.attr_fault[sel] += serial * eng.straggle[sel] - serial
+        self.attr_wait[sel] += rw
+
+    def _attr_serial(self, eng: "_Engine", nb, serial, intra,
+                     rw: np.ndarray) -> None:
+        uncong = _timing().serial_time_vec(eng.machine, nb, 1, intra)
+        self.attr_transmit += uncong
+        self.attr_congestion += serial - uncong
+        self.attr_fault += serial * eng.straggle - serial
+        self.attr_wait += rw
+
+    def on_step_end(self, eng: "_Engine", tag: int) -> None:
+        clocks = eng.clocks
+        rank = 0 if self.L == 1 else int(np.argmax(clocks))
+        self.step_log.append((tag, eng.current_phase,
+                              float(clocks[rank] if self.L > 1
+                                    else clocks[0]), rank))
+
+    def on_phase_end(self, totals: Dict[str, np.ndarray], name: str,
+                     start: np.ndarray, end: np.ndarray) -> None:
+        # Same left-to-right float ops as MetricsTrace.phase_end:
+        # (total + end) - start, per lane.
+        totals[name] = totals.get(name, 0.0) + end - start
+
+    # -- snapshot ---------------------------------------------------------
+    def snapshot(self, eng: "_Engine") -> RunMetrics:
+        p = self.p
+        hist = Histogram("message_nbytes")
+        hist.add_bucket_counts(self.hist_counts, self.hist_total,
+                               self.max_nbytes, self.hist_n)
+        per_link: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+        if self.L == 1:
+            if self.pat_events:
+                offs = np.array([e[0] for e in self.pat_events],
+                                dtype=np.int64)
+                tags = np.array([e[1] for e in self.pat_events],
+                                dtype=np.int64)
+                starts = np.array([e[2] for e in self.pat_events])
+                ends = np.array([e[3] for e in self.pat_events])
+                w = np.full(len(offs), p, dtype=np.int64)
+                global_max = max_overlap(starts, ends, w)
+                off_max = max_overlap_by_group(offs, starts, ends)
+                tag_max = max_overlap_by_group(tags, starts, ends, w)
+            else:
+                global_max, off_max, tag_max = 0, {}, {}
+            for off, (mcnt, mbytes) in self.pat_link.items():
+                mif = off_max.get(off, 0)
+                for r in range(p):
+                    per_link[(r, (r + off) % p)] = (mcnt, mbytes, mif)
+        else:
+            if self.ex_src:
+                src = np.concatenate(self.ex_src)
+                dst = np.concatenate(self.ex_dst)
+                tags = np.concatenate(self.ex_tag)
+                nb = np.concatenate(self.ex_nbytes)
+                starts = np.concatenate(self.ex_start)
+                ends = np.concatenate(self.ex_end)
+                gid = src * p + dst
+                global_max = max_overlap(starts, ends)
+                link_max = max_overlap_by_group(gid, starts, ends)
+                tag_max = max_overlap_by_group(tags, starts, ends)
+                order = np.argsort(gid, kind="stable")
+                gs = gid[order]
+                bounds = np.flatnonzero(np.r_[True, gs[1:] != gs[:-1]])
+                counts = np.diff(np.r_[bounds, len(gs)])
+                link_bytes = np.add.reduceat(nb[order], bounds)
+                for g, c, b in zip(gs[bounds], counts, link_bytes):
+                    g = int(g)
+                    per_link[(g // p, g % p)] = (int(c), int(b),
+                                                 link_max[g])
+            else:
+                global_max, tag_max = 0, {}
+        per_step = {
+            tag: (m, b, tag_max.get(tag, 0),
+                  self.step_qw_max.get(tag, 0.0))
+            for tag, (m, b) in self.step_tot.items()
+        }
+        rep = p if self.L == 1 else 1
+        return RunMetrics(
+            nprocs=p,
+            total_messages=eng.total_messages,
+            total_bytes=eng.total_bytes,
+            message_size_buckets=hist.buckets(),
+            max_message_nbytes=hist.max_value,
+            max_in_flight=global_max,
+            per_link=per_link,
+            per_step=per_step,
+            queue_wait_total=math.fsum(
+                [float(v) for v in self.qw_total] * rep),
+            queue_wait_max=float(self.qw_max.max()),
+            recv_wait_total=math.fsum(
+                [float(v) for v in self.rw_total] * rep),
+            recv_wait_max=float(self.rw_max.max()),
+            phase_times={name: float(np.max(v))
+                         for name, v in self.phase_totals.items()},
+            collective_times={name: float(np.max(v))
+                              for name, v in self.coll_totals.items()},
+            fault_counts=dict(self.fault_counts),
+            injected_delay_total=math.fsum(
+                float(v) for v in self.delay_by_rank),
+        )
+
+    def attribution(self, eng: "_Engine") -> Dict[str, List[float]]:
+        """Per-rank raw attribution bucket sums for ``critical_path``."""
+        rep = self.p if self.L == 1 else 1
+
+        def expand(vec: np.ndarray) -> List[float]:
+            return [float(v) for v in vec] * rep
+
+        return {
+            "overhead": expand(self.attr_overhead),
+            "transmit": expand(self.attr_transmit),
+            "congestion": expand(self.attr_congestion),
+            "fault_delay": expand(self.attr_fault),
+            "queue_wait": expand(self.attr_wait),
+            "injected_delay": [float(v) for v in self.delay_by_rank],
+            "step_log": list(self.step_log),
+        }
 
 
 # ======================================================================
@@ -114,15 +416,33 @@ class _Engine:
         self.total_bytes = 0
         self._coll_seq = 0
         self._phases: List[str] = []
+        #: Attached by ``run_tensor`` when ``config.metrics_on``.
+        self.metrics: Optional[_TensorMetrics] = None
 
     # -- phases / tags --------------------------------------------------
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         self._phases.append(name)
+        mt = self.metrics
+        start = self.clocks.copy() if mt is not None else None
         try:
             yield
         finally:
             self._phases.pop()
+            if mt is not None:
+                mt.on_phase_end(mt.phase_totals, name, start, self.clocks)
+
+    @contextmanager
+    def collective(self, name: str) -> Iterator[None]:
+        """Time an internal collective (does not enter the phase stack,
+        matching ``Communicator._collective``)."""
+        mt = self.metrics
+        start = self.clocks.copy() if mt is not None else None
+        try:
+            yield
+        finally:
+            if mt is not None:
+                mt.on_phase_end(mt.coll_totals, name, start, self.clocks)
 
     @property
     def current_phase(self) -> Optional[str]:
@@ -223,11 +543,15 @@ class _Engine:
         affected, exactly as in ``Communicator._post_envelope``)."""
         out = departs.astype(np.float64).copy()
         phase = self.current_phase
+        mt = self.metrics
         nbl = np.broadcast_to(np.asarray(nbytes), (self.p,))
         for r in range(self.p):
             env = Envelope(r, (r + dst_off) % self.p, tag, None,
                            float(out[r]), int(nbl[r]))
-            self.injector.on_post(env, phase)
+            _, records = self.injector.on_post(env, phase)
+            if records and mt is not None:
+                for rec in records:
+                    mt.on_fault(rec.kind, rec.delay, rec.src)
             out[r] = env.depart
         return out
 
@@ -236,7 +560,10 @@ class _Engine:
 
         Returns the per-lane departure clocks the *receivers* will see.
         """
-        self.clocks = self.clocks + self._o_send_sel(self.intra_to_off(dst_off))
+        o = self._o_send_sel(self.intra_to_off(dst_off))
+        self.clocks = self.clocks + o
+        if self.metrics is not None:
+            self.metrics.attr_overhead += o
         self._account(nbytes, self.p)
         if self.injector is not None:
             return self._with_extras(dst_off, nbytes, tag, self.clocks)
@@ -245,16 +572,29 @@ class _Engine:
     def recv_post(self, intra=False) -> None:
         """Every rank posts one irecv (the o_recv charge, on the tier its
         source selects)."""
-        self.clocks = self.clocks + self._o_recv_sel(intra)
+        o = self._o_recv_sel(intra)
+        self.clocks = self.clocks + o
+        if self.metrics is not None:
+            self.metrics.attr_overhead += o
 
-    def complete(self, departs, nbytes, intra=False) -> None:
-        """Land one message per lane: the simulator's receive rule."""
+    def complete(self, departs, nbytes, intra=False, tag=None,
+                 dst_off=None) -> None:
+        """Land one message per lane: the simulator's receive rule.
+
+        ``tag``/``dst_off`` (when given) record the completion in the
+        attached metrics store; they never change the clock arithmetic.
+        """
         eng = _timing()
         head = np.asarray(departs) + eng.head_latency_vec(self.machine,
                                                           nbytes, intra)
-        self.clocks = np.maximum(self.clocks, head) \
-            + eng.serial_time_vec(self.machine, nbytes, self.p, intra) \
-            * self.straggle
+        serial = eng.serial_time_vec(self.machine, nbytes, self.p, intra)
+        mt = self.metrics
+        if mt is not None and tag is not None:
+            mt.on_exchange_complete(self, dst_off, tag, nbytes, departs,
+                                    head, serial, intra)
+        self.clocks = np.maximum(self.clocks, head) + serial * self.straggle
+        if mt is not None and tag is not None:
+            mt.on_step_end(self, tag)
 
     def from_src(self, values, dst_off: int):
         """Re-index per-sender values to the receiver lane for an exchange
@@ -276,20 +616,22 @@ class _Engine:
             else self.from_src(intra, dst_off)
         self.recv_post(intra_r)
         self.complete(self.from_src(departs, dst_off),
-                      self.from_src(nbytes, dst_off), intra_r)
+                      self.from_src(nbytes, dst_off), intra_r,
+                      tag=tag, dst_off=dst_off)
 
     # -- collectives ----------------------------------------------------
     def allreduce_rounds(self) -> None:
         """Clock effect of a dissemination allreduce of one float64 (the
         ``max``/``min`` path every kernel uses): ``ceil(log2 P)`` pairwise
         8-byte control exchanges."""
-        if self.p == 1:
-            return
-        tag = self.collective_tag()
-        k = 1
-        while k < self.p:
-            self.exchange(k, 8, tag)
-            k <<= 1
+        with self.collective("allreduce"):
+            if self.p == 1:
+                return
+            tag = self.collective_tag()
+            k = 1
+            while k < self.p:
+                self.exchange(k, 8, tag)
+                k <<= 1
 
     def fanout(self, cols, tag: int) -> None:
         """The spread-out exchange: every rank posts ``P-1`` irecvs, then
@@ -334,6 +676,10 @@ class _Engine:
                 nb = cols if cols.ndim == 0 else colsb[:, off - 1]
                 departs[:, off - 1] = self._with_extras(off, nb, tag,
                                                         self.clocks)
+        mt = self.metrics
+        if mt is not None:
+            mt.attr_overhead += (o_recv_mat.sum(axis=1)
+                                 + o_send_mat.sum(axis=1))
         # Completions in posted (offset-ascending) order; rank r's off-th
         # receive is from src = (r - off) % P, which was src's off-th send.
         if L == 1 and self.injector is None and cols.ndim == 0:
@@ -346,12 +692,18 @@ class _Engine:
             serial = m.serial_time(n, p, self._all_intra)
             c = float(self.clocks[0])
             row = departs[0]
-            for off in range(1, p):
-                arrive = float(row[off - 1]) + head_l
-                if c < arrive:
-                    c = arrive
-                c = c + serial
+            if mt is None:
+                for off in range(1, p):
+                    arrive = float(row[off - 1]) + head_l
+                    if c < arrive:
+                        c = arrive
+                    c = c + serial
+            else:
+                c = self._fanout_fast_metrics(mt, row, tag, n, c,
+                                              head_l, serial)
             self.clocks = np.array([c])
+            if mt is not None:
+                mt.on_step_end(self, tag)
             return
         for off in range(1, p):
             src = (self.lane - off) % p
@@ -362,7 +714,59 @@ class _Engine:
                 nb = cols[:, off - 1] if L == 1 else cols[src, off - 1]
             tier = self._all_intra if recv_mask is None \
                 else recv_mask[:, off - 1]
-            self.complete(d, nb, tier)
+            self.complete(d, nb, tier, tag=tag, dst_off=off)
+
+    def _fanout_fast_metrics(self, mt: "_TensorMetrics", row: np.ndarray,
+                             tag: int, n: int, c: float, head_l: float,
+                             serial: float) -> float:
+        """The fanout fast path's completion loop with inline pure-float
+        metric accumulation — the same IEEE ops as the vector path (the
+        lockstep lane's straggle factor is exactly 1.0)."""
+        p = self.p
+        m = self.machine
+        qwt = float(mt.qw_total[0])
+        qwm = float(mt.qw_max[0])
+        rwt = float(mt.rw_total[0])
+        rwm = float(mt.rw_max[0])
+        sqw = mt.step_qw_max.get(tag, 0.0)
+        rw_sum = 0.0
+        events = mt.pat_events
+        for off in range(1, p):
+            dep = float(row[off - 1])
+            arrive = dep + head_l
+            qw = max(0.0, c - arrive)
+            rw = max(0.0, arrive - c)
+            qwt = qwt + qw
+            if qw > qwm:
+                qwm = qw
+            if qw > sqw:
+                sqw = qw
+            rwt = rwt + rw
+            if rw > rwm:
+                rwm = rw
+            rw_sum += rw
+            lk = mt.pat_link.get(off)
+            if lk is None:
+                lk = mt.pat_link[off] = [0, 0]
+            lk[0] += 1
+            lk[1] += n
+            if c < arrive:
+                c = arrive
+            events.append((off, tag, dep, c))
+            c = c + serial
+        mt.qw_total[0] = qwt
+        mt.qw_max[0] = qwm
+        mt.rw_total[0] = rwt
+        mt.rw_max[0] = rwm
+        if sqw > 0.0:
+            mt.step_qw_max[tag] = sqw
+        mt._note_step(tag, p * (p - 1), p * (p - 1) * n)
+        mt._hist_const(n, p * (p - 1))
+        uncong = m.serial_time(n, 1, self._all_intra)
+        mt.attr_transmit += (p - 1) * uncong
+        mt.attr_congestion += (p - 1) * (serial - uncong)
+        mt.attr_wait += rw_sum
+        return c
 
     def _fanout_tiers(self):
         """``(send, recv)`` tier masks of shape ``(L, p-1)`` for a
@@ -388,6 +792,9 @@ class _Engine:
         o = self._o_send[sel] if intra is False \
             else np.where(intra, self._o_send_intra[sel], self._o_send[sel])
         self.clocks[sel] = self.clocks[sel] + o
+        mt = self.metrics
+        if mt is not None:
+            mt.attr_overhead[sel] += o
         nb = np.asarray(nbytes)
         self.total_messages += len(sel)
         self.total_bytes += (len(sel) * int(nb) if nb.ndim == 0
@@ -400,7 +807,10 @@ class _Engine:
             for i, r in enumerate(np.asarray(sel)):
                 env = Envelope(int(r), int(dstb[i]), tag, None,
                                float(departs[i]), int(nbl[i]))
-                self.injector.on_post(env, phase)
+                _, records = self.injector.on_post(env, phase)
+                if records and mt is not None:
+                    for rec in records:
+                        mt.on_fault(rec.kind, rec.delay, rec.src)
                 departs[i] = env.depart
         return departs
 
@@ -411,16 +821,24 @@ class _Engine:
         o = self._o_recv[sel] if intra is False \
             else np.where(intra, self._o_recv_intra[sel], self._o_recv[sel])
         self.clocks[sel] = self.clocks[sel] + o
+        if self.metrics is not None:
+            self.metrics.attr_overhead[sel] += o
 
     def complete_at(self, sel: np.ndarray, departs, nbytes,
-                    src=None) -> None:
+                    src=None, tag=None) -> None:
         intra = False if src is None else self._intra_pair(src, sel)
         eng = _timing()
         head = np.asarray(departs) + eng.head_latency_vec(self.machine,
                                                           nbytes, intra)
+        serial = eng.serial_time_vec(self.machine, nbytes, self.p, intra)
+        mt = self.metrics
+        if mt is not None and tag is not None:
+            mt.on_subset_complete(self, sel, src, tag, nbytes, departs,
+                                  head, serial, intra)
         self.clocks[sel] = np.maximum(self.clocks[sel], head) \
-            + eng.serial_time_vec(self.machine, nbytes, self.p, intra) \
-            * self.straggle[sel]
+            + serial * self.straggle[sel]
+        if mt is not None and tag is not None:
+            mt.on_step_end(self, tag)
 
     def copies_at(self, sel: np.ndarray, counts: np.ndarray) -> None:
         """Sequential copies on a lane subset: ``counts[i]`` is the block
@@ -656,9 +1074,10 @@ def _eval_spread_out(eng: _Engine, n: int, *, tag_base: int = 0) -> None:
 
 
 def _eval_vendor_alltoall(eng: _Engine, n: int) -> None:
-    tag = eng.collective_tag()
-    eng.charge_copy(n)
-    eng.fanout(n, tag)
+    with eng.collective("alltoall"):
+        tag = eng.collective_tag()
+        eng.charge_copy(n)
+        eng.fanout(n, tag)
 
 
 def _eval_padded(eng: _Engine, sv: _SizeView, *, vendor: bool,
@@ -804,9 +1223,10 @@ def _eval_spread_out_v(eng: _Engine, sv: _SizeView, *,
 
 
 def _eval_vendor_alltoallv(eng: _Engine, sv: _SizeView) -> None:
-    tag = eng.collective_tag()
-    eng.charge_copy(sv.self_block())
-    eng.fanout(sv.fanout_cols(eng.lane), tag)
+    with eng.collective("alltoallv"):
+        tag = eng.collective_tag()
+        eng.charge_copy(sv.self_block())
+        eng.fanout(sv.fanout_cols(eng.lane), tag)
 
 
 def _eval_grouped(eng: _Engine, sv: _SizeView, *, group_size: int = 8,
@@ -842,9 +1262,10 @@ def _eval_grouped(eng: _Engine, sv: _SizeView, *, group_size: int = 8,
                 continue
             mem = sel + j
             eng.recv_at(sel, mem)
-            eng.complete_at(sel, d_up_counts[mem], 8 * p, mem)
+            eng.complete_at(sel, d_up_counts[mem], 8 * p, mem, tag=t + 0)
             eng.recv_at(sel, mem)
-            eng.complete_at(sel, d_up_data[mem], row_sum[mem], mem)
+            eng.complete_at(sel, d_up_data[mem], row_sum[mem], mem,
+                            tag=t + 1)
 
     # -- phase 2: leaders exchange aggregated counts + blobs ------------
     with eng.phase("leader_exchange"):
@@ -891,10 +1312,12 @@ def _eval_grouped(eng: _Engine, sv: _SizeView, *, group_size: int = 8,
                 sel = leads[sel_mask]
                 eng.recv_at(sel, leads[og])
                 eng.complete_at(sel, Dc[og, sel_mask],
-                                cnt_bytes[og, sel_mask], leads[og])
+                                cnt_bytes[og, sel_mask], leads[og],
+                                tag=t + 2)
                 eng.recv_at(sel, leads[og])
                 eng.complete_at(sel, Db[og, sel_mask],
-                                blob_bytes[og, sel_mask], leads[og])
+                                blob_bytes[og, sel_mask], leads[og],
+                                tag=t + 3)
 
     # -- phase 3: leaders deliver; members receive and place ------------
     with eng.phase("scatter_from_leader"):
@@ -927,7 +1350,7 @@ def _eval_grouped(eng: _Engine, sv: _SizeView, *, group_size: int = 8,
         if members.size:
             eng.recv_at(members, lead[members])
             eng.complete_at(members, d_down[members], col_sum[members],
-                            lead[members])
+                            lead[members], tag=t + 4)
             if sv.is_const:
                 eng.const_copies_at(members, sv.const,
                                     np.full(members.size, p))
@@ -986,7 +1409,7 @@ def _eval_locality_padded(eng: _Engine, sv: _SizeView, *,
                 continue
             mem = sel + j
             eng.recv_at(sel, mem)
-            eng.complete_at(sel, d_up[mem], p * max_n, mem)
+            eng.complete_at(sel, d_up[mem], p * max_n, mem, tag=t_up)
 
     super_n = ppn * ppn * max_n
     with eng.phase("inter_bruck"):
@@ -1011,7 +1434,8 @@ def _eval_locality_padded(eng: _Engine, sv: _SizeView, *,
             eng.const_copies_at(leads, super_n, m)
             D = eng.post_at(leads, dstL, m * super_n, t_step + k)
             eng.recv_at(leads, srcL)
-            eng.complete_at(leads, D[src_i], m * super_n, srcL)
+            eng.complete_at(leads, D[src_i], m * super_n, srcL,
+                            tag=t_step + k)
             eng.const_copies_at(leads, super_n, m)
 
     with eng.phase("node_scatter"):
@@ -1027,7 +1451,7 @@ def _eval_locality_padded(eng: _Engine, sv: _SizeView, *,
         if members.size:
             eng.recv_at(members, lead[members])
             eng.complete_at(members, d_down[members], p * max_n,
-                            lead[members])
+                            lead[members], tag=t_down)
 
     with eng.phase("scan"):
         eng.charge_copies(sv.col())
@@ -1069,9 +1493,10 @@ def _eval_locality_two_phase(eng: _Engine, sv: _SizeView, *,
                 continue
             mem = sel + j
             eng.recv_at(sel, mem)
-            eng.complete_at(sel, d_up_c[mem], 8 * p, mem)
+            eng.complete_at(sel, d_up_c[mem], 8 * p, mem, tag=t_up_c)
             eng.recv_at(sel, mem)
-            eng.complete_at(sel, d_up_d[mem], row_sum[mem], mem)
+            eng.complete_at(sel, d_up_d[mem], row_sum[mem], mem,
+                            tag=t_up_d)
 
     with eng.phase("setup"):
         eng.compute_at(leads, nn * 1.0e-9)
@@ -1102,7 +1527,8 @@ def _eval_locality_two_phase(eng: _Engine, sv: _SizeView, *,
             Dm = eng.post_at(leads, dstL, 4 * ppn * ppn * m,
                              t_meta + 2 * k)
             eng.recv_at(leads, srcL)
-            eng.complete_at(leads, Dm[src_i], 4 * ppn * ppn * m, srcL)
+            eng.complete_at(leads, Dm[src_i], 4 * ppn * ppn * m, srcL,
+                            tag=t_meta + 2 * k)
         with eng.phase("data_exchange"):
             counts_out = np.take_along_axis(curN, keys, axis=1)
             # Pack charges, slot-ascending: a parked blob forwards as one
@@ -1121,7 +1547,8 @@ def _eval_locality_two_phase(eng: _Engine, sv: _SizeView, *,
             out_total = counts_out.sum(axis=1)
             Dd = eng.post_at(leads, dstL, out_total, t_data + 2 * k)
             eng.recv_at(leads, srcL)
-            eng.complete_at(leads, Dd[src_i], out_total[src_i], srcL)
+            eng.complete_at(leads, Dd[src_i], out_total[src_i], srcL,
+                            tag=t_data + 2 * k)
             counts_in = counts_out[src_i]
             eng.copies_at(leads, counts_in)
             np.put_along_axis(curN, keys, counts_in, axis=1)
@@ -1142,7 +1569,7 @@ def _eval_locality_two_phase(eng: _Engine, sv: _SizeView, *,
         if members.size:
             eng.recv_at(members, lead[members])
             eng.complete_at(members, d_down[members], col_sum[members],
-                            lead[members])
+                            lead[members], tag=t_down)
             eng.copies_at(members, np.ascontiguousarray(S[:, members].T))
 
 
@@ -1333,10 +1760,10 @@ def run_tensor(fn, nprocs: int, config: ExecutionConfig, *,
         raise ValueError(
             "backend='tensor' requires wire='phantom' (it never "
             "materializes payload bytes)")
-    if config.trace != "off":
+    if config.events_on:
         raise ValueError(
-            "backend='tensor' does not record traces or metrics; "
-            "use trace=False")
+            "backend='tensor' does not record per-event traces; "
+            "use trace=False or trace='metrics'")
     if config.reliability is not None:
         raise ValueError(
             "backend='tensor' does not support the reliability transport")
@@ -1360,7 +1787,15 @@ def run_tensor(fn, nprocs: int, config: ExecutionConfig, *,
 
     lockstep = injector is None and fn.lockstep_ok(config.machine, nprocs)
     eng = _Engine(nprocs, config.machine, injector, lockstep)
+    if config.metrics_on:
+        eng.metrics = _TensorMetrics(eng.p, eng.L)
     fn.evaluate(eng)
+
+    metrics = None
+    attribution = None
+    if eng.metrics is not None:
+        metrics = eng.metrics.snapshot(eng)
+        attribution = eng.metrics.attribution(eng)
 
     return SPMDResult(
         nprocs=nprocs,
@@ -1370,7 +1805,8 @@ def run_tensor(fn, nprocs: int, config: ExecutionConfig, *,
         traces=None,
         total_messages=eng.total_messages,
         total_bytes=eng.total_bytes,
-        metrics=None,
+        metrics=metrics,
         wire=config.wire,
         config=config,
+        raw_attribution=attribution,
     )

@@ -11,7 +11,15 @@ an :class:`~repro.simmpi.executor.SPMDResult` into that format:
   copies and datatype-engine operations;
 * **flow arrows** (``"ph": "s"`` / ``"ph": "f"``) connecting each send
   slice to the matching receive slice on the destination rank, so message
-  routes are visible as arrows in the timeline.
+  routes are visible as arrows in the timeline;
+* a **fabric counter track** (``"ph": "C"``) charting the number of
+  in-flight messages over simulated time — the same quantity whose
+  maximum :class:`~repro.simmpi.metrics.RunMetrics` reports as
+  ``max_in_flight``;
+* optionally (``critical_path=True``) a **critical path track**: the
+  happens-before chain that bounded the makespan, rendered as its own
+  pinned process with one slice per path segment and flow arrows at
+  every cross-rank hop.
 
 All timestamps are *simulated* microseconds — the exported timeline is
 deterministic and bit-reproducible, like the simulation itself.
@@ -44,10 +52,13 @@ def _slice(name: str, cat: str, pid: int, start: float, end: float,
     return ev
 
 
-def chrome_trace(result: "SPMDResult") -> dict:
+def chrome_trace(result: "SPMDResult", critical_path: bool = False) -> dict:
     """Build the trace-event JSON document for one SPMD run.
 
     Requires event traces — run with ``trace=True`` or ``trace="events"``.
+    With ``critical_path=True`` the document additionally carries a
+    pinned "critical path" track computed by
+    :meth:`~repro.simmpi.executor.SPMDResult.critical_path`.
     """
     if result.traces is None:
         raise ValueError(
@@ -122,6 +133,9 @@ def chrome_trace(result: "SPMDResult") -> dict:
                                  e.start, e.end,
                                  {"nblocks": e.nblocks, "nbytes": e.nbytes}))
 
+    events.extend(_fabric_counter_events(result))
+    if critical_path:
+        events.extend(_critical_path_events(result))
     doc = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -137,14 +151,85 @@ def chrome_trace(result: "SPMDResult") -> dict:
     return doc
 
 
+def _fabric_counter_events(result: "SPMDResult") -> List[dict]:
+    """In-flight message counter samples on a synthetic "fabric" track.
+
+    A message is in flight from its departure (send slice end) until its
+    landing begins (receive slice start).  Ties resolve starts before
+    ends — the same sweep convention the metrics registry uses, so on a
+    clean fabric the counter's peak equals ``RunMetrics.max_in_flight``.
+    (Under injected *delay* faults the counter opens at the scheduled
+    departure — the send event predates fault injection — while the
+    registry sweeps post-injection departs, so the peaks can differ.)
+    """
+    pid = result.nprocs  # first pid after the rank tracks
+    deltas: List[tuple] = []
+    for tr in result.traces:
+        for e in tr.sends:
+            deltas.append((e.end, 0, 1))
+        for e in tr.recvs:
+            deltas.append((e.start, 1, -1))
+    deltas.sort()
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "fabric"}},
+        {"name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"sort_index": pid}},
+    ]
+    level = 0
+    i = 0
+    while i < len(deltas):
+        ts = deltas[i][0]
+        while i < len(deltas) and deltas[i][0] == ts:
+            level += deltas[i][2]
+            i += 1
+        events.append({"name": "in-flight", "ph": "C", "pid": pid,
+                       "tid": 0, "ts": ts * _US,
+                       "args": {"messages": level}})
+    return events
+
+
+def _critical_path_events(result: "SPMDResult") -> List[dict]:
+    """The critical-path chain as a pinned track plus hop arrows."""
+    cp = result.critical_path()
+    pid = result.nprocs + 1  # after the rank tracks and the fabric track
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "critical path"}},
+        {"name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"sort_index": -1}},  # pin above the rank tracks
+    ]
+    prev_rank: Optional[int] = None
+    for i, seg in enumerate(cp.path):
+        name = f"rank {seg.rank}: {seg.kind}"
+        args = {"rank": seg.rank, "kind": seg.kind}
+        if seg.detail:
+            args["detail"] = seg.detail
+        events.append(_slice(name, "critical", pid, seg.start, seg.end,
+                             args))
+        if prev_rank is not None and seg.rank != prev_rank:
+            # Arrow on the rank tracks marking the cross-rank hop.
+            events.append({"name": "critical-hop", "cat": "critical",
+                           "ph": "s", "id": 10_000_000 + i,
+                           "pid": prev_rank, "tid": 0,
+                           "ts": seg.start * _US})
+            events.append({"name": "critical-hop", "cat": "critical",
+                           "ph": "f", "bp": "e", "id": 10_000_000 + i,
+                           "pid": seg.rank, "tid": 0,
+                           "ts": seg.start * _US})
+        prev_rank = seg.rank
+    return events
+
+
 def export_chrome_trace(result: "SPMDResult",
-                        path: Optional[str] = None) -> dict:
+                        path: Optional[str] = None,
+                        critical_path: bool = False) -> dict:
     """Render ``result`` to trace-event JSON; write it to ``path`` if given.
 
     The file loads directly in ``chrome://tracing`` or Perfetto
     (https://ui.perfetto.dev -> "Open trace file").
     """
-    doc = chrome_trace(result)
+    doc = chrome_trace(result, critical_path=critical_path)
     if path is not None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, separators=(",", ":"))
@@ -170,13 +255,14 @@ def format_phase_table(phase_times: Mapping[str, float],
 def _step_table(metrics, limit: int = 16) -> List[str]:
     rows = metrics.step_table()
     lines = [f"{'step(tag)':>10} {'messages':>9} {'bytes':>12} "
-             f"{'max in-flight':>14}"]
+             f"{'max in-flight':>14} {'max q-wait(ms)':>15}"]
     shown = rows
     if len(rows) > limit:
         shown = sorted(rows, key=lambda r: -r[2])[:limit]
         shown.sort(key=lambda r: r[0])
-    for tag, msgs, nbytes, mif in shown:
-        lines.append(f"{tag:>10} {msgs:>9} {nbytes:>12} {mif:>14}")
+    for tag, msgs, nbytes, mif, qw in shown:
+        lines.append(f"{tag:>10} {msgs:>9} {nbytes:>12} {mif:>14} "
+                     f"{qw * 1e3:>15.4f}")
     if len(rows) > limit:
         lines.append(f"  ({len(rows) - limit} smaller steps elided)")
     return lines

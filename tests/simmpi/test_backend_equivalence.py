@@ -15,6 +15,8 @@ an exact permutation check), so the zero-copy send/landing/staging
 paths are proven correct, not just fast.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -181,6 +183,60 @@ def test_tensor_nonuniform_const_sizes(name):
     _assert_tensor_matches_coop(TensorAlltoallv(name, BLOCK), 16)
 
 
+# ----------------------------------------------------------------------
+# tensor metrics cells: trace="metrics" aggregates join the contract
+# ----------------------------------------------------------------------
+
+def _assert_tensor_metrics_match_coop(spec, nprocs, fault_plan=None):
+    """The vectorized metrics store must reproduce the scalar registry's
+    RunMetrics snapshot *bit for bit* — every field, including float wait
+    totals, in-flight maxima, and the phase/collective time tables."""
+    base = dict(machine=THETA, trace="metrics", timeout=300, wire="phantom",
+                fault_plan=fault_plan, fault_seed=23)
+    ref = run_spmd(spec, nprocs,
+                   config=ExecutionConfig(backend="coop", **base))
+    tens = run_spmd(spec, nprocs,
+                    config=ExecutionConfig(backend="tensor", **base))
+    assert tens.clocks == ref.clocks  # metrics must not perturb the model
+    assert tens.metrics is not None and ref.metrics is not None
+    for f in dataclasses.fields(ref.metrics):
+        assert getattr(tens.metrics, f.name) == \
+            getattr(ref.metrics, f.name), f.name  # exact, not approx
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+@pytest.mark.parametrize("name", list_algorithms("uniform"))
+def test_tensor_uniform_metrics_bit_identical(name, nprocs):
+    _assert_tensor_metrics_match_coop(TensorAlltoall(name, BLOCK), nprocs)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+@pytest.mark.parametrize("name", list_algorithms("nonuniform"))
+def test_tensor_nonuniform_metrics_bit_identical(name, nprocs):
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              nprocs, seed=7)
+    _assert_tensor_metrics_match_coop(TensorAlltoallv(name, sizes), nprocs)
+
+
+def test_tensor_metrics_hierarchical_machine():
+    # ppn>1 exercises the locality/grouped lane-subset completion paths.
+    machine = THETA.with_overrides(ppn=4)
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              16, seed=7)
+    for name in ("grouped", "locality_padded_bruck",
+                 "locality_two_phase_bruck", "two_phase_bruck"):
+        base = dict(machine=machine, trace="metrics", timeout=300,
+                    wire="phantom")
+        spec = TensorAlltoallv(name, sizes)
+        ref = run_spmd(spec, 16,
+                       config=ExecutionConfig(backend="coop", **base))
+        tens = run_spmd(spec, 16,
+                        config=ExecutionConfig(backend="tensor", **base))
+        for f in dataclasses.fields(ref.metrics):
+            assert getattr(tens.metrics, f.name) == \
+                getattr(ref.metrics, f.name), (name, f.name)
+
+
 #: The fault-feature subset the tensor backend supports: delay/jitter
 #: rules and stragglers (no crashes, drops, duplicates, or reordering).
 TENSOR_FAULT_SPEC = "delay:d=30us,jitter=15us,p=0.6;straggler:ranks=2,factor=3"
@@ -192,6 +248,16 @@ def test_tensor_faulted_cell(name):
                               16, seed=7)
     _assert_tensor_matches_coop(TensorAlltoallv(name, sizes), 16,
                                 fault_plan=TENSOR_FAULT_SPEC)
+
+
+@pytest.mark.parametrize("name", ["two_phase_bruck", "sloav"])
+def test_tensor_faulted_metrics_cell(name):
+    # Fault counts, injected-delay totals, and the wait aggregates the
+    # delays produce must also match the scalar registry exactly.
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              16, seed=7)
+    _assert_tensor_metrics_match_coop(TensorAlltoallv(name, sizes), 16,
+                                      fault_plan=TENSOR_FAULT_SPEC)
 
 
 def test_tensor_rejects_unsupported_features():

@@ -54,32 +54,57 @@ class TestHistogram:
 
 
 class TestMetricsRegistry:
-    def test_in_flight_tracking(self):
+    def test_in_flight_intervals(self):
+        # In-flight depth is a pure function of simulated intervals
+        # [depart, landing_start]: two overlapping messages on (0, 1) and
+        # a disjoint one on (1, 0).
         reg = MetricsRegistry(nprocs=2)
         reg.on_post(0, 1, 7, 100)
         reg.on_post(0, 1, 7, 50)
-        assert reg.max_in_flight == 2
-        reg.on_deliver(0, 1, 7, 100)
         reg.on_post(1, 0, 7, 10)
-        assert reg.max_in_flight == 2  # never exceeded two concurrently
-        reg.on_deliver(0, 1, 7, 50)
-        reg.on_deliver(1, 0, 7, 10)
+        reg.on_retire(0, 1, 7, depart=0.0, head=1.0, clock=0.5)
+        reg.on_retire(0, 1, 7, depart=0.5, head=1.5, clock=2.0)
+        reg.on_retire(1, 0, 7, depart=5.0, head=6.0, clock=4.0)
         snap = reg.snapshot()
         assert snap.total_messages == 3
         assert snap.total_bytes == 160
+        assert snap.max_in_flight == 2
         assert snap.per_link[(0, 1)] == (2, 150, 2)
         assert snap.per_link[(1, 0)] == (1, 10, 1)
-        assert snap.per_step[7] == (3, 160, 2)
+        assert snap.per_step[7][:3] == (3, 160, 2)
+
+    def test_touching_intervals_overlap(self):
+        # Pinned tie-break: at equal timestamps a departure counts before
+        # a landing, so back-to-back intervals register depth 2 and every
+        # message registers at least depth 1.
+        reg = MetricsRegistry(nprocs=2)
+        reg.on_post(0, 1, 0, 8)
+        reg.on_post(0, 1, 0, 8)
+        reg.on_retire(0, 1, 0, depart=0.0, head=1.0, clock=0.0)
+        reg.on_retire(0, 1, 0, depart=1.0, head=2.0, clock=0.0)
+        assert reg.snapshot().max_in_flight == 2
 
     def test_retire_waits(self):
         reg = MetricsRegistry(nprocs=1)
-        reg.on_retire(queue_wait=0.5, recv_wait=0.0)
-        reg.on_retire(queue_wait=0.0, recv_wait=0.25)
+        # Receiver busy until 1.5, message head arrived at 1.0: queued 0.5.
+        reg.on_retire(0, 0, 3, depart=0.5, head=1.0, clock=1.5)
+        # Receiver ready at 1.75, head arrives at 2.0: idled 0.25.
+        reg.on_retire(0, 0, 3, depart=1.5, head=2.0, clock=1.75)
         snap = reg.snapshot()
         assert snap.queue_wait_total == 0.5
         assert snap.queue_wait_max == 0.5
         assert snap.recv_wait_total == 0.25
         assert snap.recv_wait_max == 0.25
+
+    def test_step_queue_wait_max(self):
+        reg = MetricsRegistry(nprocs=2)
+        reg.on_post(0, 1, 9, 100)
+        reg.on_post(1, 0, 9, 100)
+        reg.on_retire(0, 1, 9, depart=0.0, head=1.0, clock=1.25)
+        reg.on_retire(1, 0, 9, depart=0.0, head=1.0, clock=1.75)
+        snap = reg.snapshot()
+        assert snap.per_step[9][3] == 0.75
+        assert snap.step_table() == [(9, 2, 200, 2, 0.75)]
 
     def test_busiest_links_and_step_table(self):
         reg = MetricsRegistry(nprocs=4)
@@ -88,7 +113,18 @@ class TestMetricsRegistry:
         snap = reg.snapshot()
         assert snap.busiest_links(1)[0][0] == (2, 3)
         assert [row[0] for row in snap.step_table()] == [1, 2]
-        assert snap.max_in_flight_per_link == 1
+
+    def test_busiest_links_tie_break(self):
+        # Equal-byte links are ranked by ascending (src, dst) — the
+        # documented deterministic tie-break.
+        reg = MetricsRegistry(nprocs=4)
+        reg.on_post(3, 1, 0, 500)
+        reg.on_post(0, 2, 0, 500)
+        reg.on_post(1, 0, 0, 500)
+        reg.on_post(2, 3, 0, 100)
+        ranked = reg.snapshot().busiest_links(4)
+        assert [link for link, _ in ranked] == \
+            [(0, 2), (1, 0), (3, 1), (2, 3)]
 
 
 def _pingpong(comm):
@@ -180,3 +216,90 @@ class TestTracerHierarchy:
         assert tr.bytes_copied == 8
         assert tr.phase_times() == {"p": 1.0}
         assert tr.collective_times() == {"barrier": 0.5}
+
+
+class TestFaultPolicyMetrics:
+    """Fault accounting (``fault_counts`` / ``injected_delay_total`` /
+    degraded ranks) under all three failure policies.
+
+    One seeded chaos family — message drops + departure delays + a 2x
+    straggler on rank 1 — exercised under fail-fast (typed error, no
+    metrics to check), retry (the reliability transport absorbs the
+    drops and the counters record both the faults and the repair), and
+    degrade (a crash variant: the dead rank is excised and its stranded
+    receives are accounted as ``dead_recv``).  Both live backends must
+    agree on every counter bit-for-bit.
+    """
+
+    NPROCS = 16
+    DROP_PLAN = ("drop:p=0.08;delay:d=30us,jitter=10us,p=0.5;"
+                 "straggler:ranks=1,factor=2")
+    CRASH_PLAN = ("crash:rank=2,step=3;delay:d=30us,jitter=10us,p=0.5;"
+                  "straggler:ranks=1,factor=2")
+
+    def _run(self, backend, plan, policy, algorithm="two_phase_bruck"):
+        from repro.core.registry import get_algorithm
+        from repro.simmpi import ExecutionConfig, THETA
+        from repro.workloads import (block_size_matrix, build_vargs,
+                                     distribution_by_name)
+
+        sizes = block_size_matrix(distribution_by_name("power_law", 32),
+                                  self.NPROCS, seed=7)
+        fn = get_algorithm(algorithm, kind="nonuniform").fn
+
+        def prog(comm):
+            vargs = build_vargs(comm.rank, sizes, fill=False)
+            fn(comm, *vargs.as_tuple())
+            return comm.rank
+
+        cfg = ExecutionConfig(backend=backend, machine=THETA,
+                              trace="metrics", timeout=60, wire="phantom",
+                              fault_plan=plan, fault_seed=17,
+                              on_fault=policy)
+        return run_spmd(prog, self.NPROCS, config=cfg)
+
+    def test_fail_fast_drop_raises_typed(self):
+        from repro.simmpi import SimMPIError
+        with pytest.raises(SimMPIError):
+            self._run("coop", self.DROP_PLAN, "fail-fast")
+
+    def test_retry_records_faults_and_repair(self):
+        snapshots = {}
+        for backend in ("coop", "threads"):
+            result = self._run(backend, self.DROP_PLAN, "retry")
+            m = result.metrics
+            assert m is not None
+            # The plan fired: drops were injected AND retransmitted
+            # (same count — every lost message was repaired), and the
+            # delay clause perturbed departures by a positive total.
+            assert m.fault_counts["drop"] > 0
+            assert m.fault_counts["retry"] >= m.fault_counts["drop"]
+            assert m.fault_counts["delay"] > 0
+            assert m.injected_delay_total > 0.0
+            assert m.total_faults == sum(m.fault_counts.values())
+            assert result.degraded_ranks == []
+            snapshots[backend] = (dict(m.fault_counts),
+                                  m.injected_delay_total,
+                                  tuple(result.clocks))
+        assert snapshots["coop"] == snapshots["threads"]
+
+    def test_degrade_accounts_dead_rank(self):
+        snapshots = {}
+        for backend in ("coop", "threads"):
+            # spread_out is pairwise-direct, so survivors complete a
+            # shrunken collective instead of starving on routed data.
+            result = self._run(backend, self.CRASH_PLAN, "degrade",
+                               algorithm="spread_out")
+            m = result.metrics
+            assert result.degraded_ranks == [2]
+            assert result.returns[2] is None
+            # Every survivor's receive from the dead rank is accounted.
+            assert m.fault_counts["dead_recv"] == self.NPROCS - 1
+            assert m.fault_counts["delay"] > 0
+            assert m.injected_delay_total > 0.0
+            # The dead rank's clock froze at its crash instant.
+            assert result.clocks[2] < max(result.clocks)
+            snapshots[backend] = (dict(m.fault_counts),
+                                  m.injected_delay_total,
+                                  tuple(result.clocks))
+        assert snapshots["coop"] == snapshots["threads"]

@@ -36,7 +36,7 @@ class TestChromeTrace:
     def test_document_schema(self, doc):
         assert set(doc) >= {"traceEvents", "displayTimeUnit", "otherData"}
         for ev in doc["traceEvents"]:
-            assert ev["ph"] in ("X", "M", "s", "f")
+            assert ev["ph"] in ("X", "M", "s", "f", "i", "C")
             assert isinstance(ev["pid"], int)
             if ev["ph"] == "X":
                 assert ev["ts"] >= 0.0
@@ -49,7 +49,16 @@ class TestChromeTrace:
         names = {ev["pid"]: ev["args"]["name"]
                  for ev in doc["traceEvents"]
                  if ev["ph"] == "M" and ev["name"] == "process_name"}
-        assert names == {r: f"rank {r}" for r in range(P)}
+        expected = {r: f"rank {r}" for r in range(P)}
+        expected[P] = "fabric"  # the in-flight counter track
+        assert names == expected
+
+    def test_fabric_counter_track(self, doc, result):
+        samples = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+        assert samples and all(ev["pid"] == P for ev in samples)
+        counts = [ev["args"]["messages"] for ev in samples]
+        assert max(counts) == result.metrics.max_in_flight
+        assert counts[-1] == 0  # every message eventually lands
 
     def test_phase_slices_present(self, doc):
         phases = {ev["name"] for ev in doc["traceEvents"]

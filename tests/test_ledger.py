@@ -1,0 +1,125 @@
+"""The persistent run ledger (repro.bench.ledger).
+
+Records must be self-describing plain JSON (loadable without importing
+the package), stamped with the machine-model version, keyed by a stable
+config fingerprint, and appended automatically by ``run_spmd`` when the
+config carries a ledger path and the run records metrics.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.ledger import (
+    LEDGER_VERSION,
+    append_run,
+    config_fingerprint,
+    read_ledger,
+    run_record,
+)
+from repro.simmpi import (
+    ExecutionConfig,
+    MACHINE_MODEL_VERSION,
+    TensorAlltoallv,
+    THETA,
+    run_spmd,
+)
+from repro.workloads import block_size_matrix, distribution_by_name
+
+NPROCS = 8
+
+
+def _run(trace="metrics", backend="tensor", ledger=None):
+    sizes = block_size_matrix(distribution_by_name("power_law", 32),
+                              NPROCS, seed=7)
+    cfg = ExecutionConfig(backend=backend, machine=THETA, trace=trace,
+                          timeout=300, wire="phantom", ledger=ledger)
+    return run_spmd(TensorAlltoallv("two_phase_bruck", sizes), NPROCS,
+                    config=cfg)
+
+
+def test_run_record_contents():
+    result = _run()
+    rec = run_record(result, algorithm="two_phase_bruck",
+                     distribution="power_law", extra={"suite": "unit"})
+    assert rec["ledger_version"] == LEDGER_VERSION
+    assert rec["machine_model_version"] == MACHINE_MODEL_VERSION
+    assert rec["machine"] == "theta"
+    assert rec["nprocs"] == NPROCS
+    assert rec["backend"] == "tensor" and rec["wire"] == "phantom"
+    assert rec["algorithm"] == "two_phase_bruck"
+    assert rec["suite"] == "unit"
+    assert rec["elapsed_s"] == result.elapsed
+    m = rec["metrics"]
+    assert m["total_messages"] == result.metrics.total_messages
+    assert m["max_in_flight"] == result.metrics.max_in_flight
+    assert m["links_used"] == len(result.metrics.per_link)
+    a = rec["attribution"]
+    assert a["granularity"] == "steps"
+    assert set(a["buckets"]) == {"compute", "overhead", "transmit",
+                                 "congestion", "queue_wait", "fault_delay"}
+    # Every record must round-trip through plain JSON.
+    assert json.loads(json.dumps(rec)) == json.loads(json.dumps(rec))
+
+
+def test_fingerprint_stability():
+    sizesless = dict(machine=THETA, trace="metrics", timeout=300,
+                     wire="phantom", backend="tensor")
+    a = ExecutionConfig(**sizesless)
+    b = ExecutionConfig(**sizesless)
+    assert config_fingerprint(a) == config_fingerprint(b)
+    # The ledger path is excluded from identity; real knobs are not.
+    c = ExecutionConfig(**sizesless, ledger="/tmp/somewhere.jsonl")
+    assert config_fingerprint(c) == config_fingerprint(a)
+    d = ExecutionConfig(**{**sizesless, "backend": "coop"})
+    assert config_fingerprint(d) != config_fingerprint(a)
+    e = ExecutionConfig(**sizesless, fault_plan="straggler:ranks=2,factor=3")
+    assert config_fingerprint(e) != config_fingerprint(a)
+
+
+def test_append_and_read(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    result = _run()
+    append_run(str(path), result, algorithm="two_phase_bruck")
+    append_run(str(path), result, algorithm="two_phase_bruck")
+    records = read_ledger(str(path))
+    assert len(records) == 2
+    assert records[0]["algorithm"] == "two_phase_bruck"
+    # JSONL: one plain-JSON object per line.
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    assert all(json.loads(line)["nprocs"] == NPROCS for line in lines)
+    assert read_ledger(str(tmp_path / "missing.jsonl")) == []
+
+
+@pytest.mark.parametrize("backend,trace", [
+    ("tensor", "metrics"), ("coop", "full"), ("threads", "metrics"),
+])
+def test_executor_appends_when_configured(tmp_path, backend, trace):
+    path = tmp_path / "auto.jsonl"
+    result = _run(trace=trace, backend=backend, ledger=str(path))
+    records = read_ledger(str(path))
+    assert len(records) == 1
+    rec = records[0]
+    assert rec["backend"] == backend
+    assert rec["nprocs"] == NPROCS
+    # The executor lifts workload labels off the program object.
+    assert rec["algorithm"] == "two_phase_bruck"
+    assert rec["elapsed_s"] == result.elapsed
+    assert rec["config_fingerprint"] == config_fingerprint(result.config)
+    assert rec["metrics"]["total_messages"] == result.metrics.total_messages
+    if backend == "threads":
+        # metrics-only on threads: no event DAG and no tensor step log,
+        # so the record carries aggregates but no attribution.
+        assert rec["attribution"] is None
+    else:
+        assert rec["attribution"] is not None
+
+
+def test_executor_skips_without_metrics(tmp_path):
+    path = tmp_path / "skip.jsonl"
+    _run(trace=False, ledger=str(path))
+    assert read_ledger(str(path)) == []
+    # events-only runs carry no aggregates either.
+    _run(trace="events", backend="coop", ledger=str(path))
+    assert read_ledger(str(path)) == []
