@@ -1,0 +1,164 @@
+"""Radix crossover table + auto-tuner cold→warm convergence.
+
+The radix dial trades messages for volume: base-r digits mean
+``(r-1)·ceil(log_r P)`` sends per rank but each block is forwarded only
+once per *nonzero base-r digit* of its distance.  This bench commits the
+two artifacts the dial is judged by:
+
+* **Crossover table** — the analytic closed form swept over a (P, N)
+  grid and all candidate radices.  Expected shape: latency-dominated
+  cells (small N) stay at r=2; bandwidth-dominated cells (large P·N)
+  flip to r in the 8–64 range, with the winning radix growing along both
+  axes.
+* **Tuner trajectory** — real tensor-backend runs of one crossover cell
+  (P=512, N=1024, where r=8 beats r=2 on simulated clock) appended to a
+  run ledger one by one, with the :class:`~repro.core.tuner.AutoTuner`
+  decision recorded after each append.  Expected shape: cold decisions
+  come from the model (``source="model"``); once any (algorithm, radix)
+  group reaches ``min_samples`` observations the tuner flips to
+  ``source="ledger"`` and settles on the observed winner r=8.
+"""
+
+from repro.core.cost_model import best_radix, radix_cost
+from repro.core.tuner import AutoTuner
+from repro.simmpi import ExecutionConfig, THETA, run_spmd
+from repro.simmpi.tensor import TensorAlltoallv
+
+from _common import once, save_report
+
+ALGORITHM = "two_phase_bruck"
+PROCS = (512, 2048, 8192, 32768)
+BLOCKS = (16, 256, 1024, 2048)
+RADICES = (2, 4, 8, 16, 32)
+
+# The simulated crossover cell: every radix runs in the tensor backend.
+SIM_P = 512
+SIM_N = 1024
+SIM_RADICES = (2, 4, 8)
+ROUNDS = 3  # appends per radix — exactly AutoTuner's default min_samples
+
+
+def _crossover_rows():
+    rows = []
+    for p in PROCS:
+        for n in BLOCKS:
+            costs = {r: radix_cost(ALGORITHM, p, n, THETA, radix=r)
+                     for r in RADICES if r <= p}
+            winner = best_radix(p, n, THETA, algorithm=ALGORITHM,
+                                radices=tuple(costs))
+            rows.append((p, n, costs, winner))
+    return rows
+
+
+def _run_cell(radix, ledger_path):
+    config = ExecutionConfig(machine=THETA, trace="metrics",
+                             backend="tensor", wire="phantom",
+                             ledger=str(ledger_path))
+    spec = TensorAlltoallv(ALGORITHM, SIM_N, radix=radix)
+    return run_spmd(spec, SIM_P, config=config)
+
+
+def test_radix_crossover(benchmark, tmp_path):
+    ledger = tmp_path / "radix_ledger.jsonl"
+
+    def run():
+        rows = _crossover_rows()
+        tuner = AutoTuner(THETA, str(ledger))
+        trajectory = [(0, None, tuner.decide(SIM_P, SIM_N,
+                                             algorithm=ALGORITHM))]
+        sim = {}
+        runs = 0
+        for _ in range(ROUNDS):
+            for radix in SIM_RADICES:
+                result = _run_cell(radix, ledger)
+                sim[radix] = result
+                runs += 1
+                tuner.refresh()
+                trajectory.append((runs, radix,
+                                   tuner.decide(SIM_P, SIM_N,
+                                                algorithm=ALGORITHM)))
+        return rows, sim, trajectory
+
+    rows, sim, trajectory = once(benchmark, run)
+
+    lines = [f"radix crossover: {ALGORITHM} closed form (Theta profile, "
+             f"per-rank seconds; * = winning radix)",
+             f"{'P':>6} {'N':>5} " + " ".join(f"{'r=' + str(r):>11}"
+                                              for r in RADICES)]
+    for p, n, costs, winner in rows:
+        cells = []
+        for r in RADICES:
+            if r not in costs:
+                cells.append(f"{'n/a':>11}")
+                continue
+            mark = "*" if r == winner else " "
+            cells.append(f"{costs[r]:>10.6f}{mark}")
+        lines.append(f"{p:>6} {n:>5} " + " ".join(cells))
+
+    lines.append("")
+    lines.append(f"simulated check (tensor backend, P={SIM_P}, "
+                 f"N={SIM_N} const):")
+    for radix in SIM_RADICES:
+        res = sim[radix]
+        lines.append(f"  r={radix}: {res.elapsed * 1e3:9.4f} ms  "
+                     f"{res.total_messages:>6} msgs  "
+                     f"{res.total_bytes:>9} bytes")
+
+    lines.append("")
+    lines.append(f"auto-tuner trajectory (min_samples="
+                 f"{AutoTuner(THETA).min_samples}, ledger grown one "
+                 f"tensor run at a time):")
+    for runs, appended, d in trajectory:
+        label = "cold" if runs == 0 else f"after run {runs} (r={appended})"
+        mean = f", mean {d.expected_s * 1e3:.4f} ms" if d.expected_s else ""
+        lines.append(f"  {label:>20}: radix {d.radix:>2} from "
+                     f"{d.source}{mean}")
+
+    # The dial must matter: some cell flips past radix 2, some stays.
+    winners = {(p, n): w for p, n, _, w in rows}
+    assert any(w > 2 for w in winners.values()), \
+        "no grid cell favours a radix above 2"
+    assert any(w == 2 for w in winners.values()), \
+        "radix 2 never optimal — latency regime missing from grid"
+    # Winning radix is monotone along the N axis at the largest P.
+    big = [winners[(PROCS[-1], n)] for n in BLOCKS]
+    assert big == sorted(big)
+
+    # The simulator agrees with the closed form's direction in the
+    # demo cell: a higher radix beats today's r=2 kernels outright.
+    assert sim[8].elapsed < sim[2].elapsed
+    assert sim[8].total_messages > sim[2].total_messages
+    assert sim[8].total_bytes < sim[2].total_bytes
+
+    # Convergence: cold decision is model-sourced; the warm tuner picks
+    # the observed winner from ledger evidence alone.
+    assert trajectory[0][2].source == "model"
+    final = trajectory[-1][2]
+    assert final.source == "ledger"
+    best_sim = min(SIM_RADICES, key=lambda r: sim[r].elapsed)
+    assert final.radix == best_sim and final.radix > 2
+    assert final.samples >= ROUNDS
+
+    data = {
+        "algorithm": ALGORITHM,
+        "machine": "theta",
+        "crossover": [
+            {"nprocs": p, "max_block": n, "best_radix": winner,
+             "cost_s": {str(r): costs[r] for r in costs}}
+            for p, n, costs, winner in rows],
+        "simulated_cell": {
+            "nprocs": SIM_P, "max_block": SIM_N,
+            "runs": [
+                {"radix": r,
+                 "simulated_s": sim[r].elapsed,
+                 "messages": sim[r].total_messages,
+                 "bytes": sim[r].total_bytes}
+                for r in SIM_RADICES]},
+        "tuner_trajectory": [
+            {"ledger_runs": runs, "appended_radix": appended,
+             "algorithm": d.algorithm, "radix": d.radix,
+             "source": d.source, "samples": d.samples,
+             "expected_s": d.expected_s}
+            for runs, appended, d in trajectory],
+    }
+    save_report("radix_crossover", "\n".join(lines), data=data)

@@ -22,6 +22,9 @@ Examples
         --out trace.json --critical-path
     python -m repro trace -a two_phase_bruck -p 32768 -n 64 --dist const \\
         --backend tensor --level metrics
+    python -m repro run -a two_phase_bruck -p 1024 -n 512 \\
+        --backend tensor --wire phantom --dist const --radix auto \\
+        --ledger runs.jsonl
     python -m repro recommend -p 350 -n 800
     python -m repro sweep -p 4096
 """
@@ -59,6 +62,32 @@ from .workloads import (
 ALGORITHM_CHOICES = list_algorithms("nonuniform")
 
 
+def _radix_arg(value: str):
+    """``--radix`` argument: a digit base >= 2, or ``auto`` (run only)."""
+    if value == "auto":
+        return "auto"
+    try:
+        radix = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"radix must be an integer >= 2 or 'auto', got {value!r}")
+    if radix < 2:
+        raise argparse.ArgumentTypeError(
+            f"radix must be >= 2, got {radix}")
+    return radix
+
+
+def _check_radix_capable(algorithm: str, radix) -> Optional[str]:
+    from .core.registry import get_algorithm, radix_algorithms
+    if radix in (2, "auto"):
+        return None
+    if not get_algorithm(algorithm, "nonuniform").supports_radix:
+        return (f"algorithm {algorithm!r} does not support --radix "
+                f"{radix}; radix-capable: "
+                f"{', '.join(radix_algorithms('nonuniform'))}")
+    return None
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("-p", "--nprocs", type=int, required=True,
                    help="number of ranks")
@@ -94,12 +123,18 @@ def cmd_predict(args: argparse.Namespace) -> int:
         print("error: the analytic predictor takes a distribution; "
               "use --dist uniform/normal/power_law", file=sys.stderr)
         return 2
+    error = _check_radix_capable(args.algorithm, args.radix)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     machine = _resolve_machine(args)
     dist = distribution_by_name(args.dist, args.max_block)
     result = predict_alltoallv(args.algorithm, machine, args.nprocs, dist,
-                               seed=args.seed)
+                               seed=args.seed, radix=args.radix)
+    radix_note = f", radix={args.radix}" if args.radix != 2 else ""
     print(f"{result.algorithm} at P={args.nprocs}, N={args.max_block} "
-          f"({args.dist}, {machine.name}, {result.mode} mode): "
+          f"({args.dist}, {machine.name}, {result.mode} mode"
+          f"{radix_note}): "
           f"{result.elapsed * 1e3:.4f} simulated ms")
     return 0
 
@@ -123,11 +158,28 @@ def _check_backend_limits(backend: str, nprocs: int,
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    error = _check_backend_limits(args.backend, args.nprocs, args.dist)
+    error = (_check_backend_limits(args.backend, args.nprocs, args.dist)
+             or _check_radix_capable(args.algorithm, args.radix))
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     machine = _resolve_machine(args)
+    if args.radix == "auto":
+        from .core.tuner import AutoTuner
+        tuner = AutoTuner(machine, args.ledger)
+        decision = tuner.decide(args.nprocs, args.max_block,
+                                algorithm=args.algorithm)
+        radix = decision.radix
+        if decision.source == "ledger":
+            print(f"auto-tuner: radix {radix} from {decision.samples} "
+                  f"ledger runs (mean {decision.expected_s * 1e3:.4f} ms)",
+                  file=sys.stderr)
+        else:
+            print(f"auto-tuner: radix {radix} from the analytic model "
+                  f"(no warm ledger cell for this (P, N))",
+                  file=sys.stderr)
+    else:
+        radix = args.radix
     phantom = args.wire == "phantom"
     # Per-event traces at thousands of ranks are pure overhead here;
     # aggregate metrics keep large-P runs fast.  The tensor backend
@@ -156,7 +208,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.backend == "tensor":
         prog = TensorAlltoallv(
             args.algorithm,
-            args.max_block if sizes is None else sizes)
+            args.max_block if sizes is None else sizes,
+            radix=radix)
         verify = False
     else:
         if sizes is None:
@@ -172,13 +225,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         def prog(comm):
             vargs = build_vargs(comm.rank, sizes, fill=not phantom)
             start = comm.clock
-            alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm)
+            alltoallv(comm, *vargs.as_tuple(), algorithm=args.algorithm,
+                      radix=radix)
             if verify:
                 verify_recv(comm.rank, sizes, vargs.recvbuf)
             return comm.clock - start
 
-    # Workload labels for the run ledger (tensor specs already carry
-    # .algorithm; the closure needs stamping).
+        # Workload labels for the run ledger (tensor specs already
+        # carry .algorithm/.radix/.max_block; the closure needs
+        # stamping).
+        prog.radix = radix
+        prog.max_block = args.max_block
     prog.algorithm = args.algorithm
     prog.distribution = args.dist
 
@@ -196,9 +253,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         verified = "buffers unverified (faults injected without retry)"
     elapsed = max(r for r in result.returns if r is not None) \
         if args.backend != "tensor" else max(result.clocks)
+    radix_note = f", radix={radix}" if radix != 2 else ""
     print(f"{args.algorithm} at P={args.nprocs}, N={args.max_block} "
           f"({args.dist}, {machine.name}, {args.backend} backend, "
-          f"{args.wire} wire): "
+          f"{args.wire} wire{radix_note}): "
           f"{elapsed * 1e3:.4f} simulated ms, "
           f"{result.total_messages} messages, {result.total_bytes} bytes "
           f"on the wire; {verified}")
@@ -308,11 +366,20 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     print(f"fitting the empirical model on {machine.name}...",
           file=sys.stderr)
     model = PerformanceModel.fit(machine)
-    choice = model.recommend(args.nprocs, args.max_block)
-    print(f"P={args.nprocs}, N={args.max_block} -> {choice}")
+    choice, radix = model.recommend_radix(args.nprocs, args.max_block)
+    radix_note = f" (radix {radix})" if radix != 2 else ""
+    print(f"P={args.nprocs}, N={args.max_block} -> {choice}{radix_note}")
     print(f"(two-phase wins up to N≈"
           f"{model.two_phase_threshold(args.nprocs):.0f} at this P; "
           f"padded up to N≈{model.padded_threshold(args.nprocs):.0f})")
+    if args.ledger:
+        from .core.tuner import AutoTuner
+        tuner = AutoTuner(machine, args.ledger, model=model)
+        d = tuner.decide(args.nprocs, args.max_block)
+        extra = (f", mean {d.expected_s * 1e3:.4f} ms over "
+                 f"{d.samples} runs" if d.source == "ledger" else "")
+        print(f"ledger: {d.algorithm} radix {d.radix} "
+              f"(source={d.source}{extra})")
     return 0
 
 
@@ -351,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-a", "--algorithm", required=True,
                    choices=ALGORITHM_CHOICES)
     _add_common(p)
+    p.add_argument("--radix", type=_radix_arg, default=2, metavar="R",
+                   help="digit base of the Bruck schedule (default: 2; "
+                        "radix-capable algorithms only)")
     p.set_defaults(fn=cmd_predict)
 
     p = sub.add_parser("run", help="functional simulator run")
@@ -386,6 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append one structured JSON record of this run "
                         "to the JSONL ledger at PATH (runs recording "
                         "metrics only)")
+    p.add_argument("--radix", type=_radix_arg, default=2, metavar="R",
+                   help="digit base of the Bruck schedule: an integer "
+                        ">= 2, or 'auto' to let the ledger-driven "
+                        "auto-tuner pick (warm: best observed mean for "
+                        "this (P, N-band); cold: the analytic closed "
+                        "form)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -434,6 +510,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-p", "--nprocs", type=int, required=True)
     p.add_argument("-n", "--max-block", type=int, required=True)
     p.add_argument("--machine", default="theta", choices=sorted(PROFILES))
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="also report what the ledger-driven auto-tuner "
+                        "would pick from the observed runs at PATH")
     p.set_defaults(fn=cmd_recommend)
 
     p = sub.add_parser("profiles", help="list machine profiles")

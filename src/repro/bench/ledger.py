@@ -39,7 +39,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.simmpi.executor import SPMDResult
 
 __all__ = ["LEDGER_VERSION", "config_fingerprint", "run_record",
-           "append_record", "append_run", "read_ledger", "iter_ledger"]
+           "append_record", "append_run", "read_ledger", "iter_ledger",
+           "query_ledger"]
 
 #: Schema version of ledger records.  Bump when a field changes meaning;
 #: adding fields is backward compatible and does not bump it.
@@ -172,16 +173,62 @@ def append_run(path: str, result: "SPMDResult", **labels: Any) -> Dict[str, Any]
 
 
 def iter_ledger(path: str) -> Iterator[Dict[str, Any]]:
-    """Yield ledger records in append order (empty if no file)."""
+    """Yield ledger records in append order (empty if no file).
+
+    A malformed *final* line is skipped silently: it is the signature of
+    a run killed mid-append, and dropping it loses only the run that
+    already failed.  A malformed line with valid records *after* it means
+    real corruption and still raises ``ValueError``.
+    """
     if not os.path.exists(path):
         return
+    pending: Optional[Exception] = None
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            if pending is not None:
+                raise ValueError(
+                    f"{path}: malformed ledger record on a non-final "
+                    f"line ({pending})")
+            try:
                 yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                pending = ValueError(f"line {lineno}: {exc}")
 
 
 def read_ledger(path: str) -> List[Dict[str, Any]]:
     """All records of the JSONL ledger at ``path`` (empty if absent)."""
     return list(iter_ledger(path))
+
+
+#: Query keys that match a top-level record field of the same name.
+_QUERY_FIELDS = ("algorithm", "distribution", "machine", "nprocs",
+                 "backend", "wire", "config_fingerprint", "radix")
+
+
+def query_ledger(path: str, *, predicate=None,
+                 **where: Any) -> List[Dict[str, Any]]:
+    """Records matching every given field filter, in append order.
+
+    Keyword filters compare against the record's top-level field of the
+    same name (supported: ``algorithm``, ``distribution``, ``machine``,
+    ``nprocs``, ``backend``, ``wire``, ``config_fingerprint``,
+    ``radix``); records missing the field never match.  ``predicate``,
+    when given, is an extra ``record -> bool`` applied after the field
+    filters.  Tolerates a truncated final line like :func:`iter_ledger`.
+    """
+    unknown = set(where) - set(_QUERY_FIELDS)
+    if unknown:
+        raise TypeError(
+            f"unknown query fields {sorted(unknown)}; "
+            f"known: {list(_QUERY_FIELDS)}")
+    out: List[Dict[str, Any]] = []
+    for rec in iter_ledger(path):
+        if any(k not in rec or rec[k] != v for k, v in where.items()):
+            continue
+        if predicate is not None and not predicate(rec):
+            continue
+        out.append(rec)
+    return out

@@ -7,20 +7,27 @@
   baselines.
 * :mod:`repro.core.cost_model` — the paper's Eqs. (1)-(3).
 * :mod:`repro.core.selector` — the Fig. 9 empirical model / advisor.
+* :mod:`repro.core.tuner` — the ledger-driven algorithm/radix auto-tuner.
 """
 
 from .common import (
     block_moved_before,
+    bruck_substeps,
     num_steps,
+    radix_num_steps,
     rotation_index_array,
     send_block_distances,
+    total_forwarded_blocks,
     total_send_blocks_per_step,
 )
 from .cost_model import (
+    DEFAULT_RADICES,
     LinearCostParams,
+    best_radix,
     crossover_block_size,
     padded_beats_two_phase,
     padded_bruck_time,
+    radix_cost,
     spread_out_time,
     two_phase_bruck_time,
 )
@@ -35,9 +42,11 @@ from .registry import (
     Algorithm,
     get_algorithm,
     list_algorithms,
+    radix_algorithms,
     register_algorithm,
 )
 from .selector import CrossoverPoint, PerformanceModel
+from .tuner import AutoTuner, TunerDecision, block_band
 from .uniform import (
     alltoall,
     basic_bruck,
@@ -78,8 +87,18 @@ __all__ = [
     "spread_out_time",
     "padded_beats_two_phase",
     "crossover_block_size",
+    "radix_cost",
+    "best_radix",
+    "DEFAULT_RADICES",
+    "bruck_substeps",
+    "radix_num_steps",
+    "total_forwarded_blocks",
+    "radix_algorithms",
     "PerformanceModel",
     "CrossoverPoint",
+    "AutoTuner",
+    "TunerDecision",
+    "block_band",
 ]
 
 

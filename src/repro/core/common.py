@@ -20,6 +20,7 @@ Bruck index conventions used throughout (see DESIGN.md):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +34,13 @@ __all__ = [
     "checked_counts_displs",
     "validate_uniform_args",
     "total_send_blocks_per_step",
+    "validate_radix",
+    "radix_num_steps",
+    "radix_send_block_distances",
+    "radix_block_moved_before",
+    "BruckSubstep",
+    "bruck_substeps",
+    "total_forwarded_blocks",
 ]
 
 
@@ -83,6 +91,136 @@ def rotation_index_array(rank: int, nprocs: int) -> np.ndarray:
 def total_send_blocks_per_step(nprocs: int) -> List[int]:
     """Blocks sent by each rank in every step (for models and tests)."""
     return [len(send_block_distances(k, nprocs)) for k in range(num_steps(nprocs))]
+
+
+# ----------------------------------------------------------------------
+# radix-r generalization
+# ----------------------------------------------------------------------
+#
+# Radix r rewrites a distance index in base r instead of base 2: step ``k``
+# handles digit position ``k``, with one substep per nonzero digit value
+# ``z in [1, r)``.  The substep with digit ``z`` moves every distance ``i``
+# whose ``k``-th base-r digit equals ``z`` a jump of ``z * r**k`` (negative
+# direction for the modified/zero-rotation family).  ``ceil(log_r P)``
+# steps of up to ``r - 1`` messages each replace ``ceil(log2 P)`` single-
+# message steps — fewer rounds, more messages and forwarded volume per
+# round, the trade the radix dial exposes.  Radix 2 reduces every formula
+# here to the bit-trick originals, and :func:`bruck_substeps` *delegates*
+# to them so the radix-2 schedules stay integer-identical.
+
+
+def validate_radix(radix: int) -> int:
+    """Check a Bruck radix: an integer >= 2 (radix 2 is today's kernels)."""
+    r = int(radix)
+    if r != radix or r < 2:
+        raise ValueError(f"radix must be an integer >= 2, got {radix!r}")
+    return r
+
+
+def radix_num_steps(nprocs: int, radix: int = 2) -> int:
+    """Number of radix-``r`` Bruck steps: ``ceil(log_r P)`` (0 for P=1)."""
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    r = validate_radix(radix)
+    if r == 2:
+        return num_steps(nprocs)
+    steps, span = 0, 1
+    while span < nprocs:
+        span *= r
+        steps += 1
+    return steps
+
+
+def radix_send_block_distances(
+    step: int, digit: int, nprocs: int, radix: int = 2
+) -> List[int]:
+    """Distances moving in substep (``step``, ``digit``): all ``i`` in
+    ``[1, P)`` whose base-``radix`` digit at position ``step`` is ``digit``.
+
+    Reduces to :func:`send_block_distances` for radix 2 (where the only
+    nonzero digit value is 1).
+    """
+    if step < 0:
+        raise ValueError(f"step must be non-negative, got {step}")
+    r = validate_radix(radix)
+    if not 1 <= digit < r:
+        raise ValueError(f"digit must be in [1, {r}), got {digit}")
+    if r == 2:
+        return send_block_distances(step, nprocs)
+    base = r ** step
+    return [i for i in range(1, nprocs) if (i // base) % r == digit]
+
+
+def radix_block_moved_before(distance: int, step: int, radix: int = 2) -> bool:
+    """Has this distance index been exchanged in a step before ``step``?
+
+    True iff ``distance`` has a nonzero base-``radix`` digit below position
+    ``step`` — i.e. ``distance % radix**step != 0``.  Radix 2 reduces to
+    :func:`block_moved_before` (a set bit below ``step``).
+    """
+    r = validate_radix(radix)
+    if r == 2:
+        return block_moved_before(distance, step)
+    return distance % (r ** step) != 0
+
+
+@dataclass(frozen=True)
+class BruckSubstep:
+    """One communication round of a radix-``r`` Bruck exchange.
+
+    ``index``
+        Dense substep number ``step * (r-1) + (digit-1)`` — the tag offset
+        (``tag_base + index`` for uniform kernels, ``tag_base + 2*index``
+        and ``+ 2*index + 1`` for two-phase's metadata/data pair).  For
+        radix 2 it equals ``step``, so tags match the unparameterized code.
+    ``step`` / ``digit``
+        Digit position ``k`` and digit value ``z`` of the distances moved.
+    ``jump``
+        Partner offset ``z * r**k``: the modified family sends to
+        ``(rank - jump) % P`` and receives from ``(rank + jump) % P``.
+    ``distances``
+        The distance indices moving, ascending
+        (:func:`radix_send_block_distances`).
+    """
+
+    index: int
+    step: int
+    digit: int
+    jump: int
+    distances: Tuple[int, ...]
+
+
+def bruck_substeps(nprocs: int, radix: int = 2) -> List[BruckSubstep]:
+    """The full substep schedule of a radix-``r`` Bruck exchange.
+
+    Substeps whose distance set is empty (``digit * r**step >= P``) are
+    omitted, mirroring the kernels' ``if not dist: continue``.  For radix 2
+    this is exactly one substep per classic step, built from the original
+    bit-trick helpers, so every integer (index, jump, distances) — and
+    therefore every message, tag and clock charge downstream — is identical
+    to the unparameterized path.
+    """
+    r = validate_radix(radix)
+    subs: List[BruckSubstep] = []
+    for k in range(radix_num_steps(nprocs, r)):
+        for z in range(1, r):
+            dist = radix_send_block_distances(k, z, nprocs, r)
+            if not dist:
+                continue
+            subs.append(BruckSubstep(index=k * (r - 1) + (z - 1), step=k,
+                                     digit=z, jump=z * r ** k,
+                                     distances=tuple(dist)))
+    return subs
+
+
+def total_forwarded_blocks(nprocs: int, radix: int = 2) -> int:
+    """Total blocks a rank sends across a whole radix-``r`` exchange.
+
+    Equals the sum of nonzero base-``r`` digit counts over all distances —
+    the exact volume multiplier behind the cost model's ``(P+1)/2``-per-
+    step approximation (radix 2) and its ``(P+1)(r-1)/r`` generalization.
+    """
+    return sum(len(s.distances) for s in bruck_substeps(nprocs, radix))
 
 
 # ----------------------------------------------------------------------

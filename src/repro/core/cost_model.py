@@ -34,9 +34,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from ..simmpi.machine import MachineProfile
+from .common import validate_radix
 
 __all__ = [
     "LinearCostParams",
@@ -45,6 +46,9 @@ __all__ = [
     "spread_out_time",
     "padded_beats_two_phase",
     "crossover_block_size",
+    "radix_cost",
+    "best_radix",
+    "DEFAULT_RADICES",
 ]
 
 _META_ENTRY_BYTES = 4.0  # the paper charges 4 bytes per metadata entry
@@ -84,27 +88,57 @@ def _log2(nprocs: int) -> float:
     return math.log2(nprocs) if nprocs > 1 else 0.0
 
 
+def _radix_factors(nprocs: int, radix: int) -> Tuple[float, float, float]:
+    """The radix-``r`` generalization's three continuous factors.
+
+    Returns ``(lg, msgs, frac)`` where ``lg = log_r(P)`` is the step
+    count, ``msgs = (r-1) * lg`` the message count, and
+    ``frac = (P+1)(r-1)/r`` the per-step forwarded-block count — the
+    generalization of the paper's ``(P+1)/2``.  Radix 2 reproduces the
+    Eq. (1)/(2) factors bit-for-bit (``msgs == lg``,
+    ``frac == (P+1)/2``).
+    """
+    r = validate_radix(radix)
+    if r == 2:
+        lg = _log2(nprocs)
+    else:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        lg = math.log(nprocs, r) if nprocs > 1 else 0.0
+    msgs = (r - 1.0) * lg
+    frac = (nprocs + 1) * (r - 1) / float(r)
+    return lg, msgs, frac
+
+
 def padded_bruck_time(nprocs: int, max_block: float,
-                      model: Union[LinearCostParams, MachineProfile]) -> float:
-    """Eq. (1): per-rank communication time of padded Bruck (seconds)."""
+                      model: Union[LinearCostParams, MachineProfile],
+                      radix: int = 2) -> float:
+    """Eq. (1), radix-generalized: per-rank time of padded Bruck (s).
+
+    ``(r-1) * log_r(P)`` messages, each step forwarding
+    ``(P+1)(r-1)/r`` blocks padded to ``max_block``; radix 2 is the
+    paper's ``alpha*log2(P) + beta*log2(P)*((P+1)/2)*N`` exactly.
+    """
     prm = _params(model, nprocs)
-    lg = _log2(nprocs)
-    return prm.alpha * lg + prm.beta * lg * ((nprocs + 1) / 2.0) * max_block
+    lg, msgs, frac = _radix_factors(nprocs, radix)
+    return prm.alpha * msgs + prm.beta * lg * frac * max_block
 
 
 def two_phase_bruck_time(nprocs: int, max_block: float,
-                         model: Union[LinearCostParams, MachineProfile]) -> float:
-    """Eq. (2): per-rank communication time of two-phase Bruck (seconds).
+                         model: Union[LinearCostParams, MachineProfile],
+                         radix: int = 2) -> float:
+    """Eq. (2), radix-generalized: per-rank time of two-phase Bruck (s).
 
     Assumes the paper's uniform-distribution workload (average block size
-    ``max_block / 2``).
+    ``max_block / 2``).  Each of the ``(r-1) * log_r(P)`` rounds pays the
+    coupled metadata + data latency pair; metadata and data volumes scale
+    with the forwarded-block count ``log_r(P) * (P+1)(r-1)/r``.
     """
     prm = _params(model, nprocs)
-    lg = _log2(nprocs)
-    half = (nprocs + 1) / 2.0
-    return (2.0 * prm.alpha * lg
-            + _META_ENTRY_BYTES * prm.beta * lg * half
-            + (max_block / 2.0) * prm.beta * lg * half)
+    lg, msgs, frac = _radix_factors(nprocs, radix)
+    return (2.0 * prm.alpha * msgs
+            + _META_ENTRY_BYTES * prm.beta * lg * frac
+            + (max_block / 2.0) * prm.beta * lg * frac)
 
 
 def spread_out_time(nprocs: int, max_block: float,
@@ -144,3 +178,63 @@ def crossover_block_size(nprocs: int,
     if prm.beta == 0:
         return math.inf
     return 2 * _META_ENTRY_BYTES + 4.0 * prm.alpha / ((nprocs + 1) * prm.beta)
+
+
+# ----------------------------------------------------------------------
+# radix selection
+# ----------------------------------------------------------------------
+
+#: Candidate radices evaluated by :func:`best_radix`: powers of two up to
+#: 64.  Beyond r = P the schedule degenerates to one spread-out round, so
+#: candidates above P are dropped per call.
+DEFAULT_RADICES: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+
+#: Algorithms whose radix cost is the one-message-per-round Eq. (1) shape
+#: (padded volume for the non-uniform pad path, full blocks for uniform).
+_EQ1_SHAPED = ("padded_bruck", "modified_bruck", "modified_bruck_dt",
+               "zero_rotation_bruck")
+
+
+def radix_cost(algorithm: str, nprocs: int, max_block: float,
+               model: Union[LinearCostParams, MachineProfile],
+               radix: int = 2) -> float:
+    """Closed-form per-rank time of a radix-capable algorithm at ``radix``.
+
+    Uniform Bruck variants share Eq. (1)'s one-message-per-round shape
+    (every forwarded block carries ``max_block`` bytes); ``padded_bruck``
+    is exactly that over the padded buffer; ``two_phase_bruck`` uses the
+    radix-generalized Eq. (2).
+    """
+    if algorithm in _EQ1_SHAPED:
+        return padded_bruck_time(nprocs, max_block, model, radix)
+    if algorithm == "two_phase_bruck":
+        return two_phase_bruck_time(nprocs, max_block, model, radix)
+    raise KeyError(
+        f"no radix cost form for algorithm {algorithm!r}; "
+        f"known: {sorted(_EQ1_SHAPED + ('two_phase_bruck',))}")
+
+
+def best_radix(nprocs: int, max_block: float,
+               model: Union[LinearCostParams, MachineProfile], *,
+               algorithm: str = "two_phase_bruck",
+               radices: Optional[Sequence[int]] = None) -> int:
+    """The analytically cheapest radix for one (P, N, machine) point.
+
+    Minimizes the radix-generalized closed form over ``radices``
+    (default :data:`DEFAULT_RADICES`, truncated to ``r <= P``).  Ties
+    break toward the smaller radix, so radix 2 — today's kernels — wins
+    whenever raising r buys nothing.  This is the auto-tuner's *cold*
+    answer; ledger history overrides it once real runs accumulate.
+    """
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    cands = [validate_radix(r) for r in (radices or DEFAULT_RADICES)]
+    cands = sorted(set(r for r in cands if r <= max(nprocs, 2)))
+    if not cands:
+        raise ValueError("no candidate radices <= nprocs")
+    best_r, best_t = cands[0], math.inf
+    for r in cands:
+        t = radix_cost(algorithm, nprocs, max_block, model, r)
+        if t < best_t:
+            best_r, best_t = r, t
+    return best_r

@@ -44,7 +44,7 @@ def _pad_exchange_scan(comm: Communicator, sendbuf: np.ndarray,
                        sendcounts: Sequence[int], sdispls: Sequence[int],
                        recvbuf: np.ndarray, recvcounts: Sequence[int],
                        rdispls: Sequence[int], *, use_vendor_alltoall: bool,
-                       tag_base: int) -> None:
+                       tag_base: int, radix: int = 2) -> None:
     p, rank = comm.size, comm.rank
     sview = as_byte_view(sendbuf, "sendbuf")
     rview = as_byte_view(recvbuf, "recvbuf")
@@ -77,7 +77,7 @@ def _pad_exchange_scan(comm: Communicator, sendbuf: np.ndarray,
         comm.alltoall(padded_send, padded_recv, max_n)
     else:
         zero_rotation_bruck(comm, padded_send, padded_recv, max_n,
-                            tag_base=tag_base)
+                            tag_base=tag_base, radix=radix)
 
     with comm.phase(PHASE_SCAN):
         if comm.payload_enabled:
@@ -91,11 +91,16 @@ def _pad_exchange_scan(comm: Communicator, sendbuf: np.ndarray,
 def padded_bruck(comm: Communicator, sendbuf: np.ndarray,
                  sendcounts: Sequence[int], sdispls: Sequence[int],
                  recvbuf: np.ndarray, recvcounts: Sequence[int],
-                 rdispls: Sequence[int], *, tag_base: int = 0) -> None:
-    """Non-uniform all-to-all via pad → zero-rotation Bruck → scan."""
+                 rdispls: Sequence[int], *, tag_base: int = 0,
+                 radix: int = 2) -> None:
+    """Non-uniform all-to-all via pad → zero-rotation Bruck → scan.
+
+    ``radix`` is forwarded to the uniform zero-rotation exchange; the pad
+    and scan phases are radix-independent.
+    """
     _pad_exchange_scan(comm, sendbuf, sendcounts, sdispls, recvbuf,
                        recvcounts, rdispls, use_vendor_alltoall=False,
-                       tag_base=tag_base)
+                       tag_base=tag_base, radix=radix)
 
 
 def padded_alltoall(comm: Communicator, sendbuf: np.ndarray,

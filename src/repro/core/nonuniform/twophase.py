@@ -36,10 +36,9 @@ from ...simmpi.communicator import Communicator
 from ...simmpi.datatype import gather_index
 from ..common import (
     as_byte_view,
+    bruck_substeps,
     checked_counts_displs,
-    num_steps,
     rotation_index_array,
-    send_block_distances,
 )
 
 __all__ = ["two_phase_bruck"]
@@ -55,11 +54,15 @@ _META_MAX = np.iinfo(_META_DTYPE).max
 def two_phase_bruck(comm: Communicator, sendbuf: np.ndarray,
                     sendcounts: Sequence[int], sdispls: Sequence[int],
                     recvbuf: np.ndarray, recvcounts: Sequence[int],
-                    rdispls: Sequence[int], *, tag_base: int = 0) -> None:
+                    rdispls: Sequence[int], *, tag_base: int = 0,
+                    radix: int = 2) -> None:
     """Non-uniform all-to-all via coupled metadata/data Bruck exchange.
 
     Same contract as ``MPI_Alltoallv`` over ``MPI_BYTE``: counts and
-    displacements in bytes, flat byte buffers.
+    displacements in bytes, flat byte buffers.  ``radix`` selects the
+    base-``r`` digit schedule — each substep still pays the coupled
+    metadata + data latency pair, so higher radix trades fewer rounds
+    (``ceil(log_r P)``) for ``r - 1`` message pairs per round.
     """
     p, rank = comm.size, comm.rank
     raw_max = int(np.asarray(sendcounts, dtype=np.int64).max(initial=0))
@@ -99,16 +102,16 @@ def two_phase_bruck(comm: Communicator, sendbuf: np.ndarray,
                 sview[sdis[rank]:sdis[rank] + n_self]
         comm.charge_copy(n_self)
 
-    for k in range(num_steps(p)):
-        dist = send_block_distances(k, p)            # lines 8-10
-        if not dist:
-            continue
+    for sub in bruck_substeps(p, radix):
+        dist = sub.distances                         # lines 8-10
         m = len(dist)
         dist_arr = np.asarray(dist, dtype=np.int64)
         slots = (dist_arr + rank) % p                # sd[] slot indices
         keys = rot[slots]                            # I[sd[i]]
-        send_rank = (rank - (1 << k)) % p            # line 14
-        recv_rank = (rank + (1 << k)) % p            # line 15
+        send_rank = (rank - sub.jump) % p            # line 14
+        recv_rank = (rank + sub.jump) % p            # line 15
+        meta_tag = tag_base + 2 * sub.index
+        data_tag = tag_base + 2 * sub.index + 1
 
         with comm.phase(PHASE_META):
             # Lines 11-13, 16: exchange the sizes of the moving blocks.
@@ -117,8 +120,8 @@ def two_phase_bruck(comm: Communicator, sendbuf: np.ndarray,
             # phantom wire mode.
             meta_out = cur_counts[keys].astype(_META_DTYPE)
             meta_in = np.empty(m, dtype=_META_DTYPE)
-            comm.sendrecv(meta_out, send_rank, tag_base + 2 * k,
-                          meta_in, recv_rank, tag_base + 2 * k,
+            comm.sendrecv(meta_out, send_rank, meta_tag,
+                          meta_in, recv_rank, meta_tag,
                           control=True)
 
         with comm.phase(PHASE_DATA):
@@ -139,17 +142,17 @@ def two_phase_bruck(comm: Communicator, sendbuf: np.ndarray,
                         stage[gather_index(out_starts[grp], counts_out[grp])] = \
                             src[gather_index(src_offs[grp], counts_out[grp])]
             comm.charge_copies(counts_out)
-            sreq = comm.isend(stage, send_rank, tag_base + 2 * k + 1)
+            sreq = comm.isend(stage, send_rank, data_tag)
             counts_in = meta_in.astype(np.int64)
             in_total = int(counts_in.sum())
             incoming = np.empty(in_total, dtype=np.uint8)
-            rreq = comm.irecv(incoming, recv_rank, tag_base + 2 * k + 1)
+            rreq = comm.irecv(incoming, recv_rank, data_tag)
             sreq.wait()
             rreq.wait()
             # Lines 25-33: scatter; finished blocks (no set bit above k in
             # their distance) go straight to their final rdispls position,
             # in-transit blocks park in W at their slot.
-            finished = dist_arr < (1 << (k + 1))     # line 26
+            finished = dist_arr < radix ** (sub.step + 1)  # line 26
             mismatch = finished & (counts_in != rcounts[slots])
             if mismatch.any():
                 a = int(np.argmax(mismatch))

@@ -32,6 +32,7 @@ __all__ = [
     "register_algorithm",
     "get_algorithm",
     "list_algorithms",
+    "radix_algorithms",
 ]
 
 #: Valid algorithm kinds: uniform ``MPI_Alltoall``-style (equal blocks)
@@ -48,12 +49,18 @@ class Algorithm:
         uniform:    fn(comm, sendbuf, recvbuf, block_nbytes, *, tag_base=0)
         nonuniform: fn(comm, sendbuf, sendcounts, sdispls,
                        recvbuf, recvcounts, rdispls, *, tag_base=0)
+
+    ``supports_radix`` marks the Bruck-family kernels that additionally
+    accept a ``radix=`` keyword (base-``r`` digit schedule); consumers —
+    dispatchers, the timing engine, the tensor backend, the tuner — gate
+    radix requests on this flag instead of keeping their own name lists.
     """
 
     name: str
     kind: str
     fn: Callable[..., None]
     description: str = ""
+    supports_radix: bool = False
 
 
 _REGISTRY: Dict[Tuple[str, str], Algorithm] = {}
@@ -61,7 +68,8 @@ _populated = False
 
 
 def register_algorithm(name: str, kind: str, fn: Callable[..., None],
-                       description: str = "") -> Algorithm:
+                       description: str = "", *,
+                       supports_radix: bool = False) -> Algorithm:
     """Add one algorithm to the registry (idempotent per ``(kind, name)``).
 
     Re-registering an existing ``(kind, name)`` pair replaces it — that
@@ -71,7 +79,8 @@ def register_algorithm(name: str, kind: str, fn: Callable[..., None],
         raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
     if not name:
         raise ValueError("algorithm name must be non-empty")
-    algo = Algorithm(name=name, kind=kind, fn=fn, description=description)
+    algo = Algorithm(name=name, kind=kind, fn=fn, description=description,
+                     supports_radix=supports_radix)
     _REGISTRY[(kind, name)] = algo
     return algo
 
@@ -114,6 +123,16 @@ def list_algorithms(kind: Optional[str] = None) -> List[str]:
     if kind is not None and kind not in KINDS:
         raise ValueError(f"kind must be one of {KINDS} or None, got {kind!r}")
     names = {n for (k, n) in _REGISTRY if kind is None or k == kind}
+    return sorted(names)
+
+
+def radix_algorithms(kind: Optional[str] = None) -> List[str]:
+    """Sorted names of the algorithms accepting a ``radix=`` keyword."""
+    _ensure_populated()
+    if kind is not None and kind not in KINDS:
+        raise ValueError(f"kind must be one of {KINDS} or None, got {kind!r}")
+    names = {n for (k, n), a in _REGISTRY.items()
+             if a.supports_radix and (kind is None or k == kind)}
     return sorted(names)
 
 

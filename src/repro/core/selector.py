@@ -114,7 +114,10 @@ class PerformanceModel:
         by_p: Dict[int, List[Tuple[int, Dict[str, float]]]] = {}
         for (p, n), times in measurements.items():
             by_p.setdefault(p, []).append((n, times))
-        required = set(_contenders())
+        # Compare through the same registry-resolved names the missing-key
+        # check uses — a registry rename must not silently split the two.
+        tp_name, padded_name, vendor_name = _contenders()
+        required = {tp_name, padded_name, vendor_name}
         for p in sorted(by_p):
             largest_tp = 0
             largest_padded = 0
@@ -125,10 +128,10 @@ class PerformanceModel:
                         f"measurement ({p}, {n}) missing algorithms: "
                         f"{sorted(missing)}"
                     )
-                if times["two_phase_bruck"] < times["vendor"]:
+                if times[tp_name] < times[vendor_name]:
                     largest_tp = n
-                if times["padded_bruck"] < times["two_phase_bruck"] \
-                        and times["padded_bruck"] < times["vendor"]:
+                if times[padded_name] < times[tp_name] \
+                        and times[padded_name] < times[vendor_name]:
                     largest_padded = n
             model.two_phase_frontier.append(CrossoverPoint(p, largest_tp))
             model.padded_frontier.append(CrossoverPoint(p, largest_padded))
@@ -185,6 +188,25 @@ class PerformanceModel:
                 > max_block:
             return "padded_bruck"
         return "two_phase_bruck"
+
+    def recommend_radix(self, nprocs: int,
+                        max_block: int) -> Tuple[str, int]:
+        """:meth:`recommend` plus the analytically best radix for it.
+
+        Returns ``(algorithm, radix)``.  The frontier interpolation picks
+        the algorithm exactly as :meth:`recommend` does; for a
+        radix-capable winner the closed-form
+        :func:`~repro.core.cost_model.best_radix` then picks the digit
+        base, else radix 2.  This is also the auto-tuner's cold-start
+        answer (:class:`repro.core.tuner.AutoTuner`).
+        """
+        from .cost_model import best_radix  # local import: avoid cycle
+
+        algorithm = self.recommend(nprocs, max_block)
+        if not get_algorithm(algorithm, kind="nonuniform").supports_radix:
+            return algorithm, 2
+        return algorithm, best_radix(nprocs, max_block, self.machine,
+                                     algorithm=algorithm)
 
     def describe(self) -> str:
         """Human-readable frontier table (the Fig. 9 chart as text)."""

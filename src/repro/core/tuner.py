@@ -1,0 +1,205 @@
+"""Ledger-driven online auto-tuner for the radix dial.
+
+The radix generalization (``radix=`` on the Bruck-family kernels) turns
+algorithm choice into a two-dimensional decision: *which* algorithm, and
+*what digit base*.  The closed forms in :mod:`repro.core.cost_model`
+answer it analytically, but the whole point of the run ledger
+(:mod:`repro.bench.ledger`) is that observed runs beat model
+extrapolation wherever they exist.  :class:`AutoTuner` arbitrates:
+
+* **warm** — enough ledger records cover the requested ``(P, N-band)``
+  cell: pick the ``(algorithm, radix)`` group with the lowest mean
+  observed time (``source="ledger"``);
+* **cold** — no cell has :attr:`~AutoTuner.min_samples` observations:
+  fall back to :meth:`PerformanceModel.recommend_radix
+  <repro.core.selector.PerformanceModel.recommend_radix>`, i.e. the
+  Fig. 9 frontier interpolation plus the radix closed form
+  (``source="model"``).
+
+Block sizes are coarsened into power-of-two **bands**
+(:func:`block_band`) so nearby workloads pool their observations — the
+model's own block grid is octave-spaced for the same reason.  Decisions
+are deterministic: the same ledger contents produce the same decision,
+with ties broken toward the smaller radix, then the lexicographically
+smaller algorithm name.
+
+Stale records are ignored: a record only counts if its
+``machine_model_version`` matches the current
+:data:`~repro.simmpi.machine.MACHINE_MODEL_VERSION` and its machine name
+matches the tuner's profile — numbers from a recalibrated model or a
+different machine are not comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..simmpi.machine import MACHINE_MODEL_VERSION, MachineProfile
+from .cost_model import best_radix
+from .registry import get_algorithm
+from .selector import PerformanceModel
+
+__all__ = ["AutoTuner", "TunerDecision", "block_band"]
+
+
+def block_band(max_block: int) -> int:
+    """The power-of-two band index of a block size (``bit_length``).
+
+    Band ``b`` covers ``[2^(b-1), 2^b)``; band 0 is the empty workload.
+    Ledger records whose ``max_block`` falls in the same band pool their
+    observations for one tuning cell.
+    """
+    n = int(max_block)
+    if n < 0:
+        raise ValueError(f"max_block must be non-negative, got {n}")
+    return n.bit_length()
+
+
+@dataclass(frozen=True)
+class TunerDecision:
+    """One auto-tuner answer for a ``(P, N)`` request.
+
+    ``source`` says which path produced it: ``"ledger"`` (warm — mean of
+    ``samples`` observed runs) or ``"model"`` (cold — analytic fallback,
+    ``samples == 0``).  ``expected_s`` is the winning group's mean
+    observed time when warm, ``None`` when cold (the model's absolute
+    scale is not comparable to ledger timings).
+    """
+
+    algorithm: str
+    radix: int
+    source: str
+    samples: int
+    nprocs: int
+    band: int
+    expected_s: Optional[float] = None
+
+
+class AutoTuner:
+    """Per-``(P, N-band)`` algorithm/radix chooser over the run ledger.
+
+    Parameters
+    ----------
+    machine:
+        The profile decisions are for; ledger records from other
+        machines are ignored.
+    ledger_path:
+        JSONL run ledger to learn from (``None`` = always cold).
+    model:
+        A fitted :class:`~repro.core.selector.PerformanceModel` for the
+        cold path.  When omitted, one is fitted lazily on first cold
+        decision and cached.
+    min_samples:
+        Observations an ``(algorithm, radix)`` group needs before it can
+        win a warm decision.  Below that the group is ignored — one
+        lucky run must not lock in a radix.
+    """
+
+    def __init__(self, machine: MachineProfile,
+                 ledger_path: Optional[str] = None, *,
+                 model: Optional[PerformanceModel] = None,
+                 min_samples: int = 3) -> None:
+        if min_samples < 1:
+            raise ValueError(
+                f"min_samples must be >= 1, got {min_samples}")
+        self.machine = machine
+        self.ledger_path = ledger_path
+        self.min_samples = int(min_samples)
+        self._model = model
+        self._records: Optional[List[Dict[str, Any]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> PerformanceModel:
+        """The cold-path model, fitted lazily on first use."""
+        if self._model is None:
+            self._model = PerformanceModel.fit(self.machine)
+        return self._model
+
+    def refresh(self) -> int:
+        """(Re)read the ledger; returns the number of usable records.
+
+        Call after new runs append to the ledger — the tuner otherwise
+        keeps serving decisions from the records it read first.
+        """
+        if self.ledger_path is None:
+            self._records = []
+            return 0
+        from ..bench.ledger import iter_ledger
+
+        usable = []
+        for rec in iter_ledger(self.ledger_path):
+            if rec.get("machine") != self.machine.name:
+                continue
+            if rec.get("machine_model_version") != MACHINE_MODEL_VERSION:
+                continue
+            if not rec.get("algorithm"):
+                continue
+            if not isinstance(rec.get("elapsed_s"), (int, float)):
+                continue
+            if not isinstance(rec.get("nprocs"), int):
+                continue
+            if not isinstance(rec.get("max_block"), int):
+                continue
+            usable.append(rec)
+        self._records = usable
+        return len(usable)
+
+    def _usable_records(self) -> List[Dict[str, Any]]:
+        if self._records is None:
+            self.refresh()
+        return self._records
+
+    # ------------------------------------------------------------------
+    def observations(self, nprocs: int, max_block: int, *,
+                     algorithm: Optional[str] = None,
+                     ) -> Dict[Tuple[str, int], List[float]]:
+        """The cell's ledger timings grouped by ``(algorithm, radix)``."""
+        band = block_band(max_block)
+        groups: Dict[Tuple[str, int], List[float]] = {}
+        for rec in self._usable_records():
+            if rec["nprocs"] != nprocs:
+                continue
+            if block_band(rec["max_block"]) != band:
+                continue
+            if algorithm is not None and rec["algorithm"] != algorithm:
+                continue
+            radix = rec.get("radix")
+            key = (rec["algorithm"], int(radix) if radix else 2)
+            groups.setdefault(key, []).append(float(rec["elapsed_s"]))
+        return groups
+
+    def decide(self, nprocs: int, max_block: int, *,
+               algorithm: Optional[str] = None) -> TunerDecision:
+        """The tuner's answer for one ``(P, N)`` request.
+
+        ``algorithm`` pins the algorithm (the CLI's ``--radix auto``
+        with an explicit ``-a``) so only the radix is tuned; without it
+        both dimensions are chosen together.
+        """
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        band = block_band(max_block)
+        groups = self.observations(nprocs, max_block, algorithm=algorithm)
+        eligible = [(sum(ts) / len(ts), radix, algo)
+                    for (algo, radix), ts in groups.items()
+                    if len(ts) >= self.min_samples]
+        if eligible:
+            mean, radix, algo = min(eligible)
+            samples = len(groups[(algo, radix)])
+            return TunerDecision(algorithm=algo, radix=radix,
+                                 source="ledger", samples=samples,
+                                 nprocs=nprocs, band=band,
+                                 expected_s=mean)
+        if algorithm is None:
+            algo, radix = self.model.recommend_radix(nprocs, max_block)
+        else:
+            algo = algorithm
+            if get_algorithm(algo).supports_radix:
+                radix = best_radix(nprocs, max_block, self.machine,
+                                   algorithm=algo)
+            else:
+                radix = 2
+        return TunerDecision(algorithm=algo, radix=radix, source="model",
+                             samples=0, nprocs=nprocs, band=band)

@@ -21,7 +21,7 @@ import numpy as np
 
 from ...simmpi.communicator import Communicator
 from ...simmpi.datatype import IndexedBlocks
-from ..common import num_steps, send_block_distances, validate_uniform_args
+from ..common import bruck_substeps, validate_uniform_args
 from .basic import PHASE_COMM, PHASE_ROTATE_IN
 
 __all__ = ["modified_bruck", "modified_bruck_dt"]
@@ -29,8 +29,14 @@ __all__ = ["modified_bruck", "modified_bruck_dt"]
 
 def modified_bruck(comm: Communicator, sendbuf: np.ndarray,
                    recvbuf: np.ndarray, block_nbytes: int, *,
-                   use_datatypes: bool = False, tag_base: int = 0) -> None:
-    """Uniform all-to-all via modified Bruck (no final rotation)."""
+                   use_datatypes: bool = False, tag_base: int = 0,
+                   radix: int = 2) -> None:
+    """Uniform all-to-all via modified Bruck (no final rotation).
+
+    ``radix`` generalizes the exchange to base-``r`` digits: ``ceil(log_r
+    P)`` steps of up to ``r - 1`` messages each.  Radix 2 (the default)
+    runs the identical substep schedule as before.
+    """
     p, rank = comm.size, comm.rank
     sview, rview, n = validate_uniform_args(sendbuf, recvbuf, block_nbytes, p)
     if n == 0:
@@ -45,21 +51,22 @@ def modified_bruck(comm: Communicator, sendbuf: np.ndarray,
         comm.charge_copies(np.full(p, n, dtype=np.int64))
 
     with comm.phase(PHASE_COMM):
-        staging = np.empty(((p + 1) // 2) * n, dtype=np.uint8)
-        for k in range(num_steps(p)):
-            dist = send_block_distances(k, p)
-            if not dist:
-                continue
+        subs = bruck_substeps(p, radix)
+        max_m = max((len(s.distances) for s in subs), default=0)
+        staging = np.empty(max_m * n, dtype=np.uint8)
+        for sub in subs:
+            dist = sub.distances
             m = len(dist)
             slots = (np.asarray(dist, dtype=np.int64) + rank) % p
-            dst = (rank - (1 << k)) % p
-            src_rank = (rank + (1 << k)) % p
+            dst = (rank - sub.jump) % p
+            src_rank = (rank + sub.jump) % p
+            tag = tag_base + sub.index
             rbuf = staging[: m * n]
             if use_datatypes:
                 blocks = IndexedBlocks([(int(j) * n, n) for j in slots])
                 payload = comm.pack(rview, blocks)
-                sreq = comm.isend(payload, dst, tag=tag_base + k)
-                rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
+                sreq = comm.isend(payload, dst, tag=tag)
+                rreq = comm.irecv(rbuf, src_rank, tag=tag)
                 sreq.wait()
                 rreq.wait()
                 comm.unpack(rview, blocks, rbuf)
@@ -69,8 +76,8 @@ def modified_bruck(comm: Communicator, sendbuf: np.ndarray,
                 else:
                     stage = np.empty(m * n, dtype=np.uint8)
                 comm.charge_copies(np.full(m, n, dtype=np.int64))
-                sreq = comm.isend(stage, dst, tag=tag_base + k)
-                rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
+                sreq = comm.isend(stage, dst, tag=tag)
+                rreq = comm.irecv(rbuf, src_rank, tag=tag)
                 sreq.wait()
                 rreq.wait()
                 if comm.payload_enabled:
@@ -80,7 +87,7 @@ def modified_bruck(comm: Communicator, sendbuf: np.ndarray,
 
 def modified_bruck_dt(comm: Communicator, sendbuf: np.ndarray,
                       recvbuf: np.ndarray, block_nbytes: int, *,
-                      tag_base: int = 0) -> None:
+                      tag_base: int = 0, radix: int = 2) -> None:
     """ModifiedBruck-dt: the derived-datatype build of :func:`modified_bruck`."""
     modified_bruck(comm, sendbuf, recvbuf, block_nbytes, use_datatypes=True,
-                   tag_base=tag_base)
+                   tag_base=tag_base, radix=radix)

@@ -24,10 +24,9 @@ import numpy as np
 
 from ...simmpi.communicator import Communicator
 from ..common import (
-    block_moved_before,
-    num_steps,
+    bruck_substeps,
+    radix_block_moved_before,
     rotation_index_array,
-    send_block_distances,
     validate_uniform_args,
 )
 from .basic import PHASE_COMM
@@ -39,8 +38,12 @@ PHASE_INDEX = "index_setup"
 
 def zero_rotation_bruck(comm: Communicator, sendbuf: np.ndarray,
                         recvbuf: np.ndarray, block_nbytes: int, *,
-                        tag_base: int = 0) -> None:
-    """Uniform all-to-all with neither rotation phase (explicit memcpy)."""
+                        tag_base: int = 0, radix: int = 2) -> None:
+    """Uniform all-to-all with neither rotation phase (explicit memcpy).
+
+    ``radix`` selects the base-``r`` digit schedule (``ceil(log_r P)``
+    steps, ``r - 1`` messages each); radix 2 is the unchanged default.
+    """
     p, rank = comm.size, comm.rank
     sview, rview, n = validate_uniform_args(sendbuf, recvbuf, block_nbytes, p)
     if n == 0:
@@ -59,18 +62,19 @@ def zero_rotation_bruck(comm: Communicator, sendbuf: np.ndarray,
     comm.charge_copy(n)
 
     with comm.phase(PHASE_COMM):
-        staging = np.empty(((p + 1) // 2) * n, dtype=np.uint8)
-        for k in range(num_steps(p)):
-            dist = send_block_distances(k, p)
-            if not dist:
-                continue
+        subs = bruck_substeps(p, radix)
+        max_m = max((len(s.distances) for s in subs), default=0)
+        staging = np.empty(max_m * n, dtype=np.uint8)
+        for sub in subs:
+            dist = sub.distances
             m = len(dist)
             slots = (np.asarray(dist, dtype=np.int64) + rank) % p
             moved = np.asarray(
-                [block_moved_before(i, k) for i in dist], dtype=bool
+                [radix_block_moved_before(i, sub.step, radix) for i in dist],
+                dtype=bool,
             )
-            dst = (rank - (1 << k)) % p
-            src_rank = (rank + (1 << k)) % p
+            dst = (rank - sub.jump) % p
+            src_rank = (rank + sub.jump) % p
             stage = np.empty((m, n), dtype=np.uint8)
             # Moved blocks live in R at their slot; unmoved blocks are
             # still the caller's original data, addressed through I.
@@ -80,9 +84,9 @@ def zero_rotation_bruck(comm: Communicator, sendbuf: np.ndarray,
                 if (~moved).any():
                     stage[~moved] = smat[rot[slots[~moved]]]
             comm.charge_copies(np.full(m, n, dtype=np.int64))
-            sreq = comm.isend(stage.reshape(-1), dst, tag=tag_base + k)
+            sreq = comm.isend(stage.reshape(-1), dst, tag=tag_base + sub.index)
             rbuf = staging[: m * n]
-            rreq = comm.irecv(rbuf, src_rank, tag=tag_base + k)
+            rreq = comm.irecv(rbuf, src_rank, tag=tag_base + sub.index)
             sreq.wait()
             rreq.wait()
             if comm.payload_enabled:

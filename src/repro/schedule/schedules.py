@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..core.common import num_steps, send_block_distances
+from ..core.common import bruck_substeps, num_steps, send_block_distances
 
 __all__ = ["Message", "uniform_schedule", "nonuniform_schedule",
            "schedule_volume", "ExchangeStep", "fabric_schedule",
@@ -42,12 +42,24 @@ class Message:
 # uniform algorithms
 # ----------------------------------------------------------------------
 
+def _check_radix(algorithm: str, kind: str, radix: int) -> None:
+    """Reject ``radix != 2`` for algorithms whose kernels would too."""
+    if radix == 2:
+        return
+    from ..core.registry import get_algorithm
+
+    if not get_algorithm(algorithm, kind).supports_radix:
+        raise ValueError(
+            f"algorithm {algorithm!r} does not support radix {radix}")
+
+
 def uniform_schedule(algorithm: str, rank: int, nprocs: int,
-                     block_nbytes: int) -> List[Message]:
+                     block_nbytes: int, *, radix: int = 2) -> List[Message]:
     """Messages rank ``rank`` sends in a uniform all-to-all of ``P``
     blocks of ``block_nbytes`` bytes."""
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
+    _check_radix(algorithm, "uniform", radix)
     n = int(block_nbytes)
     if n == 0:
         return []
@@ -63,11 +75,9 @@ def uniform_schedule(algorithm: str, rank: int, nprocs: int,
         direction = -1
     else:
         raise KeyError(f"unknown uniform algorithm {algorithm!r}")
-    for k in range(num_steps(nprocs)):
-        m = len(send_block_distances(k, nprocs))
-        if m:
-            dst = (rank + direction * (1 << k)) % nprocs
-            out.append(Message(k, dst, m * n, "data"))
+    for sub in bruck_substeps(nprocs, radix):
+        dst = (rank + direction * sub.jump) % nprocs
+        out.append(Message(sub.step, dst, len(sub.distances) * n, "data"))
     return out
 
 
@@ -76,17 +86,18 @@ def uniform_schedule(algorithm: str, rank: int, nprocs: int,
 # ----------------------------------------------------------------------
 
 def _two_phase_bytes_out(rank: int, sizes: np.ndarray, k: int,
-                         dist: List[int]) -> int:
+                         dist, radix: int = 2) -> int:
     """Bytes rank ``rank`` sends in step ``k`` of two-phase Bruck.
 
     Modified-Bruck orientation: the block at working slot ``(i + rank)``
-    originated at source ``s = rank + (i mod 2^k)`` and is destined for
+    originated at source ``s = rank + (i mod r^k)`` and is destined for
     ``d = s - i`` (see repro.timing.nonuniform for the derivation).
     """
     p = sizes.shape[0]
+    base = radix ** k
     total = 0
     for i in dist:
-        s = (rank + (i & ((1 << k) - 1))) % p
+        s = (rank + i % base) % p
         d = (s - i) % p
         total += int(sizes[s, d])
     return total
@@ -109,8 +120,10 @@ def _sloav_bytes_out(rank: int, sizes: np.ndarray, k: int,
 
 
 def nonuniform_schedule(algorithm: str, rank: int,
-                        sizes: np.ndarray) -> List[Message]:
+                        sizes: np.ndarray, *,
+                        radix: int = 2) -> List[Message]:
     """Messages rank ``rank`` sends for the given ``P × P`` size matrix."""
+    _check_radix(algorithm, "nonuniform", radix)
     algorithm = _FLAT_EQUIVALENT.get(algorithm, algorithm)
     p = sizes.shape[0]
     if sizes.shape != (p, p):
@@ -128,11 +141,9 @@ def nonuniform_schedule(algorithm: str, rank: int,
         return []
 
     if algorithm == "padded_bruck":
-        for k in range(num_steps(p)):
-            m = len(send_block_distances(k, p))
-            if m:
-                out.append(Message(k, (rank - (1 << k)) % p, m * max_n,
-                                   "data"))
+        for sub in bruck_substeps(p, radix):
+            out.append(Message(sub.step, (rank - sub.jump) % p,
+                               len(sub.distances) * max_n, "data"))
         return out
 
     if algorithm == "padded_alltoall":
@@ -141,14 +152,13 @@ def nonuniform_schedule(algorithm: str, rank: int,
         return out
 
     if algorithm == "two_phase_bruck":
-        for k in range(num_steps(p)):
-            dist = send_block_distances(k, p)
-            if not dist:
-                continue
-            dst = (rank - (1 << k)) % p
-            out.append(Message(k, dst, 4 * len(dist), "meta"))
-            out.append(Message(k, dst,
-                               _two_phase_bytes_out(rank, sizes, k, dist),
+        for sub in bruck_substeps(p, radix):
+            dist = sub.distances
+            dst = (rank - sub.jump) % p
+            out.append(Message(sub.step, dst, 4 * len(dist), "meta"))
+            out.append(Message(sub.step, dst,
+                               _two_phase_bytes_out(rank, sizes, sub.step,
+                                                    dist, radix),
                                "data"))
         return out
 
@@ -204,19 +214,16 @@ def _step(label: str, src, dst, nbytes, tag) -> ExchangeStep:
 
 
 def _shift_steps(label: str, p: int, direction: int, per_step_bytes,
-                 tag_base: int) -> List[ExchangeStep]:
-    """The Bruck family: at step ``k`` every rank exchanges with its
-    partner at distance ``direction * 2^k``."""
+                 tag_base: int, radix: int = 2) -> List[ExchangeStep]:
+    """The Bruck family: at substep ``(k, z)`` every rank exchanges with
+    its partner at distance ``direction * z * r^k``."""
     ranks = np.arange(p, dtype=np.int64)
     out: List[ExchangeStep] = []
-    for k in range(num_steps(p)):
-        m = len(send_block_distances(k, p))
-        if not m:
-            continue
-        nbytes = per_step_bytes(k, m)
-        out.append(_step(f"{label}_{k}", ranks,
-                         (ranks + direction * (1 << k)) % p,
-                         nbytes, tag_base + k))
+    for sub in bruck_substeps(p, radix):
+        nbytes = per_step_bytes(sub.step, len(sub.distances))
+        out.append(_step(f"{label}_{sub.index}", ranks,
+                         (ranks + direction * sub.jump) % p,
+                         nbytes, tag_base + sub.index))
     return out
 
 
@@ -234,18 +241,19 @@ def _spread_steps(p: int, sizes: Optional[np.ndarray], const: int,
     return [_step("spread_out", src, dst, nbytes, tag)]
 
 
-def _bruck_route(p: int, k: int, dist: List[int],
-                 orientation: int) -> np.ndarray:
+def _bruck_route(p: int, k: int, dist,
+                 orientation: int, radix: int = 2) -> np.ndarray:
     """(origin, destination) source-matrix indices of each in-flight block.
 
     For each rank ``r`` (axis 0) and block distance ``dist[a]`` (axis 1)
     returns the ``sizes[s, d]`` index pair of the block rank ``r``
     forwards at step ``k``.  ``orientation=+1`` is basic-Bruck (SLOAV),
-    ``-1`` modified-Bruck (two-phase).
+    ``-1`` modified-Bruck (two-phase); ``radix`` sets the digit base
+    (``low = dist mod r^k``).
     """
     ranks = np.arange(p, dtype=np.int64)[:, None]
     d_arr = np.asarray(dist, dtype=np.int64)[None, :]
-    low = d_arr & ((1 << k) - 1)
+    low = d_arr % radix ** k
     if orientation > 0:
         s = (ranks - low) % p
         dest = (s + d_arr) % p
@@ -259,7 +267,8 @@ def fabric_schedule(algorithm: str, kind: str, nprocs: int, *,
                     block_nbytes: Optional[int] = None,
                     sizes: Optional[np.ndarray] = None,
                     group_size: int = 8,
-                    tag_base: int = 0) -> List[ExchangeStep]:
+                    tag_base: int = 0,
+                    radix: int = 2) -> List[ExchangeStep]:
     """The whole fabric's data-plane exchange schedule, step by step.
 
     Covers every algorithm registered in :mod:`repro.core.registry` —
@@ -272,6 +281,7 @@ def fabric_schedule(algorithm: str, kind: str, nprocs: int, *,
     are reported as the builtin collective would allocate them on an
     otherwise-quiet communicator.
     """
+    _check_radix(algorithm, kind, radix)
     algorithm = _FLAT_EQUIVALENT.get(algorithm, algorithm)
     p = int(nprocs)
     if p <= 0:
@@ -299,7 +309,7 @@ def fabric_schedule(algorithm: str, kind: str, nprocs: int, *,
         else:
             raise KeyError(f"unknown uniform algorithm {algorithm!r}")
         return _shift_steps("bruck_step", p, direction,
-                            lambda k, m: m * n, tag_base)
+                            lambda k, m: m * n, tag_base, radix)
 
     if kind != "nonuniform":
         raise KeyError(f"unknown algorithm kind {kind!r}")
@@ -320,7 +330,7 @@ def fabric_schedule(algorithm: str, kind: str, nprocs: int, *,
         if max_n == 0:
             return []
         return _shift_steps("bruck_step", p, -1,
-                            lambda k, m: m * max_n, tag_base)
+                            lambda k, m: m * max_n, tag_base, radix)
 
     if algorithm == "padded_alltoall":
         if max_n == 0:
@@ -334,17 +344,15 @@ def fabric_schedule(algorithm: str, kind: str, nprocs: int, *,
         if max_n == 0:
             return []
         out: List[ExchangeStep] = []
-        for k in range(num_steps(p)):
-            dist = send_block_distances(k, p)
-            if not dist:
-                continue
-            s, d = _bruck_route(p, k, dist, -1)
+        for sub in bruck_substeps(p, radix):
+            dist = sub.distances
+            s, d = _bruck_route(p, sub.step, dist, -1, radix)
             data = sizes[s, d].sum(axis=1)
-            dst = (ranks - (1 << k)) % p
-            out.append(_step(f"meta_{k}", ranks, dst, 4 * len(dist),
-                             tag_base + 2 * k))
-            out.append(_step(f"data_{k}", ranks, dst, data,
-                             tag_base + 2 * k + 1))
+            dst = (ranks - sub.jump) % p
+            out.append(_step(f"meta_{sub.index}", ranks, dst,
+                             4 * len(dist), tag_base + 2 * sub.index))
+            out.append(_step(f"data_{sub.index}", ranks, dst, data,
+                             tag_base + 2 * sub.index + 1))
         return out
 
     if algorithm == "sloav":

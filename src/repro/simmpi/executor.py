@@ -404,9 +404,15 @@ def _maybe_append_ledger(result: SPMDResult, fn: Callable) -> None:
     if cfg is None or cfg.ledger is None or result.metrics is None:
         return
     from repro.bench.ledger import append_run
+    extra = {}
+    for label in ("radix", "max_block"):
+        value = getattr(fn, label, None)
+        if value is not None:
+            extra[label] = int(value)
     append_run(cfg.ledger, result,
                algorithm=getattr(fn, "algorithm", None),
-               distribution=getattr(fn, "distribution", None))
+               distribution=getattr(fn, "distribution", None),
+               extra=extra or None)
 
 
 def _run_threaded(worker: Callable[[int], None], nprocs: int,

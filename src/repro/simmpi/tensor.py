@@ -988,7 +988,8 @@ class _SizeView:
 # ======================================================================
 
 def _eval_bruck(eng: _Engine, n: int, *, sign: int, use_dt: bool,
-                final_rotation: bool, tag_base: int = 0) -> None:
+                final_rotation: bool, tag_base: int = 0,
+                radix: int = 2) -> None:
     """basic/modified Bruck, memcpy or datatype build."""
     p = eng.p
     if n == 0:
@@ -997,16 +998,13 @@ def _eval_bruck(eng: _Engine, n: int, *, sign: int, use_dt: bool,
     with eng.phase("initial_rotation"):
         eng.charge_copies(np.full(p, n, dtype=np.int64))
     with eng.phase("communication"):
-        for k in range(common.num_steps(p)):
-            dist = common.send_block_distances(k, p)
-            if not dist:
-                continue
-            m = len(dist)
+        for sub in common.bruck_substeps(p, radix):
+            m = len(sub.distances)
             if use_dt:
                 eng.charge_datatype(m, m * n)
             else:
                 eng.charge_copies(np.full(m, n, dtype=np.int64))
-            eng.exchange(sign * (1 << k), m * n, tag_base + k)
+            eng.exchange(sign * sub.jump, m * n, tag_base + sub.index)
             if use_dt:
                 eng.charge_datatype(m, m * n)
             else:
@@ -1017,7 +1015,8 @@ def _eval_bruck(eng: _Engine, n: int, *, sign: int, use_dt: bool,
             eng.charge_copies(np.full(p, n, dtype=np.int64))
 
 
-def _eval_zero_rotation(eng: _Engine, n: int, *, tag_base: int = 0) -> None:
+def _eval_zero_rotation(eng: _Engine, n: int, *, tag_base: int = 0,
+                        radix: int = 2) -> None:
     p = eng.p
     if n == 0:
         return
@@ -1026,13 +1025,10 @@ def _eval_zero_rotation(eng: _Engine, n: int, *, tag_base: int = 0) -> None:
         eng.charge_compute(p * 1.0e-9)
     eng.charge_copy(n)
     with eng.phase("communication"):
-        for k in range(common.num_steps(p)):
-            dist = common.send_block_distances(k, p)
-            if not dist:
-                continue
-            m = len(dist)
+        for sub in common.bruck_substeps(p, radix):
+            m = len(sub.distances)
             eng.charge_copies(np.full(m, n, dtype=np.int64))
-            eng.exchange(-(1 << k), m * n, tag_base + k)
+            eng.exchange(-sub.jump, m * n, tag_base + sub.index)
             eng.charge_copies(np.full(m, n, dtype=np.int64))
 
 
@@ -1081,7 +1077,7 @@ def _eval_vendor_alltoall(eng: _Engine, n: int) -> None:
 
 
 def _eval_padded(eng: _Engine, sv: _SizeView, *, vendor: bool,
-                 tag_base: int = 0) -> None:
+                 tag_base: int = 0, radix: int = 2) -> None:
     with eng.phase("padding"):
         eng.allreduce_rounds()
         max_n = sv.max()
@@ -1091,12 +1087,13 @@ def _eval_padded(eng: _Engine, sv: _SizeView, *, vendor: bool,
     if vendor:
         _eval_vendor_alltoall(eng, max_n)
     else:
-        _eval_zero_rotation(eng, max_n, tag_base=tag_base)
+        _eval_zero_rotation(eng, max_n, tag_base=tag_base, radix=radix)
     with eng.phase("scan"):
         eng.charge_copies(sv.col())
 
 
-def _eval_two_phase(eng: _Engine, sv: _SizeView, *, tag_base: int = 0) -> None:
+def _eval_two_phase(eng: _Engine, sv: _SizeView, *, tag_base: int = 0,
+                    radix: int = 2) -> None:
     p, L = eng.p, eng.L
     common = _core_common()
     with eng.phase("setup"):
@@ -1106,21 +1103,18 @@ def _eval_two_phase(eng: _Engine, sv: _SizeView, *, tag_base: int = 0) -> None:
             return
     cur = sv.row_matrix(L)          # working counts keyed by block index
     eng.charge_copy(sv.self_block())
-    for k in range(common.num_steps(p)):
-        dist = common.send_block_distances(k, p)
-        if not dist:
-            continue
-        m = len(dist)
-        d = np.asarray(dist, dtype=np.int64)
+    for sub in common.bruck_substeps(p, radix):
+        m = len(sub.distances)
+        d = np.asarray(sub.distances, dtype=np.int64)
         keys = (eng.lane[:, None] - d[None, :]) % p     # I[(dist+rank)%p]
         with eng.phase("metadata_exchange"):
-            eng.exchange(-(1 << k), 4 * m, tag_base + 2 * k)
+            eng.exchange(-sub.jump, 4 * m, tag_base + 2 * sub.index)
         with eng.phase("data_exchange"):
             counts_out = np.take_along_axis(cur, keys, axis=1)
             eng.charge_copies(counts_out)
             out_total = counts_out.sum(axis=1)
-            eng.exchange(-(1 << k), out_total, tag_base + 2 * k + 1)
-            counts_in = eng.from_src(counts_out, -(1 << k))
+            eng.exchange(-sub.jump, out_total, tag_base + 2 * sub.index + 1)
+            counts_in = eng.from_src(counts_out, -sub.jump)
             eng.charge_copies(counts_in)
             np.put_along_axis(cur, keys, counts_in, axis=1)
 
@@ -1617,14 +1611,24 @@ class TensorAlltoall(TensorProgram):
                                   final_rotation=False),
     }
 
-    def __init__(self, algorithm: str, block_nbytes: int) -> None:
+    def __init__(self, algorithm: str, block_nbytes: int, *,
+                 radix: int = 2) -> None:
         from ..core.registry import get_algorithm
-        get_algorithm(algorithm, "uniform")   # raises KeyError if unknown
+        algo = get_algorithm(algorithm, "uniform")  # KeyError if unknown
         if block_nbytes < 0:
             raise ValueError(
                 f"block_nbytes must be >= 0, got {block_nbytes}")
+        if radix != 2 and not algo.supports_radix:
+            raise ValueError(
+                f"algorithm {algorithm!r} does not support radix {radix}")
         self.algorithm = algorithm
         self.block_nbytes = int(block_nbytes)
+        self.radix = int(radix)
+
+    @property
+    def max_block(self) -> int:
+        """The workload's block size — the ledger/tuner N label."""
+        return self.block_nbytes
 
     def lockstep_ok(self, machine, nprocs: int) -> bool:
         return machine.ppn <= 1 or machine.ppn >= nprocs
@@ -1632,9 +1636,10 @@ class TensorAlltoall(TensorProgram):
     def evaluate(self, eng: _Engine) -> None:
         n = self.block_nbytes
         if self.algorithm in self._EVALS:
-            _eval_bruck(eng, n, **self._EVALS[self.algorithm])
+            _eval_bruck(eng, n, radix=self.radix,
+                        **self._EVALS[self.algorithm])
         elif self.algorithm == "zero_rotation_bruck":
-            _eval_zero_rotation(eng, n)
+            _eval_zero_rotation(eng, n, radix=self.radix)
         elif self.algorithm == "zero_copy_bruck_dt":
             _eval_zero_copy(eng, n)
         elif self.algorithm == "spread_out":
@@ -1652,11 +1657,13 @@ class TensorAlltoall(TensorProgram):
         n = self.block_nbytes
         send = np.zeros(p * n, dtype=np.uint8)
         recv = np.zeros(p * n, dtype=np.uint8)
-        alltoall(comm, send, recv, n, algorithm=self.algorithm)
+        alltoall(comm, send, recv, n, algorithm=self.algorithm,
+                 radix=self.radix)
 
     def __repr__(self) -> str:
+        extra = f", radix={self.radix}" if self.radix != 2 else ""
         return (f"TensorAlltoall({self.algorithm!r}, "
-                f"block_nbytes={self.block_nbytes})")
+                f"block_nbytes={self.block_nbytes}{extra})")
 
 
 class TensorAlltoallv(TensorProgram):
@@ -1671,12 +1678,23 @@ class TensorAlltoallv(TensorProgram):
     kind = "nonuniform"
 
     def __init__(self, algorithm: str, sizes,
-                 group_size: int = 8) -> None:
+                 group_size: int = 8, *, radix: int = 2) -> None:
         from ..core.registry import get_algorithm
-        get_algorithm(algorithm, "nonuniform")
+        algo = get_algorithm(algorithm, "nonuniform")
+        if radix != 2 and not algo.supports_radix:
+            raise ValueError(
+                f"algorithm {algorithm!r} does not support radix {radix}")
         self.algorithm = algorithm
         self.sizes = sizes
         self.group_size = int(group_size)
+        self.radix = int(radix)
+
+    @property
+    def max_block(self) -> int:
+        """The workload's max block size — the ledger/tuner N label."""
+        if isinstance(self.sizes, (int, np.integer)):
+            return int(self.sizes)
+        return int(np.asarray(self.sizes).max(initial=0))
 
     def lockstep_ok(self, machine, nprocs: int) -> bool:
         if not isinstance(self.sizes, (int, np.integer)):
@@ -1690,11 +1708,11 @@ class TensorAlltoallv(TensorProgram):
     def evaluate(self, eng: _Engine) -> None:
         sv = _SizeView(self.sizes, eng.p)
         if self.algorithm == "padded_bruck":
-            _eval_padded(eng, sv, vendor=False)
+            _eval_padded(eng, sv, vendor=False, radix=self.radix)
         elif self.algorithm == "padded_alltoall":
             _eval_padded(eng, sv, vendor=True)
         elif self.algorithm == "two_phase_bruck":
-            _eval_two_phase(eng, sv)
+            _eval_two_phase(eng, sv, radix=self.radix)
         elif self.algorithm == "sloav":
             _eval_sloav(eng, sv)
         elif self.algorithm == "spread_out":
@@ -1724,13 +1742,16 @@ class TensorAlltoallv(TensorProgram):
         args = build_vargs(comm.rank, mat)
         kwargs = ({"group_size": self.group_size}
                   if self.algorithm == "grouped" else {})
-        fn = get_algorithm(self.algorithm, "nonuniform").fn
-        fn(comm, *args.as_tuple(), **kwargs)
+        algo = get_algorithm(self.algorithm, "nonuniform")
+        if self.radix != 2:
+            kwargs["radix"] = self.radix
+        algo.fn(comm, *args.as_tuple(), **kwargs)
 
     def __repr__(self) -> str:
         shape = (self.sizes if isinstance(self.sizes, (int, np.integer))
                  else f"matrix{np.asarray(self.sizes).shape}")
-        return f"TensorAlltoallv({self.algorithm!r}, sizes={shape})"
+        extra = f", radix={self.radix}" if self.radix != 2 else ""
+        return f"TensorAlltoallv({self.algorithm!r}, sizes={shape}{extra})"
 
 
 # ======================================================================

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass
 import numpy as np
 
-from ..core.common import num_steps, send_block_distances
+from ..core.common import bruck_substeps
 from ..core.registry import get_algorithm
 from ..simmpi.machine import MachineProfile
 from ..workloads.distributions import BlockSizeDistribution
@@ -63,8 +63,8 @@ class TimingResult:
 
 def predict_alltoallv(algorithm: str, machine: MachineProfile, nprocs: int,
                       dist: BlockSizeDistribution, *, seed: int = 0,
-                      mode: str = "auto",
-                      exact_limit: int = 2048) -> TimingResult:
+                      mode: str = "auto", exact_limit: int = 2048,
+                      radix: int = 2) -> TimingResult:
     """Predict the simulated time of ``algorithm`` on a random workload.
 
     Parameters
@@ -78,10 +78,14 @@ def predict_alltoallv(algorithm: str, machine: MachineProfile, nprocs: int,
     mode:
         ``"exact"``, ``"clt"``, or ``"auto"`` (exact up to ``exact_limit``
         ranks, CLT beyond).
+    radix:
+        Bruck digit base; values other than 2 are accepted only for the
+        radix-capable kernels (``two_phase_bruck``, ``padded_bruck``).
     """
     # Resolve through the central registry so unknown names fail the same
     # way as the dispatchers do; vendor MPI_Alltoallv is spread-out based.
-    name = get_algorithm(algorithm, kind="nonuniform").name
+    algo = get_algorithm(algorithm, kind="nonuniform")
+    name = algo.name
     if name == "vendor":
         name = "spread_out"
     if name not in ("two_phase_bruck", "padded_bruck",
@@ -90,6 +94,9 @@ def predict_alltoallv(algorithm: str, machine: MachineProfile, nprocs: int,
             f"no analytic predictor for {algorithm!r}; "
             f"predictable: {NONUNIFORM_PREDICTABLE}"
         )
+    if radix != 2 and not algo.supports_radix:
+        raise ValueError(
+            f"algorithm {name!r} does not support radix {radix}")
     algorithm = name
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
@@ -101,10 +108,12 @@ def predict_alltoallv(algorithm: str, machine: MachineProfile, nprocs: int,
     if mode == "exact":
         rng = np.random.default_rng(seed)
         sizes = dist.sample(rng, nprocs * nprocs).reshape(nprocs, nprocs)
-        elapsed = _EXACT[algorithm](machine, sizes)
+        fn = _EXACT[algorithm]
+        elapsed = fn(machine, sizes, radix=radix) if radix != 2             else fn(machine, sizes)
     else:
         rng = np.random.default_rng(seed)
-        elapsed = _CLT[algorithm](machine, nprocs, dist, rng)
+        fn = _CLT[algorithm]
+        elapsed = fn(machine, nprocs, dist, rng, radix=radix) if radix != 2             else fn(machine, nprocs, dist, rng)
     return TimingResult(algorithm, nprocs, float(elapsed), mode,
                         dist.max_block)
 
@@ -113,7 +122,8 @@ def predict_alltoallv(algorithm: str, machine: MachineProfile, nprocs: int,
 # exact mode
 # ----------------------------------------------------------------------
 
-def _two_phase_exact(machine: MachineProfile, sizes: np.ndarray) -> float:
+def _two_phase_exact(machine: MachineProfile, sizes: np.ndarray,
+                     radix: int = 2) -> float:
     p = sizes.shape[0]
     clocks = np.zeros(p)
     clocks = dissemination_allreduce_cost(clocks, machine, p)
@@ -122,25 +132,24 @@ def _two_phase_exact(machine: MachineProfile, sizes: np.ndarray) -> float:
         return float(clocks.max())
     clocks = clocks + copy_time_vec(machine, np.diagonal(sizes))
     ranks = np.arange(p)
-    for k in range(num_steps(p)):
-        dist_k = np.asarray(send_block_distances(k, p), dtype=np.int64)
+    for sub in bruck_substeps(p, radix):
+        dist_k = np.asarray(sub.distances, dtype=np.int64)
         m = len(dist_k)
-        if not m:
-            continue
         # metadata exchange
-        clocks = bruck_step(clocks, machine, p, 1 << k, _META_ENTRY_BYTES * m)
+        clocks = bruck_step(clocks, machine, p, sub.jump,
+                            _META_ENTRY_BYTES * m)
         # The block at working slot (i + rank) at step k originated at
-        # source s = rank + (i mod 2^k) and is destined for d = s - i;
+        # source s = rank + (i mod r^k) and is destined for d = s - i;
         # its size therefore is sizes[s, d].
-        low = dist_k & ((1 << k) - 1)
+        low = dist_k % radix ** sub.step
         s = (ranks[:, None] + low[None, :]) % p
         d = (s - dist_k[None, :]) % p
         blk = sizes[s, d]
         bytes_out = blk.sum(axis=1).astype(np.float64)
         nz_out = (blk > 0).sum(axis=1).astype(np.float64)
         clocks = clocks + copy_time_blocks(machine, nz_out, bytes_out)  # pack
-        clocks = bruck_step(clocks, machine, p, 1 << k, bytes_out)
-        src = (ranks + (1 << k)) % p
+        clocks = bruck_step(clocks, machine, p, sub.jump, bytes_out)
+        src = (ranks + sub.jump) % p
         clocks = clocks + copy_time_blocks(machine, nz_out[src],
                                            bytes_out[src])              # unpack
     return float(clocks.max())
@@ -169,28 +178,28 @@ def _padded_scan_exact(machine: MachineProfile, sizes: np.ndarray,
 
 
 def _uniform_zero_rotation_clocks(machine: MachineProfile, p: int,
-                                  block_n: int,
-                                  clocks: np.ndarray) -> np.ndarray:
+                                  block_n: int, clocks: np.ndarray,
+                                  radix: int = 2) -> np.ndarray:
     """Clock effect of zero-rotation Bruck over uniform blocks (vectorized
     because the entering clocks may already differ across ranks)."""
     clocks = clocks + p * _ROT_INDEX_COST_PER_PROC
     clocks = clocks + machine.copy_time(block_n)  # self block
-    for k in range(num_steps(p)):
-        m = len(send_block_distances(k, p))
-        if not m:
-            continue
+    for sub in bruck_substeps(p, radix):
+        m = len(sub.distances)
         clocks = clocks + m * machine.copy_time(block_n)
-        clocks = bruck_step(clocks, machine, p, 1 << k, float(m * block_n))
+        clocks = bruck_step(clocks, machine, p, sub.jump,
+                            float(m * block_n))
         clocks = clocks + m * machine.copy_time(block_n)
     return clocks
 
 
-def _padded_bruck_exact(machine: MachineProfile, sizes: np.ndarray) -> float:
+def _padded_bruck_exact(machine: MachineProfile, sizes: np.ndarray,
+                        radix: int = 2) -> float:
     p = sizes.shape[0]
     clocks, max_n = _padded_common_exact(machine, sizes)
     if max_n == 0:
         return float(clocks.max())
-    clocks = _uniform_zero_rotation_clocks(machine, p, max_n, clocks)
+    clocks = _uniform_zero_rotation_clocks(machine, p, max_n, clocks, radix)
     clocks = _padded_scan_exact(machine, sizes, clocks)
     return float(clocks.max())
 
@@ -295,7 +304,7 @@ def _sample_max_block(rng: np.random.Generator, dist: BlockSizeDistribution,
 
 def _two_phase_clt(machine: MachineProfile, p: int,
                    dist: BlockSizeDistribution,
-                   rng: np.random.Generator) -> float:
+                   rng: np.random.Generator, radix: int = 2) -> float:
     clocks = np.zeros(p)
     clocks = dissemination_allreduce_cost(clocks, machine, p)
     clocks = clocks + p * _ROT_INDEX_COST_PER_PROC
@@ -304,16 +313,15 @@ def _two_phase_clt(machine: MachineProfile, p: int,
     clocks = clocks + copy_time_vec(machine, dist.sample(rng, p))
     q_nz = 1.0 - _prob_zero(dist)
     ranks = np.arange(p)
-    for k in range(num_steps(p)):
-        m = len(send_block_distances(k, p))
-        if not m:
-            continue
-        clocks = bruck_step(clocks, machine, p, 1 << k, _META_ENTRY_BYTES * m)
+    for sub in bruck_substeps(p, radix):
+        m = len(sub.distances)
+        clocks = bruck_step(clocks, machine, p, sub.jump,
+                            _META_ENTRY_BYTES * m)
         bytes_out = _sample_sums(rng, p, m, dist)
         nz_out = rng.binomial(m, q_nz, size=p).astype(np.float64)
         clocks = clocks + copy_time_blocks(machine, nz_out, bytes_out)
-        clocks = bruck_step(clocks, machine, p, 1 << k, bytes_out)
-        src = (ranks + (1 << k)) % p
+        clocks = bruck_step(clocks, machine, p, sub.jump, bytes_out)
+        src = (ranks + sub.jump) % p
         clocks = clocks + copy_time_blocks(machine, nz_out[src],
                                            bytes_out[src])
     return float(clocks.max())
@@ -345,11 +353,11 @@ def _padded_scan_clt(machine: MachineProfile, p: int,
 
 def _padded_bruck_clt(machine: MachineProfile, p: int,
                       dist: BlockSizeDistribution,
-                      rng: np.random.Generator) -> float:
+                      rng: np.random.Generator, radix: int = 2) -> float:
     clocks, max_n = _padded_phases_clt(machine, p, dist, rng)
     if max_n == 0:
         return float(clocks.max())
-    clocks = _uniform_zero_rotation_clocks(machine, p, max_n, clocks)
+    clocks = _uniform_zero_rotation_clocks(machine, p, max_n, clocks, radix)
     clocks = _padded_scan_clt(machine, p, dist, rng, clocks)
     return float(clocks.max())
 

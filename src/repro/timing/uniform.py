@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from ..core.common import num_steps, send_block_distances
+from ..core.common import bruck_substeps
 from ..core.registry import get_algorithm
 from ..simmpi.machine import MachineProfile
 
@@ -56,8 +56,11 @@ def _exchange(machine: MachineProfile, nprocs: int, nbytes: int) -> float:
             + machine.serial_time(nbytes, nprocs))
 
 
-def _steps(nprocs: int) -> List[List[int]]:
-    return [send_block_distances(k, nprocs) for k in range(num_steps(nprocs))]
+def _steps(nprocs: int, radix: int = 2) -> List[List[int]]:
+    # One distance list per communication round.  For radix 2 the substep
+    # schedule is the classic one-round-per-bit list, integer-identical to
+    # the old send_block_distances() loop, so predictions stay bit-exact.
+    return [list(s.distances) for s in bruck_substeps(nprocs, radix)]
 
 
 def _predict_basic(machine: MachineProfile, nprocs: int, n: int,
@@ -82,10 +85,21 @@ def _predict_basic(machine: MachineProfile, nprocs: int, n: int,
 
 
 def _predict_modified(machine: MachineProfile, nprocs: int, n: int,
-                      use_datatypes: bool) -> UniformTiming:
-    t = _predict_basic(machine, nprocs, n, use_datatypes)
-    t.algorithm = "modified_bruck_dt" if use_datatypes else "modified_bruck"
-    t.final_rotation = 0.0  # the whole point of the modification
+                      use_datatypes: bool, radix: int = 2) -> UniformTiming:
+    t = UniformTiming(
+        "modified_bruck_dt" if use_datatypes else "modified_bruck", nprocs, n)
+    if n == 0:
+        return t
+    t.initial_rotation = nprocs * machine.copy_time(n)
+    for dist in _steps(nprocs, radix):
+        m = len(dist)
+        if not m:
+            continue
+        if use_datatypes:
+            t.communication += 2 * machine.datatype_time(m, m * n)
+        else:
+            t.communication += 2 * m * machine.copy_time(n)
+        t.communication += _exchange(machine, nprocs, m * n)
     return t
 
 
@@ -112,13 +126,13 @@ def _predict_zero_copy_dt(machine: MachineProfile, nprocs: int,
 
 
 def _predict_zero_rotation(machine: MachineProfile, nprocs: int,
-                           n: int) -> UniformTiming:
+                           n: int, radix: int = 2) -> UniformTiming:
     t = UniformTiming("zero_rotation_bruck", nprocs, n)
     if n == 0:
         return t
     t.index_setup = nprocs * _ROT_INDEX_COST_PER_PROC
     t.communication += machine.copy_time(n)  # self block
-    for dist in _steps(nprocs):
+    for dist in _steps(nprocs, radix):
         m = len(dist)
         if not m:
             continue
@@ -156,25 +170,31 @@ def _predict_spread_out(machine: MachineProfile, nprocs: int,
 UNIFORM_PREDICTORS: Dict[str, Callable[[MachineProfile, int, int], UniformTiming]] = {
     "basic_bruck": lambda m, p, n: _predict_basic(m, p, n, False),
     "basic_bruck_dt": lambda m, p, n: _predict_basic(m, p, n, True),
-    "modified_bruck": lambda m, p, n: _predict_modified(m, p, n, False),
-    "modified_bruck_dt": lambda m, p, n: _predict_modified(m, p, n, True),
+    "modified_bruck":
+        lambda m, p, n, radix=2: _predict_modified(m, p, n, False, radix),
+    "modified_bruck_dt":
+        lambda m, p, n, radix=2: _predict_modified(m, p, n, True, radix),
     "zero_copy_bruck_dt": _predict_zero_copy_dt,
-    "zero_rotation_bruck": _predict_zero_rotation,
+    "zero_rotation_bruck":
+        lambda m, p, n, radix=2: _predict_zero_rotation(m, p, n, radix),
     "spread_out": _predict_spread_out,
     "vendor": _predict_spread_out,
 }
 
 
 def predict_uniform(algorithm: str, machine: MachineProfile, nprocs: int,
-                    block_nbytes: int) -> UniformTiming:
+                    block_nbytes: int, *, radix: int = 2) -> UniformTiming:
     """Predicted simulated time of one uniform all-to-all.
 
     Matches ``run_spmd`` + the functional algorithm exactly (same cost
     constants, same recurrence) — validated by tests at small ``P``.
+    ``radix`` other than 2 is accepted only for the radix-capable kernels
+    (``Algorithm.supports_radix``) and models their substep schedule.
     """
     # Resolve through the central registry so unknown names fail the same
     # way as the dispatchers do.
-    name = get_algorithm(algorithm, kind="uniform").name
+    algo = get_algorithm(algorithm, kind="uniform")
+    name = algo.name
     try:
         fn = UNIFORM_PREDICTORS[name]
     except KeyError:
@@ -184,4 +204,9 @@ def predict_uniform(algorithm: str, machine: MachineProfile, nprocs: int,
         ) from None
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
+    if radix != 2:
+        if not algo.supports_radix:
+            raise ValueError(
+                f"algorithm {name!r} does not support radix {radix}")
+        return fn(machine, nprocs, int(block_nbytes), radix=radix)
     return fn(machine, nprocs, int(block_nbytes))

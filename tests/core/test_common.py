@@ -124,3 +124,90 @@ class TestValidation:
         with pytest.raises(ValueError, match="non-negative"):
             validate_uniform_args(np.zeros(64, dtype=np.uint8),
                                   np.zeros(64, dtype=np.uint8), -1, 4)
+
+
+class TestRadixHelpers:
+    """The base-r generalization of the digit schedule."""
+
+    def test_validate_radix(self):
+        from repro.core.common import validate_radix
+        assert validate_radix(2) == 2
+        assert validate_radix(16) == 16
+        for bad in (1, 0, -3):
+            with pytest.raises(ValueError, match="radix"):
+                validate_radix(bad)
+
+    @pytest.mark.parametrize("p,r,expect", [
+        (1, 4, 0), (2, 4, 1), (4, 4, 1), (5, 4, 2), (16, 4, 2),
+        (17, 4, 3), (27, 3, 3), (28, 3, 4), (32768, 8, 5),
+    ])
+    def test_radix_num_steps(self, p, r, expect):
+        from repro.core.common import radix_num_steps
+        assert radix_num_steps(p, r) == expect
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 13, 17, 64])
+    def test_radix_two_delegates(self, p):
+        from repro.core.common import (
+            bruck_substeps, radix_block_moved_before, radix_num_steps,
+            radix_send_block_distances)
+        assert radix_num_steps(p, 2) == num_steps(p)
+        for k in range(num_steps(p)):
+            assert radix_send_block_distances(k, 1, p, 2) == \
+                send_block_distances(k, p)
+            for i in range(1, p):
+                assert radix_block_moved_before(i, k, 2) == \
+                    block_moved_before(i, k)
+        subs = bruck_substeps(p, 2)
+        assert [s.index for s in subs] == [s.step for s in subs]
+        assert [s.jump for s in subs] == [1 << s.step for s in subs]
+
+    @pytest.mark.parametrize("p", [2, 5, 16, 17, 27, 100])
+    @pytest.mark.parametrize("r", [2, 3, 4, 8, 16])
+    def test_substeps_forward_once_per_nonzero_digit(self, p, r):
+        # A block of distance i is forwarded once per nonzero base-r
+        # digit of i — the multi-hop structure behind the radix trade:
+        # higher radix means fewer nonzero digits, hence less volume.
+        from collections import Counter
+
+        from repro.core.common import bruck_substeps
+        seen = Counter()
+        for sub in bruck_substeps(p, r):
+            assert sub.distances  # empty substeps are skipped
+            assert sub.jump == sub.digit * r ** sub.step
+            assert sub.index == sub.step * (r - 1) + sub.digit - 1
+            for i in sub.distances:
+                # the digit of i at position `step` selects this substep
+                assert (i // r ** sub.step) % r == sub.digit
+            seen.update(sub.distances)
+
+        def nonzero_digits(i):
+            count = 0
+            while i:
+                count += int(i % r != 0)
+                i //= r
+            return count
+
+        assert seen == {i: nonzero_digits(i) for i in range(1, p)}
+
+    @pytest.mark.parametrize("r", [2, 3, 8])
+    def test_substep_indices_dense_when_no_skips(self, r):
+        from repro.core.common import bruck_substeps
+        p = r ** 3  # perfect power: no empty substeps
+        subs = bruck_substeps(p, r)
+        assert [s.index for s in subs] == list(range(3 * (r - 1)))
+
+    def test_moved_before_is_low_digits_nonzero(self):
+        from repro.core.common import radix_block_moved_before
+        # distance 9 = 100 base 3: untouched until step 2.
+        assert not radix_block_moved_before(9, 0, 3)
+        assert not radix_block_moved_before(9, 1, 3)
+        assert not radix_block_moved_before(9, 2, 3)
+        # distance 10 = 101 base 3: moved at step 0.
+        assert radix_block_moved_before(10, 2, 3)
+
+    @pytest.mark.parametrize("p", [2, 16, 17, 100])
+    def test_total_forwarded_blocks_decreases_with_radix(self, p):
+        from repro.core.common import total_forwarded_blocks
+        totals = [total_forwarded_blocks(p, r) for r in (2, 4, 16)]
+        assert totals[0] >= totals[1] >= totals[2]
+        assert total_forwarded_blocks(p, p if p > 1 else 2) == p - 1

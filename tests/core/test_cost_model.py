@@ -97,3 +97,61 @@ class TestMachineAdapter:
     def test_machine_accepted_directly(self):
         t = two_phase_bruck_time(512, 128, THETA)
         assert t > 0
+
+
+class TestRadixCost:
+    """The radix-generalized Eq. (1)/(2) closed forms."""
+
+    @pytest.mark.parametrize("p", [2, 64, 1024, 32768])
+    @pytest.mark.parametrize("n", [0, 8, 1024])
+    def test_radix_two_bit_identical(self, p, n):
+        # Not approx: the r = 2 branch must evaluate the very same
+        # float expressions as the unparameterized originals.
+        assert padded_bruck_time(p, n, PARAMS, 2) == \
+            padded_bruck_time(p, n, PARAMS)
+        assert two_phase_bruck_time(p, n, PARAMS, 2) == \
+            two_phase_bruck_time(p, n, PARAMS)
+
+    def test_radix_trades_messages_for_volume(self):
+        from repro.core.cost_model import radix_cost
+        # Bandwidth-bound: higher radix forwards fewer blocks -> faster.
+        bw = LinearCostParams(alpha=0.0, beta=1e-9)
+        assert radix_cost("padded_bruck", 4096, 1024, bw, 8) < \
+            radix_cost("padded_bruck", 4096, 1024, bw, 2)
+        # Latency-bound: higher radix sends more messages -> slower.
+        lat = LinearCostParams(alpha=1e-5, beta=0.0)
+        assert radix_cost("padded_bruck", 4096, 1024, lat, 8) > \
+            radix_cost("padded_bruck", 4096, 1024, lat, 2)
+
+    def test_radix_cost_unknown_algorithm(self):
+        from repro.core.cost_model import radix_cost
+        with pytest.raises(KeyError, match="sloav"):
+            radix_cost("sloav", 64, 32, PARAMS, 2)
+
+    def test_best_radix_small_n_picks_two(self):
+        from repro.core.cost_model import best_radix
+        assert best_radix(128, 1, PARAMS) == 2
+
+    def test_best_radix_large_volume_raises_radix(self):
+        from repro.core.cost_model import best_radix
+        assert best_radix(32768, 2048, PARAMS,
+                          algorithm="padded_bruck") > 2
+
+    def test_best_radix_ties_break_small(self):
+        from repro.core.cost_model import best_radix
+        # alpha = beta = 0: every radix costs 0.0; the tie goes to 2.
+        free = LinearCostParams(alpha=0.0, beta=0.0)
+        assert best_radix(1024, 512, free) == 2
+
+    def test_best_radix_candidates_clipped_to_p(self):
+        from repro.core.cost_model import best_radix
+        # With P = 4 only radices {2, 4} are meaningful.
+        bw = LinearCostParams(alpha=0.0, beta=1e-9)
+        assert best_radix(4, 4096, bw) <= 4
+
+    def test_best_radix_invalid(self):
+        from repro.core.cost_model import best_radix
+        with pytest.raises(ValueError):
+            best_radix(0, 16, PARAMS)
+        with pytest.raises(ValueError, match="radix"):
+            best_radix(64, 16, PARAMS, radices=(1,))

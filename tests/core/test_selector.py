@@ -99,3 +99,84 @@ class TestFromMeasurements:
         with pytest.raises(ValueError, match="missing"):
             PerformanceModel.from_measurements(
                 THETA, {(64, 16): {"two_phase_bruck": 1.0}})
+
+
+class TestInterpolationEdges:
+    """Frontier interpolation at and beyond the fitted grid."""
+
+    def _model(self, tp_points, padded_points=None):
+        return PerformanceModel(
+            machine=THETA,
+            two_phase_frontier=tp_points,
+            padded_frontier=padded_points
+            or [CrossoverPoint(c.nprocs, 0) for c in tp_points])
+
+    def test_below_fitted_grid_clamps_to_first_point(self):
+        model = self._model([CrossoverPoint(128, 512),
+                             CrossoverPoint(1024, 128)])
+        assert model.two_phase_threshold(2) == 512.0
+        assert model.recommend(2, 256) == "two_phase_bruck"
+        assert model.recommend(2, 1024) == "vendor"
+
+    def test_above_fitted_grid_clamps_to_last_point(self):
+        model = self._model([CrossoverPoint(128, 512),
+                             CrossoverPoint(1024, 128)])
+        assert model.two_phase_threshold(10 ** 6) == 128.0
+        assert model.recommend(10 ** 6, 100) == "two_phase_bruck"
+        assert model.recommend(10 ** 6, 200) == "vendor"
+
+    def test_dead_frontier_linear_blend(self):
+        # A frontier endpoint of 0 cannot be interpolated in log space;
+        # the blend into it is linear.
+        model = self._model([CrossoverPoint(128, 64),
+                             CrossoverPoint(256, 0)])
+        assert model.two_phase_threshold(192) == pytest.approx(32.0)
+
+    def test_log_log_midpoint_is_geometric_mean(self):
+        model = self._model([CrossoverPoint(64, 128),
+                             CrossoverPoint(256, 512)])
+        # P = 128 is the log-space midpoint of [64, 256].
+        assert model.two_phase_threshold(128) == pytest.approx(256.0)
+
+
+class TestRecommendRadix:
+    def _model(self):
+        return PerformanceModel(
+            machine=THETA,
+            two_phase_frontier=[CrossoverPoint(128, 2048),
+                                CrossoverPoint(32768, 2048)],
+            padded_frontier=[CrossoverPoint(128, 16),
+                             CrossoverPoint(32768, 16)])
+
+    def test_vendor_pick_pins_radix_two(self):
+        model = self._model()
+        algo, radix = model.recommend_radix(1024, 100000)
+        assert algo == "vendor"
+        assert radix == 2
+
+    def test_capable_pick_uses_closed_form(self):
+        from repro.core.cost_model import best_radix
+        model = self._model()
+        algo, radix = model.recommend_radix(8192, 1024)
+        assert algo == model.recommend(8192, 1024)
+        assert radix == best_radix(8192, 1024, THETA, algorithm=algo)
+        assert radix > 2  # big N * P: the radix dial pays off
+
+    def test_matches_recommend_choice(self):
+        model = self._model()
+        for p, n in ((128, 8), (512, 64), (4096, 1024), (32768, 4096)):
+            algo, radix = model.recommend_radix(p, n)
+            assert algo == model.recommend(p, n)
+            assert radix >= 2
+
+
+class TestFromMeasurementsNames:
+    def test_comparisons_use_registry_resolved_names(self):
+        # The frontier comparisons and the missing-key check must agree
+        # on names: resolved through the registry in both places.
+        from repro.core import selector
+        names = selector._contenders()
+        meas = {(64, 32): dict(zip(names, (1.0, 3.0, 2.0)))}
+        model = PerformanceModel.from_measurements(THETA, meas)
+        assert model.two_phase_frontier == [CrossoverPoint(64, 32)]
+        assert model.padded_frontier == [CrossoverPoint(64, 0)]

@@ -1,0 +1,166 @@
+"""The ledger-driven algorithm/radix auto-tuner."""
+
+import pytest
+
+from repro.bench.ledger import append_record
+from repro.core.cost_model import best_radix
+from repro.core.selector import CrossoverPoint, PerformanceModel
+from repro.core.tuner import AutoTuner, TunerDecision, block_band
+from repro.simmpi import THETA
+from repro.simmpi.machine import MACHINE_MODEL_VERSION
+
+
+def record(path, algo="two_phase_bruck", radix=2, p=1024, n=1024,
+           elapsed=1e-3, machine="theta", version=MACHINE_MODEL_VERSION):
+    append_record(str(path), {
+        "machine": machine, "machine_model_version": version,
+        "algorithm": algo, "elapsed_s": elapsed, "nprocs": p,
+        "max_block": n, "radix": radix,
+    })
+
+
+@pytest.fixture
+def model():
+    # Prefit so no test pays for PerformanceModel.fit's sweeps.
+    return PerformanceModel(
+        machine=THETA,
+        two_phase_frontier=[CrossoverPoint(128, 2048),
+                            CrossoverPoint(32768, 2048)],
+        padded_frontier=[CrossoverPoint(128, 0), CrossoverPoint(32768, 0)])
+
+
+class TestBlockBand:
+    def test_power_of_two_bands(self):
+        assert block_band(0) == 0
+        assert block_band(1) == 1
+        assert block_band(1023) == block_band(512) == 10
+        assert block_band(1024) == 11
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            block_band(-1)
+
+
+class TestWarmDecisions:
+    def test_picks_lowest_mean_group(self, tmp_path, model):
+        path = tmp_path / "l.jsonl"
+        for i in range(3):
+            record(path, radix=2, elapsed=1.0e-3 + i * 1e-6)
+            record(path, radix=8, elapsed=4.0e-4 + i * 1e-6)
+        tuner = AutoTuner(THETA, str(path), model=model)
+        d = tuner.decide(1024, 1024)
+        assert d == TunerDecision(
+            algorithm="two_phase_bruck", radix=8, source="ledger",
+            samples=3, nprocs=1024, band=11,
+            expected_s=pytest.approx(4.01e-4))
+
+    def test_band_pools_nearby_block_sizes(self, tmp_path, model):
+        path = tmp_path / "l.jsonl"
+        # 600 and 1000 share band 10; 1024 starts band 11.
+        for n in (600, 800, 1000):
+            record(path, radix=4, n=n, elapsed=1e-4)
+        tuner = AutoTuner(THETA, str(path), model=model)
+        assert tuner.decide(1024, 513).source == "ledger"
+        assert tuner.decide(1024, 1024).source == "model"
+
+    def test_min_samples_gate(self, tmp_path, model):
+        path = tmp_path / "l.jsonl"
+        record(path, radix=8, elapsed=1e-9)  # one lucky run
+        for i in range(3):
+            record(path, radix=2, elapsed=1e-3)
+        tuner = AutoTuner(THETA, str(path), model=model, min_samples=3)
+        assert tuner.decide(1024, 1024).radix == 2
+        assert AutoTuner(THETA, str(path), model=model,
+                         min_samples=1).decide(1024, 1024).radix == 8
+
+    def test_pinned_algorithm_restricts_groups(self, tmp_path, model):
+        path = tmp_path / "l.jsonl"
+        for i in range(3):
+            record(path, algo="padded_bruck", radix=4, elapsed=1e-5)
+            record(path, algo="two_phase_bruck", radix=8, elapsed=1e-3)
+        tuner = AutoTuner(THETA, str(path), model=model)
+        assert tuner.decide(1024, 1024).algorithm == "padded_bruck"
+        pinned = tuner.decide(1024, 1024, algorithm="two_phase_bruck")
+        assert (pinned.algorithm, pinned.radix) == ("two_phase_bruck", 8)
+
+    def test_deterministic_same_ledger_same_decisions(self, tmp_path,
+                                                      model):
+        path = tmp_path / "l.jsonl"
+        for radix in (2, 4, 8):
+            for i in range(4):
+                record(path, radix=radix, elapsed=1e-3 - radix * 1e-5)
+                record(path, algo="padded_bruck", radix=radix,
+                       elapsed=1e-3 - radix * 1e-5)  # exact tie
+        decisions = [AutoTuner(THETA, str(path), model=model)
+                     .decide(1024, 1024) for _ in range(3)]
+        assert decisions[0] == decisions[1] == decisions[2]
+        # exact tie between algorithms at radix 8: lexicographic winner
+        assert decisions[0].algorithm == "padded_bruck"
+        assert decisions[0].radix == 8
+
+    def test_refresh_picks_up_new_runs(self, tmp_path, model):
+        path = tmp_path / "l.jsonl"
+        for i in range(3):
+            record(path, radix=2, elapsed=1e-3)
+        tuner = AutoTuner(THETA, str(path), model=model)
+        assert tuner.decide(1024, 1024).radix == 2
+        for i in range(3):
+            record(path, radix=16, elapsed=1e-5)
+        assert tuner.decide(1024, 1024).radix == 2  # cached view
+        assert tuner.refresh() == 6
+        assert tuner.decide(1024, 1024).radix == 16
+
+
+class TestStaleRecords:
+    def test_other_machine_ignored(self, tmp_path, model):
+        path = tmp_path / "l.jsonl"
+        for i in range(3):
+            record(path, radix=8, machine="cori", elapsed=1e-9)
+        tuner = AutoTuner(THETA, str(path), model=model)
+        assert tuner.decide(1024, 1024).source == "model"
+
+    def test_old_machine_model_version_ignored(self, tmp_path, model):
+        path = tmp_path / "l.jsonl"
+        for i in range(3):
+            record(path, radix=8, version=-1, elapsed=1e-9)
+        tuner = AutoTuner(THETA, str(path), model=model)
+        assert tuner.decide(1024, 1024).source == "model"
+
+    def test_records_missing_labels_ignored(self, tmp_path, model):
+        path = tmp_path / "l.jsonl"
+        for i in range(3):
+            append_record(str(path), {
+                "machine": "theta",
+                "machine_model_version": MACHINE_MODEL_VERSION,
+                "algorithm": "two_phase_bruck", "elapsed_s": 1e-9,
+                "nprocs": 1024})  # no max_block: unbandable
+        tuner = AutoTuner(THETA, str(path), model=model)
+        assert tuner.refresh() == 0
+        assert tuner.decide(1024, 1024).source == "model"
+
+
+class TestColdDecisions:
+    def test_no_ledger_uses_model(self, model):
+        tuner = AutoTuner(THETA, None, model=model)
+        d = tuner.decide(8192, 1024)
+        assert d.source == "model" and d.samples == 0
+        assert (d.algorithm, d.radix) == model.recommend_radix(8192, 1024)
+
+    def test_pinned_capable_algorithm_uses_closed_form(self, model):
+        tuner = AutoTuner(THETA, None, model=model)
+        d = tuner.decide(8192, 1024, algorithm="padded_bruck")
+        assert d.algorithm == "padded_bruck"
+        assert d.radix == best_radix(8192, 1024, THETA,
+                                     algorithm="padded_bruck")
+
+    def test_pinned_incapable_algorithm_pins_radix_two(self, model):
+        tuner = AutoTuner(THETA, None, model=model)
+        d = tuner.decide(8192, 1024, algorithm="vendor")
+        assert (d.algorithm, d.radix) == ("vendor", 2)
+
+    def test_validation(self, model):
+        tuner = AutoTuner(THETA, None, model=model)
+        with pytest.raises(ValueError):
+            tuner.decide(0, 16)
+        with pytest.raises(ValueError):
+            AutoTuner(THETA, None, min_samples=0)

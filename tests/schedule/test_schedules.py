@@ -221,3 +221,132 @@ class TestFabricSchedules:
             fabric_schedule("basic_bruck", "uniform", 8)
         with pytest.raises(ValueError):
             fabric_schedule("sloav", "nonuniform", 8)
+
+
+class TestRadixSchedules:
+    """The r-ary digit schedule at every layer: per-rank, fabric, volume."""
+
+    RADICES = (3, 4, 8)
+
+    @pytest.mark.parametrize("radix", RADICES)
+    @pytest.mark.parametrize("p", [5, 13, 16])
+    def test_uniform_matches_trace(self, p, radix):
+        from repro.core.registry import radix_algorithms
+        from repro.simmpi import ExecutionConfig
+        n = 16
+        for algorithm in radix_algorithms("uniform"):
+            def prog(comm):
+                send = np.zeros(p * n, dtype=np.uint8)
+                recv = np.zeros(p * n, dtype=np.uint8)
+                alltoall(comm, send, recv, n, algorithm=algorithm,
+                         radix=radix)
+            res = run_spmd(prog, p,
+                           config=ExecutionConfig(machine=LOCAL))
+            traces = traced_sends(res)
+            for rank in range(p):
+                expect = [(m.dst, m.nbytes)
+                          for m in uniform_schedule(algorithm, rank, p, n,
+                                                    radix=radix)]
+                assert traces[rank] == expect, (algorithm, rank, radix)
+
+    @pytest.mark.parametrize("radix", RADICES)
+    @pytest.mark.parametrize("p", [5, 13, 16])
+    def test_nonuniform_matches_trace(self, p, radix):
+        from repro.core.registry import radix_algorithms
+        from repro.simmpi import ExecutionConfig
+        sizes = block_size_matrix(UniformBlocks(48), p, seed=3)
+        for algorithm in radix_algorithms("nonuniform"):
+            def prog(comm):
+                args = build_vargs(comm.rank, sizes)
+                alltoallv(comm, *args.as_tuple(), algorithm=algorithm,
+                          radix=radix)
+            res = run_spmd(prog, p,
+                           config=ExecutionConfig(machine=LOCAL))
+            traces = traced_sends(res)
+            for rank in range(p):
+                expect = [(m.dst, m.nbytes)
+                          for m in nonuniform_schedule(algorithm, rank,
+                                                       sizes, radix=radix)]
+                assert traces[rank] == expect, (algorithm, rank, radix)
+
+    @pytest.mark.parametrize("radix", RADICES)
+    @pytest.mark.parametrize("p", [5, 16])
+    def test_fabric_matches_per_rank(self, p, radix):
+        from repro.core.registry import radix_algorithms
+        from repro.schedule import fabric_schedule
+        sizes = block_size_matrix(UniformBlocks(32), p, seed=5)
+        for algorithm in radix_algorithms("nonuniform"):
+            per_rank = {r: [(m.dst, m.nbytes)
+                            for m in nonuniform_schedule(
+                                algorithm, r, sizes, radix=radix)]
+                        for r in range(p)}
+            fabric = {r: [] for r in range(p)}
+            for step in fabric_schedule(algorithm, "nonuniform", p,
+                                        sizes=sizes, radix=radix):
+                for s, d, nb in zip(step.src, step.dst, step.nbytes):
+                    fabric[int(s)].append((int(d), int(nb)))
+            assert fabric == per_rank, (algorithm, radix)
+
+    @pytest.mark.parametrize("radix", [2, 4, 8])
+    @pytest.mark.parametrize("p", [4, 13, 16])
+    def test_volumes_match_tensor_accounting(self, p, radix):
+        # The acceptance bar of the radix generalization: the analytic
+        # schedule's volumes equal the tensor backend's wire statistics
+        # at every radix (allreduce control traffic added back, as in
+        # TestFabricSchedules above).
+        import math
+
+        from repro.core.registry import radix_algorithms
+        from repro.schedule import fabric_schedule, fabric_volume
+        from repro.simmpi import (ExecutionConfig, TensorAlltoall,
+                                  TensorAlltoallv, THETA)
+
+        sizes = block_size_matrix(UniformBlocks(32), p, seed=5)
+        cfg = ExecutionConfig(machine=THETA, backend="tensor",
+                              wire="phantom", trace=False)
+        ar = p * math.ceil(math.log2(p)) if p > 1 else 0
+        for algorithm in radix_algorithms("nonuniform"):
+            res = run_spmd(TensorAlltoallv(algorithm, sizes, radix=radix),
+                           p, config=cfg)
+            vol = fabric_volume(fabric_schedule(
+                algorithm, "nonuniform", p, sizes=sizes, radix=radix))
+            assert (vol["messages"] + ar, vol["bytes"] + 8 * ar) == \
+                (res.total_messages, res.total_bytes), (algorithm, radix)
+        for algorithm in radix_algorithms("uniform"):
+            res = run_spmd(TensorAlltoall(algorithm, 16, radix=radix),
+                           p, config=cfg)
+            vol = fabric_volume(fabric_schedule(
+                algorithm, "uniform", p, block_nbytes=16, radix=radix))
+            assert (vol["messages"], vol["bytes"]) == \
+                (res.total_messages, res.total_bytes), (algorithm, radix)
+
+    @pytest.mark.parametrize("p", [5, 16])
+    def test_radix_two_identical_to_default(self, p):
+        from repro.core.registry import radix_algorithms
+        sizes = block_size_matrix(UniformBlocks(32), p, seed=5)
+        for algorithm in radix_algorithms("nonuniform"):
+            assert nonuniform_schedule(algorithm, 1, sizes, radix=2) == \
+                nonuniform_schedule(algorithm, 1, sizes)
+        for algorithm in radix_algorithms("uniform"):
+            assert uniform_schedule(algorithm, 1, p, 16, radix=2) == \
+                uniform_schedule(algorithm, 1, p, 16)
+
+    def test_higher_radix_reduces_volume(self):
+        # The whole point of the dial: fewer forwarding hops per block.
+        p = 64
+        sizes = np.full((p, p), 100, dtype=np.int64)
+        vols = [sum(schedule_volume(nonuniform_schedule(
+            "padded_bruck", r, sizes, radix=radix))["bytes"]
+            for r in range(p)) for radix in (2, 4, 8)]
+        assert vols[0] > vols[1] > vols[2]
+
+    def test_incapable_algorithm_rejected(self):
+        from repro.schedule import fabric_schedule
+        sizes = np.ones((4, 4), dtype=np.int64)
+        with pytest.raises(ValueError, match="radix"):
+            uniform_schedule("basic_bruck", 0, 8, 8, radix=4)
+        with pytest.raises(ValueError, match="radix"):
+            nonuniform_schedule("sloav", 0, sizes, radix=4)
+        with pytest.raises(ValueError, match="radix"):
+            fabric_schedule("spread_out", "uniform", 8, block_nbytes=4,
+                            radix=4)

@@ -298,3 +298,137 @@ def test_faulted_runs_bit_identical_across_matrix(name):
         assert other.total_bytes == ref.total_bytes, cell
         assert other.metrics.fault_counts == ref.metrics.fault_counts, cell
         assert _fault_sequences(other) == ref_faults, cell
+
+
+# ----------------------------------------------------------------------
+# radix cells: the r-ary digit schedule joins the full matrix
+# ----------------------------------------------------------------------
+
+from repro.core.nonuniform import alltoallv
+from repro.core.registry import radix_algorithms
+from repro.core.uniform import alltoall
+
+RADICES = (2, 4, 8)
+RADIX_NPROCS = (16, 17)  # a power of two and a ragged count
+
+
+def _run_uniform_radix(name, nprocs, backend, wire, radix):
+    def prog(comm):
+        if comm.payload_enabled:
+            rng = np.random.default_rng(1234 + comm.rank)
+            send = rng.integers(0, 256, nprocs * BLOCK, dtype=np.uint8)
+            recv = np.zeros(nprocs * BLOCK, dtype=np.uint8)
+        else:
+            send = np.empty(nprocs * BLOCK, dtype=np.uint8)
+            recv = np.empty(nprocs * BLOCK, dtype=np.uint8)
+        alltoall(comm, send, recv, BLOCK, algorithm=name, radix=radix)
+        if comm.payload_enabled:
+            for src in range(nprocs):
+                theirs = np.random.default_rng(1234 + src).integers(
+                    0, 256, nprocs * BLOCK, dtype=np.uint8)
+                np.testing.assert_array_equal(
+                    recv[src * BLOCK:(src + 1) * BLOCK],
+                    theirs[comm.rank * BLOCK:(comm.rank + 1) * BLOCK])
+        return comm.clock
+
+    cfg = ExecutionConfig(machine=THETA, trace=False, timeout=300,
+                          backend=backend, wire=wire)
+    return run_spmd(prog, nprocs, config=cfg)
+
+
+def _run_nonuniform_radix(name, nprocs, backend, wire, radix):
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              nprocs, seed=7)
+
+    def prog(comm):
+        vargs = build_vargs(comm.rank, sizes, fill=comm.payload_enabled)
+        alltoallv(comm, *vargs.as_tuple(), algorithm=name, radix=radix)
+        if comm.payload_enabled:
+            verify_recv(comm.rank, sizes, vargs.recvbuf)
+        return comm.clock
+
+    cfg = ExecutionConfig(machine=THETA, trace=False, timeout=300,
+                          backend=backend, wire=wire)
+    return run_spmd(prog, nprocs, config=cfg)
+
+
+def _assert_radix_matrix(run, name, nprocs, radix):
+    ref_backend, ref_wire = MATRIX[0]
+    ref = run(name, nprocs, ref_backend, ref_wire, radix)
+    for backend, wire in MATRIX[1:]:
+        other = run(name, nprocs, backend, wire, radix)
+        cell = f"r={radix} {backend}/{wire} vs {ref_backend}/{ref_wire}"
+        assert other.clocks == ref.clocks, cell  # exact, not approx
+        assert other.total_messages == ref.total_messages, cell
+        assert other.total_bytes == ref.total_bytes, cell
+    return ref
+
+
+@pytest.mark.parametrize("radix", RADICES)
+@pytest.mark.parametrize("nprocs", RADIX_NPROCS)
+@pytest.mark.parametrize("name", radix_algorithms("uniform"))
+def test_uniform_radix_clocks_bit_identical(name, nprocs, radix):
+    ref = _assert_radix_matrix(_run_uniform_radix, name, nprocs, radix)
+    if radix == 2:
+        # radix=2 must be the *same integers* as the unparameterized path
+        base = _run_uniform(name, nprocs, *MATRIX[0])
+        assert ref.clocks == base.clocks
+        assert ref.total_messages == base.total_messages
+        assert ref.total_bytes == base.total_bytes
+
+
+@pytest.mark.parametrize("radix", RADICES)
+@pytest.mark.parametrize("nprocs", RADIX_NPROCS)
+@pytest.mark.parametrize("name", radix_algorithms("nonuniform"))
+def test_nonuniform_radix_clocks_bit_identical(name, nprocs, radix):
+    ref = _assert_radix_matrix(_run_nonuniform_radix, name, nprocs, radix)
+    if radix == 2:
+        base = _run_nonuniform(name, nprocs, *MATRIX[0])
+        assert ref.clocks == base.clocks
+        assert ref.total_messages == base.total_messages
+        assert ref.total_bytes == base.total_bytes
+
+
+@pytest.mark.parametrize("radix", RADICES)
+@pytest.mark.parametrize("name", radix_algorithms("uniform"))
+def test_tensor_uniform_radix_cells(name, radix):
+    for nprocs in RADIX_NPROCS:
+        _assert_tensor_matches_coop(
+            TensorAlltoall(name, BLOCK, radix=radix), nprocs)
+
+
+@pytest.mark.parametrize("radix", RADICES)
+@pytest.mark.parametrize("name", radix_algorithms("nonuniform"))
+def test_tensor_nonuniform_radix_cells(name, radix):
+    for nprocs in RADIX_NPROCS:
+        sizes = block_size_matrix(
+            distribution_by_name("power_law", MAX_BLOCK), nprocs, seed=7)
+        _assert_tensor_matches_coop(
+            TensorAlltoallv(name, sizes, radix=radix), nprocs)
+
+
+def test_tensor_radix_two_spec_matches_unparameterized():
+    cfg = ExecutionConfig(machine=THETA, trace=False, timeout=300,
+                          backend="tensor", wire="phantom")
+    for name in radix_algorithms("uniform"):
+        a = run_spmd(TensorAlltoall(name, BLOCK), 16, config=cfg)
+        b = run_spmd(TensorAlltoall(name, BLOCK, radix=2), 16, config=cfg)
+        assert a.clocks == b.clocks and a.total_bytes == b.total_bytes
+
+
+def test_radix_gating_everywhere():
+    # Every entry point rejects radix != 2 for incapable algorithms
+    # through the one registry flag.
+    with pytest.raises(ValueError, match="radix"):
+        TensorAlltoall("basic_bruck", BLOCK, radix=4)
+    with pytest.raises(ValueError, match="radix"):
+        TensorAlltoallv("sloav", 16, radix=4)
+
+    def prog(comm):
+        send = np.empty(4 * BLOCK, dtype=np.uint8)
+        recv = np.empty(4 * BLOCK, dtype=np.uint8)
+        alltoall(comm, send, recv, BLOCK, algorithm="basic_bruck", radix=4)
+
+    cfg = ExecutionConfig(machine=THETA, trace=False, wire="phantom")
+    with pytest.raises(ValueError, match="radix"):
+        run_spmd(prog, 4, config=cfg)

@@ -123,3 +123,85 @@ def test_executor_skips_without_metrics(tmp_path):
     # events-only runs carry no aggregates either.
     _run(trace="events", backend="coop", ledger=str(path))
     assert read_ledger(str(path)) == []
+
+
+def test_executor_stamps_radix_and_max_block(tmp_path):
+    path = tmp_path / "radix.jsonl"
+    sizes = block_size_matrix(distribution_by_name("power_law", 32),
+                              NPROCS, seed=7)
+    cfg = ExecutionConfig(backend="tensor", machine=THETA, trace="metrics",
+                          timeout=300, wire="phantom", ledger=str(path))
+    run_spmd(TensorAlltoallv("two_phase_bruck", sizes, radix=4), NPROCS,
+             config=cfg)
+    run_spmd(TensorAlltoallv("two_phase_bruck", sizes), NPROCS, config=cfg)
+    r4, r2 = read_ledger(str(path))
+    assert r4["radix"] == 4
+    assert r4["max_block"] == int(sizes.max())
+    # Radix-2 specs are stamped too — the tuner groups on the label.
+    assert r2["radix"] == 2
+    # These records are exactly what the auto-tuner consumes.
+    from repro.core.tuner import AutoTuner
+    tuner = AutoTuner(THETA, str(path), min_samples=1)
+    assert tuner.refresh() == 2
+    d = tuner.decide(NPROCS, int(sizes.max()))
+    assert d.source == "ledger"
+
+
+class TestLedgerQueries:
+    def _seed(self, path):
+        from repro.bench.ledger import append_record
+        for radix, p, t in ((2, 64, 1e-3), (4, 64, 5e-4), (4, 128, 2e-4)):
+            append_record(str(path), {
+                "machine": "theta", "algorithm": "two_phase_bruck",
+                "nprocs": p, "radix": radix, "elapsed_s": t,
+                "backend": "tensor", "wire": "phantom"})
+
+    def test_field_filters(self, tmp_path):
+        from repro.bench.ledger import query_ledger
+        path = tmp_path / "q.jsonl"
+        self._seed(path)
+        assert len(query_ledger(str(path), radix=4)) == 2
+        assert len(query_ledger(str(path), radix=4, nprocs=64)) == 1
+        assert query_ledger(str(path), algorithm="padded_bruck") == []
+        # records missing a queried field never match
+        assert query_ledger(str(path), config_fingerprint="abc") == []
+
+    def test_predicate_composes(self, tmp_path):
+        from repro.bench.ledger import query_ledger
+        path = tmp_path / "q.jsonl"
+        self._seed(path)
+        fast = query_ledger(str(path), radix=4,
+                            predicate=lambda r: r["elapsed_s"] < 3e-4)
+        assert [r["nprocs"] for r in fast] == [128]
+
+    def test_unknown_field_rejected(self, tmp_path):
+        from repro.bench.ledger import query_ledger
+        path = tmp_path / "q.jsonl"
+        self._seed(path)
+        with pytest.raises(TypeError, match="bogus"):
+            query_ledger(str(path), bogus=1)
+
+    def test_missing_file_empty(self, tmp_path):
+        from repro.bench.ledger import query_ledger
+        assert query_ledger(str(tmp_path / "none.jsonl"), radix=2) == []
+
+
+class TestLedgerCorruption:
+    def test_truncated_final_line_skipped(self, tmp_path):
+        # A run killed mid-append leaves a partial last line; reading
+        # must survive it and return every complete record.
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"nprocs": 8}\n{"nprocs": 16}\n{"npro')
+        assert [r["nprocs"] for r in read_ledger(str(path))] == [8, 16]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"nprocs": 8}\nnot json\n{"nprocs": 16}\n')
+        with pytest.raises(ValueError, match="non-final"):
+            read_ledger(str(path))
+
+    def test_query_tolerates_truncation_too(self, tmp_path):
+        from repro.bench.ledger import query_ledger
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"nprocs": 8, "radix": 4}\n{"trunc')
+        assert len(query_ledger(str(path), radix=4)) == 1

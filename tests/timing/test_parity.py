@@ -172,3 +172,80 @@ class TestCLTConsistency:
         t = predict_alltoallv("two_phase_bruck", THETA, 32768, dist,
                               mode="clt").elapsed
         assert 0 < t < 10.0  # sub-10s simulated; finishes in milliseconds
+
+
+class TestRadixParity:
+    """The analytic predictors track the functional simulator at every
+    radix, and the radix-2 parameterization is the unmodified formula."""
+
+    RADICES = (3, 4, 8)
+
+    def functional_uniform_radix(self, algorithm, machine, p, n, radix):
+        def prog(comm):
+            send = np.zeros(p * n, dtype=np.uint8)
+            recv = np.zeros(p * n, dtype=np.uint8)
+            alltoall(comm, send, recv, n, algorithm=algorithm, radix=radix)
+        from repro.simmpi import ExecutionConfig
+        return run_spmd(prog, p, config=ExecutionConfig(
+            machine=machine, trace=False)).elapsed
+
+    def functional_nonuniform_radix(self, algorithm, machine, sizes, radix):
+        def prog(comm):
+            args = build_vargs(comm.rank, sizes)
+            alltoallv(comm, *args.as_tuple(), algorithm=algorithm,
+                      radix=radix)
+        from repro.simmpi import ExecutionConfig
+        return run_spmd(prog, sizes.shape[0], config=ExecutionConfig(
+            machine=machine, trace=False)).elapsed
+
+    @pytest.mark.parametrize("radix", RADICES)
+    @pytest.mark.parametrize("p", [5, 16, 17])
+    def test_uniform_predictors_track_simulator(self, p, radix):
+        from repro.core.registry import radix_algorithms
+        for algorithm in radix_algorithms("uniform"):
+            functional = self.functional_uniform_radix(
+                algorithm, THETA, p, 32, radix)
+            predicted = predict_uniform(algorithm, THETA, p, 32,
+                                        radix=radix).total
+            assert predicted == pytest.approx(
+                functional, rel=1e-12, abs=1e-15), (algorithm, radix)
+
+    @pytest.mark.parametrize("radix", RADICES)
+    @pytest.mark.parametrize("p", [5, 16, 17])
+    def test_nonuniform_predictors_track_simulator(self, p, radix):
+        from repro.core.registry import radix_algorithms
+        dist = UniformBlocks(48)
+        sizes = block_size_matrix(dist, p, seed=p)
+        for algorithm in radix_algorithms("nonuniform"):
+            functional = self.functional_nonuniform_radix(
+                algorithm, THETA, sizes, radix)
+            predicted = predict_alltoallv(algorithm, THETA, p, dist,
+                                          seed=p, mode="exact",
+                                          radix=radix).elapsed
+            assert predicted == pytest.approx(
+                functional, rel=1e-12, abs=1e-15), (algorithm, radix)
+
+    def test_radix_two_is_bit_identical_to_default(self):
+        dist = UniformBlocks(64)
+        for algorithm in ("two_phase_bruck", "padded_bruck"):
+            a = predict_alltoallv(algorithm, THETA, 16, dist, seed=9,
+                                  mode="exact").elapsed
+            b = predict_alltoallv(algorithm, THETA, 16, dist, seed=9,
+                                  mode="exact", radix=2).elapsed
+            assert a == b  # exact: same code path, same floats
+        assert predict_uniform("modified_bruck", THETA, 16, 32).total == \
+            predict_uniform("modified_bruck", THETA, 16, 32, radix=2).total
+
+    @pytest.mark.parametrize("radix", [4, 8])
+    def test_clt_mode_accepts_radix(self, radix):
+        dist = UniformBlocks(64)
+        t = predict_alltoallv("two_phase_bruck", THETA, 8192, dist,
+                              mode="clt", radix=radix)
+        assert t.mode == "clt" and 0 < t.elapsed < 10.0
+
+    def test_incapable_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="radix"):
+            predict_uniform("basic_bruck", THETA, 8, 8, radix=4)
+        with pytest.raises(ValueError, match="radix"):
+            predict_alltoallv("spread_out", THETA, 8, UniformBlocks(8),
+                              radix=4)
