@@ -42,6 +42,7 @@ from .core import PerformanceModel, alltoallv
 from .core.registry import list_algorithms
 from .simmpi import (
     BACKENDS,
+    KNOWN_FAULT_CLAUSES,
     ON_FAULT_POLICIES,
     PROFILES,
     WIRE_MODES,
@@ -194,6 +195,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                                  wire=args.wire, fault_plan=args.faults,
                                  fault_seed=args.fault_seed,
                                  on_fault=args.on_fault,
+                                 reliability=args.reliability,
                                  ledger=args.ledger)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -205,6 +207,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         dist = distribution_by_name(args.dist, args.max_block)
         sizes = block_size_matrix(dist, args.nprocs, seed=args.seed)
 
+    byzantine_plan = (config.fault_plan is not None and any(
+        r.kind in ("corrupt", "forge") for r in config.fault_plan.rules))
+    verified_transport = (config.reliability is not None
+                          and config.reliability.verify)
     if args.backend == "tensor":
         prog = TensorAlltoallv(
             args.algorithm,
@@ -215,12 +221,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         if sizes is None:
             sizes = np.full((args.nprocs, args.nprocs), args.max_block,
                             dtype=np.int64)
-        # Byte verification assumes exactly-once delivery.  It holds on
-        # a clean fabric and under the reliability transport; degrade
-        # mode legitimately zero-fills crashed ranks' blocks, and
-        # fail-fast drop plans error out before verification matters.
-        verify = not phantom and (config.fault_plan is None
-                                  or args.on_fault == "retry")
+        # Byte verification assumes exactly-once, untampered delivery.
+        # It holds on a clean fabric and under the retry transport —
+        # unless the plan injects corrupt/forge, in which case only the
+        # verify tier restores byte-exactness.  Degrade mode legitimately
+        # zero-fills excised ranks' blocks, and fail-fast plans error
+        # out before verification matters.
+        verify = not phantom and (
+            config.fault_plan is None
+            or (args.on_fault == "retry"
+                and (not byzantine_plan or verified_transport)))
 
         def prog(comm):
             vargs = build_vargs(comm.rank, sizes, fill=not phantom)
@@ -249,6 +259,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         verified = "delivery byte-verified on every rank"
     elif phantom:
         verified = "buffers unverified (phantom wire: size-only transport)"
+    elif byzantine_plan and not verified_transport:
+        verified = ("buffers unverified (corrupt/forge injected without "
+                    "--reliability verify: Byzantine delivery possible)")
     else:
         verified = "buffers unverified (faults injected without retry)"
     elapsed = max(r for r in result.returns if r is not None) \
@@ -265,8 +278,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                            sorted(result.metrics.fault_counts.items()))
         print(f"injected faults: {counts}")
     if result.degraded_ranks:
-        print(f"degraded ranks (excised by injected crashes): "
-              f"{result.degraded_ranks}")
+        print(f"degraded ranks (excised by crashes or convicted by the "
+              f"verified transport): {result.degraded_ranks}")
     return 0
 
 
@@ -439,8 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "identical simulated clocks, no data movement, "
                         "no verification)")
     p.add_argument("--faults", default=None, metavar="SPEC",
-                   help="fault-plan spec, ';'-separated clauses, e.g. "
+                   help="fault-plan spec, ';'-separated clauses drawn "
+                        f"from {{{', '.join(KNOWN_FAULT_CLAUSES)}}}, e.g. "
                         "'drop:p=0.02;delay:d=50us,jitter=20us;"
+                        "corrupt:p=0.05;forge:p=0.02;"
                         "crash:rank=3,step=40;straggler:ranks=0:3,factor=4'")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed of the fault engine's per-message RNG "
@@ -452,6 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(reliable transport: retransmit + dedup + "
                         "reassemble), or degrade (excise crashed ranks, "
                         "survivors complete)")
+    p.add_argument("--reliability", default=None,
+                   choices=["none", "retry", "verify"],
+                   help="transport tier: none (lossy wire), retry (acked "
+                        "retransmission; implied by --on-fault retry), or "
+                        "verify (retry plus per-message checksum + auth "
+                        "tag — detects corrupt/forge injections)")
     p.add_argument("--ledger", default=None, metavar="PATH",
                    help="append one structured JSON record of this run "
                         "to the JSONL ledger at PATH (runs recording "

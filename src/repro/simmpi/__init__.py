@@ -39,6 +39,7 @@ from .errors import (
     InjectedCrashError,
     InvalidRankError,
     InvalidTagError,
+    MessageCorruptError,
     MessageLostError,
     RankFailedError,
     SimMPIError,
@@ -53,6 +54,7 @@ from .executor import (
 )
 from .faults import (
     FAULT_KINDS,
+    KNOWN_FAULT_CLAUSES,
     CrashRule,
     FaultInjector,
     FaultPlan,
@@ -108,6 +110,7 @@ __all__ = [
     "CommAbortedError",
     "InjectedCrashError",
     "MessageLostError",
+    "MessageCorruptError",
     "run_spmd",
     "SPMDResult",
     "ExecutionConfig",
@@ -124,6 +127,7 @@ __all__ = [
     "ReliabilityConfig",
     "FaultInjector",
     "FAULT_KINDS",
+    "KNOWN_FAULT_CLAUSES",
     "CoopScheduler",
     "CoopNetwork",
     "MachineProfile",

@@ -33,7 +33,8 @@ import numpy as np
 
 from .datatype import IndexedBlocks
 from .errors import (InjectedCrashError, InvalidRankError, InvalidTagError,
-                     MessageLostError)
+                     MessageCorruptError, MessageLostError)
+from .faults import auth_tag, payload_digest
 from .machine import MachineProfile
 from .network import ChannelKey, Envelope, Network
 from .request import RecvRequest, Request, SendRequest, waitall
@@ -76,6 +77,16 @@ class Communicator:
                        if injector is not None else None)
         self._reliability = (injector.reliability
                              if injector is not None else None)
+        # Verified-transport state: whether to stamp/check integrity on
+        # this fabric, which policy a failed check follows, and the
+        # receiver-local tombstones (senders this rank excised under
+        # degrade after a failed check; local, so the decision is a pure
+        # function of this rank's own receive order).
+        self._verify = (self._reliability is not None
+                        and self._reliability.verify)
+        self._on_fault = (injector.on_fault
+                          if injector is not None else "fail-fast")
+        self._tombstoned: Dict[int, float] = {}
         self._op_index = 0
         self._phase_stack: List[str] = []
         # Reliability receive state: per-channel next-expected sequence
@@ -192,6 +203,10 @@ class Communicator:
         self._bump_op()
         begin = self._clock
         self._clock += self._o_send_to(dest) * self._straggle
+        if self._verify:
+            # Stamping the checksum/auth tag is a hash pass over the
+            # message: one copy_time(nbytes), before departure.
+            self._clock += self.machine.copy_time(nbytes) * self._straggle
         depart = self._clock
         records = self._network.post(
             Envelope(self._rank, dest, tag, payload, depart, nbytes),
@@ -313,6 +328,8 @@ class Communicator:
             return None
         if env.mark == "lost":
             self._raise_lost(env)
+        if env.mark == "corrupt_lost":
+            self._raise_corrupt_exhausted(env)
         self._complete_recv(env)
         return pickle.loads(env.payload)
 
@@ -327,6 +344,13 @@ class Communicator:
         below the expected one are suppressed as duplicates (each
         suppression is counted, costs nothing in simulated time, and never
         reaches the application).
+
+        Under the ``verify`` tier every collected envelope is integrity-
+        checked *before* it can influence this rank (auth tag first, then
+        checksum — or declared-size in phantom mode); a failed check is
+        handled per the ``on_fault`` policy (raise typed / discard and
+        await the retransmission / tombstone the claimed sender) in
+        :meth:`_on_verify_failure`.
         """
         net = self._network
         # Release our own outstanding reorder hold (if any) before
@@ -338,6 +362,13 @@ class Communicator:
         if self._reliability is None:
             return net.collect(source, self._rank, tag,
                                host_timeout=self._recv_timeout)
+        if self._verify and source in self._tombstoned:
+            # This rank already excised the sender: every later receive
+            # from it short-circuits to an empty contribution without
+            # consuming (possibly genuine) channel traffic.
+            return Envelope(source, self._rank, tag, b"",
+                            depart=self._tombstoned[source], nbytes=0,
+                            mark="dead")
         key = (source, self._rank, tag)
         stash = self._rel_stash.setdefault(key, {})
         while True:
@@ -346,7 +377,16 @@ class Communicator:
             if env is None:
                 env = net.collect(source, self._rank, tag,
                                   host_timeout=self._recv_timeout)
-                if env.seq is None or env.mark == "dead":
+                if env.mark == "dead":
+                    return env
+                if self._verify:
+                    verdict = self._verify_env(env)
+                    if verdict is not None:
+                        replacement = self._on_verify_failure(verdict, env)
+                        if replacement is not None:
+                            return replacement
+                        continue
+                if env.seq is None:
                     return env
                 if env.seq < expected:
                     self._record_fault("dup_suppressed", env)
@@ -382,6 +422,67 @@ class Communicator:
         self._record_fault("lost_detected", env)
         raise MessageLostError(env.src, env.dst, env.tag, env.depart)
 
+    def _raise_corrupt_exhausted(self, env: Envelope) -> None:
+        """Every retransmission of a verified message arrived tampered:
+        fail typed at the simulated give-up deadline."""
+        self._clock = max(self._clock, env.depart)
+        self._record_fault("corrupt_lost_detected", env)
+        raise MessageCorruptError(env.src, env.dst, env.tag, env.depart,
+                                  reason="exhausted")
+
+    def _verify_env(self, env: Envelope) -> Optional[str]:
+        """Integrity-check one collected envelope under the verify tier.
+
+        Returns ``None`` when the envelope is genuine, ``"forged"`` when
+        the authentication tag does not match its (src, channel-seq)
+        identity — a spoofed envelope was never stamped by the sender's
+        transport — and ``"corrupt"`` when the tag is good but the payload
+        checksum (bytes mode) or declared size (phantom mode) disagrees
+        with what landed.  Tombstone marks pass through untouched: they
+        carry the failure verdict themselves.
+        """
+        if env.mark in ("lost", "corrupt_lost"):
+            return None
+        if env.auth is None or env.auth != auth_tag(env.src, env.dst,
+                                                    env.tag, env.seq):
+            return "forged"
+        if env.payload is None:
+            if env.declared != env.nbytes:
+                return "corrupt"
+        elif env.checksum is None or env.checksum != payload_digest(env.payload):
+            return "corrupt"
+        return None
+
+    def _on_verify_failure(self, verdict: str,
+                           env: Envelope) -> Optional[Envelope]:
+        """Handle a failed integrity check per the ``on_fault`` policy.
+
+        The receiver pays for the rejected envelope first — it landed on
+        the wire and was hashed before the check could fail — so detection
+        charges the normal serial landing plus one checksum pass.  Then:
+        ``fail-fast`` raises :class:`MessageCorruptError`; ``retry``
+        returns ``None`` (discard and keep collecting — the sender's
+        retransmission dialogue is already in flight); ``degrade``
+        tombstones the claimed sender and returns a synthetic dead
+        envelope so the collective completes without it.
+        """
+        head = self._network.head_time(env)
+        landing_start = max(self._clock, head)
+        self._clock = (landing_start
+                       + self._network.serial_time(env) * self._straggle
+                       + self.machine.copy_time(env.nbytes) * self._straggle)
+        kind = "forge_rejected" if verdict == "forged" else "corrupt_detected"
+        self._record_fault(kind, env)
+        if self._on_fault == "retry":
+            return None
+        if self._on_fault == "degrade":
+            self._tombstoned.setdefault(env.src, self._clock)
+            self._network.report_tombstone(env.src, self._clock)
+            return Envelope(env.src, self._rank, env.tag, b"",
+                            depart=self._clock, nbytes=0, mark="dead")
+        raise MessageCorruptError(env.src, self._rank, env.tag,
+                                  self._clock, reason=verdict)
+
     def _complete_recv(self, env: Envelope) -> None:
         """Land one delivered message on this rank's simulated clock.
 
@@ -399,6 +500,10 @@ class Communicator:
                               env.depart, head, self._clock)
         self._clock = (landing_start
                        + self._network.serial_time(env) * self._straggle)
+        if self._verify:
+            # One checksum pass over the landed bytes: the integrity
+            # check is a memory-bandwidth-bound scan, costed like a copy.
+            self._clock += self.machine.copy_time(env.nbytes) * self._straggle
         rel = self._reliability
         if rel is not None and rel.ack_overhead:
             self._clock += self._o_send_to(env.src) * self._straggle

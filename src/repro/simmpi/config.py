@@ -93,7 +93,8 @@ class ExecutionConfig:
         implied default :class:`ReliabilityConfig` at construction.
     reliability:
         A :class:`ReliabilityConfig`, ``"retry"`` (the defaults),
-        ``"none"``/``None``.
+        ``"verify"`` (the defaults plus end-to-end integrity checks),
+        or ``"none"``/``None``.
     ledger:
         Path of a JSONL run ledger.  When set and the run records
         metrics (``trace="metrics"``/``"full"``), the executor appends
@@ -151,14 +152,16 @@ class ExecutionConfig:
                 rel = None
             elif rel == "retry":
                 rel = ReliabilityConfig()
+            elif rel == "verify":
+                rel = ReliabilityConfig(verify=True)
             else:
                 raise ValueError(
-                    f"reliability must be 'none', 'retry' or a "
+                    f"reliability must be 'none', 'retry', 'verify' or a "
                     f"ReliabilityConfig, got {rel!r}")
         elif rel is not None and not isinstance(rel, ReliabilityConfig):
             raise ValueError(
-                f"reliability must be 'none', 'retry', a ReliabilityConfig "
-                f"or None, got {rel!r}")
+                f"reliability must be 'none', 'retry', 'verify', a "
+                f"ReliabilityConfig or None, got {rel!r}")
         if self.on_fault == "retry" and rel is None:
             rel = ReliabilityConfig()
         object.__setattr__(self, "reliability", rel)

@@ -22,6 +22,7 @@ __all__ = [
     "CommAbortedError",
     "InjectedCrashError",
     "MessageLostError",
+    "MessageCorruptError",
 ]
 
 
@@ -147,3 +148,35 @@ class MessageLostError(SimMPIError):
         self.dest = dest
         self.tag = tag
         self.deadline = deadline
+
+
+class MessageCorruptError(SimMPIError):
+    """A verified-transport integrity check failed.
+
+    Raised on the *receiver* under ``on_fault="fail-fast"`` the moment a
+    delivered envelope fails its checksum/size check (``reason=
+    "corrupt"``) or its authentication-tag check (``reason="forged"``),
+    and under ``on_fault="retry"`` at the simulated deadline of a message
+    whose every retransmission arrived tampered (``reason="exhausted"``).
+    The typed alternative to silently accepting Byzantine bytes.
+    """
+
+    _DETAIL = {
+        "corrupt": "payload checksum/size check failed",
+        "forged": "authentication tag check failed (spoofed envelope)",
+        "exhausted": "every retransmission arrived corrupted; gave up",
+    }
+
+    def __init__(self, source: int, dest: int, tag: int, clock: float,
+                 reason: str = "corrupt") -> None:
+        detail = self._DETAIL.get(reason, reason)
+        super().__init__(
+            f"message from rank {source} to rank {dest} (tag {tag}) "
+            f"rejected by the verified transport at simulated clock "
+            f"{clock:.6g}s: {detail}"
+        )
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.clock = clock
+        self.reason = reason

@@ -73,9 +73,13 @@ class SPMDResult:
     wire: str = "bytes"         # payload transport mode of the run
     #: Echo of the resolved :class:`ExecutionConfig` the run executed under.
     config: Optional[ExecutionConfig] = field(default=None)
-    #: Ranks excised by ``on_fault="degrade"`` (injected crashes that did
-    #: not tear the job down).  Their ``returns`` entry is ``None`` and
-    #: their ``clocks`` entry is the simulated crash time.  Empty for
+    #: Ranks excised by ``on_fault="degrade"``: injected crashes that did
+    #: not tear the job down (their ``returns`` entry is ``None`` and
+    #: their ``clocks`` entry is the simulated crash time), plus senders
+    #: tombstoned by the verified transport after a failed integrity
+    #: check (those ranks ran to completion, so their ``returns``/
+    #: ``clocks`` entries are real — but at least one receiver discarded
+    #: their traffic, so the result is a flagged partial).  Empty for
     #: clean runs and for the fail-fast/retry policies.
     degraded_ranks: List[int] = field(default_factory=list)
     #: Tensor-backend only: raw per-rank attribution bucket sums
@@ -309,7 +313,8 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         # Attached before any Communicator exists: ranks resolve their
         # straggler/crash/reliability state from it at construction.
         network.injector = FaultInjector(cfg.fault_plan, seed=cfg.fault_seed,
-                                         reliability=cfg.reliability)
+                                         reliability=cfg.reliability,
+                                         on_fault=cfg.on_fault)
     tracers: List[TraceBase]
     if events_on:
         tracers = [RankTrace(r) for r in range(nprocs)]
@@ -382,7 +387,7 @@ def run_spmd(fn: Callable[..., Any], nprocs: int, *,
         metrics=metrics,
         wire=wire,
         config=cfg,
-        degraded_ranks=sorted(degraded),
+        degraded_ranks=sorted(set(degraded) | set(network.tombstoned_ranks)),
     )
     _maybe_append_ledger(result, fn)
     return result

@@ -9,20 +9,29 @@ and to *tolerate* them with a measurable cost.
 Three pieces:
 
 * :class:`FaultPlan` — a declarative, pure-literal description of what to
-  break: per-message **drop**, **delay/jitter**, **duplicate** and
-  **reorder** rules matched by ``(src, dst, tag, phase)``; **crash** rules
-  killing a rank at its *k*-th communication operation or at a simulated
-  time; **straggler** rules multiplying a rank's CPU/serialization
-  charges.  Plans parse from a compact CLI spec grammar
-  (:meth:`FaultPlan.parse`).
-* :class:`ReliabilityConfig` — the opt-in transport layer: acked
+  break: per-message **drop**, **delay/jitter**, **duplicate**,
+  **reorder**, **corrupt** (seeded bit-flips; in phantom wire mode a
+  tamper flag plus a declared-vs-actual size skew, so detection works
+  without payload bytes) and **forge** (a spoofed envelope synthesized on
+  a matched channel) rules matched by ``(src, dst, tag, phase)``;
+  **crash** rules killing a rank at its *k*-th communication operation or
+  at a simulated time; **straggler** rules multiplying a rank's
+  CPU/serialization charges.  Plans parse from a compact CLI spec grammar
+  (:meth:`FaultPlan.parse`) and print back to it (:meth:`FaultPlan.to_spec`).
+* :class:`ReliabilityConfig` — the opt-in transport ladder: acked
   delivery with per-channel sequence numbers, retransmission of dropped
   messages with exponential backoff up to a cap (each retry *delays* the
   delivery in simulated time — the cost of reliability is measurable),
   duplicate suppression, and in-order reassembly of reordered messages.
   A message whose every retransmission is dropped surfaces as a typed
   :class:`~repro.simmpi.errors.MessageLostError` at its simulated
-  retry-exhaustion deadline — never a hang.
+  retry-exhaustion deadline — never a hang.  The ``verify=True`` tier
+  (``reliability="verify"``) additionally stamps every posted envelope
+  with a blake2b payload checksum and a ``(src, channel-seq)`` auth tag;
+  the receiving communicator checks both at delivery and turns a failed
+  check into a typed :class:`~repro.simmpi.errors.MessageCorruptError`,
+  a NACK + retransmission, or a sender tombstone, depending on the
+  ``on_fault`` policy.
 * :class:`FaultInjector` — the engine the
   :class:`~repro.simmpi.network.Network` consults on its post hot path.
 
@@ -62,10 +71,39 @@ __all__ = [
     "FaultRecord",
     "FaultInjector",
     "FAULT_KINDS",
+    "KNOWN_FAULT_CLAUSES",
+    "auth_tag",
+    "payload_digest",
 ]
 
 #: Message-level fault kinds a :class:`FaultRule` can inject.
-FAULT_KINDS = ("drop", "delay", "duplicate", "reorder")
+FAULT_KINDS = ("drop", "delay", "duplicate", "reorder", "corrupt", "forge")
+
+#: Every clause kind the ``--faults`` grammar accepts: the message-level
+#: rules plus the rank-level crash/straggler clauses.  The single source
+#: of truth for "known kinds" listings (parse errors, CLI help) — a new
+#: kind added to :data:`FAULT_KINDS` can never drift out of them.
+KNOWN_FAULT_CLAUSES = FAULT_KINDS + ("crash", "straggler")
+
+
+def auth_tag(src: int, dst: int, tag: int, seq: Optional[int]) -> int:
+    """The verified transport's per-message authentication tag.
+
+    A pure function of the message's channel identity ``(src, dst, tag,
+    seq)`` — the simulator's stand-in for a MAC under a shared channel
+    key.  Stamped by :meth:`FaultInjector.on_post`, recomputed and
+    compared by the receiving communicator; a forged envelope cannot
+    carry a valid tag because the forger (the fault engine acting as the
+    adversary) stamps garbage instead of this value.
+    """
+    key = f"auth|{src}|{dst}|{tag}|{seq}".encode()
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+def payload_digest(payload: bytes) -> int:
+    """blake2b checksum of a payload, as stamped on verified envelopes."""
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big")
 
 
 @dataclass(frozen=True)
@@ -75,9 +113,14 @@ class FaultRule:
     ``src``/``dst``/``tag``/``phase`` of ``None`` are wildcards; ``phase``
     matches the *sender's* innermost open ``comm.phase(...)`` name at post
     time.  ``prob`` is the per-message firing probability (per
-    *transmission attempt* for ``drop`` under reliability).  ``delay`` and
-    ``jitter`` apply to ``kind="delay"``: the message's departure is
-    shifted by ``delay + U[0, jitter)`` simulated seconds.
+    *transmission attempt* for ``drop`` and ``corrupt`` under
+    reliability).  ``delay`` and ``jitter`` apply to ``kind="delay"``: the
+    message's departure is shifted by ``delay + U[0, jitter)`` simulated
+    seconds.  ``corrupt`` flips 1–4 seeded payload bits (in phantom wire
+    mode it skews the envelope's declared size instead, so the verified
+    transport detects the tamper without payload bytes); ``forge``
+    deposits a spoofed envelope — same channel, adversarial contents,
+    invalid auth — in front of the genuine message.
     """
 
     kind: str
@@ -105,6 +148,26 @@ class FaultRule:
                 and (self.tag is None or self.tag == tag)
                 and (self.phase is None or self.phase == phase))
 
+    def to_spec(self) -> str:
+        """This rule as one clause of the ``--faults`` grammar.
+
+        Only non-default parameters are emitted, so
+        ``FaultRule.to_spec()`` round-trips through
+        :meth:`FaultPlan.parse` to an equal rule.
+        """
+        params = []
+        if self.prob != 1.0:
+            params.append(f"p={self.prob!r}")
+        if self.delay:
+            params.append(f"d={self.delay!r}")
+        if self.jitter:
+            params.append(f"jitter={self.jitter!r}")
+        for name in ("src", "dst", "tag", "phase"):
+            value = getattr(self, name)
+            if value is not None:
+                params.append(f"{name}={value}")
+        return self.kind + (":" + ",".join(params) if params else "")
+
 
 @dataclass(frozen=True)
 class CrashRule:
@@ -122,6 +185,14 @@ class CrashRule:
         if self.step is not None and self.step < 1:
             raise ValueError("crash step is 1-based; must be >= 1")
 
+    def to_spec(self) -> str:
+        params = [f"rank={self.rank}"]
+        if self.step is not None:
+            params.append(f"step={self.step}")
+        if self.time is not None:
+            params.append(f"at={self.time!r}")
+        return "crash:" + ",".join(params)
+
 
 @dataclass(frozen=True)
 class StragglerRule:
@@ -134,6 +205,10 @@ class StragglerRule:
     def __post_init__(self) -> None:
         if self.factor < 1.0:
             raise ValueError(f"straggler factor must be >= 1, got {self.factor}")
+
+    def to_spec(self) -> str:
+        ranks = ":".join(str(r) for r in self.ranks)
+        return f"straggler:ranks={ranks},factor={self.factor!r}"
 
 
 @dataclass(frozen=True)
@@ -184,6 +259,18 @@ class FaultPlan:
                 return c
         return None
 
+    def to_spec(self) -> str:
+        """Print this plan back to the ``--faults`` grammar.
+
+        The inverse of :meth:`parse`: ``FaultPlan.parse(plan.to_spec())
+        == plan`` for every plan expressible in the grammar (the
+        round-trip property ``tests/simmpi/test_faults.py`` pins).
+        """
+        clauses = [r.to_spec() for r in self.rules]
+        clauses += [c.to_spec() for c in self.crashes]
+        clauses += [s.to_spec() for s in self.stragglers]
+        return ";".join(clauses)
+
     # ------------------------------------------------------------------
     # spec grammar
     # ------------------------------------------------------------------
@@ -201,6 +288,8 @@ class FaultPlan:
                    ``p``, ``src``, ``dst``, ``tag``, ``phase``
         dup        same matchers as drop (``duplicate`` also accepted)
         reorder    same matchers as drop
+        corrupt    same matchers as drop (seeded payload bit-flips)
+        forge      same matchers as drop (spoofed envelope injection)
         crash      ``rank``, ``step`` (1-based op index) or ``at`` (sim s)
         straggler  ``ranks`` (``:``-separated), ``factor``
         ========== =====================================================
@@ -248,7 +337,7 @@ class FaultPlan:
             else:
                 raise ValueError(
                     f"unknown fault clause kind {kind!r} in {clause!r}; "
-                    f"known: {FAULT_KINDS + ('crash', 'straggler')}")
+                    f"known: {KNOWN_FAULT_CLAUSES}")
             if kv:
                 raise ValueError(
                     f"unknown parameter(s) {sorted(kv)} in clause {clause!r}")
@@ -303,12 +392,20 @@ class ReliabilityConfig:
     deadline.  ``ack_overhead`` charges the receiver one ``o_send`` per
     delivered message (the ack injection), so reliability costs simulated
     time even on a clean fabric.
+
+    ``verify=True`` is the top rung of the reliability ladder
+    (``reliability="verify"``): every posted envelope is stamped with a
+    blake2b payload checksum and a ``(src, channel-seq)`` auth tag, both
+    checked at delivery.  The check costs one ``copy_time(nbytes)`` at
+    each end (hashing is a pass over the bytes), so verification has a
+    measurable simulated price even on a clean fabric.
     """
 
     rto: float = 100e-6
     backoff: float = 2.0
     max_retries: int = 5
     ack_overhead: bool = True
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.rto <= 0:
@@ -356,10 +453,17 @@ class FaultInjector:
     """
 
     def __init__(self, plan: Optional[FaultPlan], seed: int = 0,
-                 reliability: Optional[ReliabilityConfig] = None) -> None:
+                 reliability: Optional[ReliabilityConfig] = None,
+                 on_fault: str = "fail-fast") -> None:
         self.plan = plan if plan is not None else FaultPlan()
         self.seed = int(seed)
         self.reliability = reliability
+        #: The run's failure policy.  The injector needs it because the
+        #: verified transport's retransmission dialogue is precomputed at
+        #: post time: a corrupted copy is followed by its retransmissions
+        #: only when the receiver would actually NACK (``on_fault=
+        #: "retry"``), never under fail-fast/degrade.
+        self.on_fault = on_fault
         #: Per-channel post counters: message identity for RNG seeding and
         #: (under reliability) the wire sequence number.
         self._chan_seq: Dict[ChannelKey, int] = {}
@@ -370,11 +474,25 @@ class FaultInjector:
         self._held: Dict[int, Envelope] = {}
 
     # ------------------------------------------------------------------
-    def _rng(self, src: int, dst: int, tag: int, seq: int) -> random.Random:
-        """Per-message RNG: a pure function of the message identity."""
-        key = f"{self.seed}|{src}|{dst}|{tag}|{seq}".encode()
-        digest = hashlib.blake2b(key, digest_size=8).digest()
+    def _rng(self, src: int, dst: int, tag: int, seq: int,
+             salt: str = "") -> random.Random:
+        """Per-message RNG: a pure function of the message identity.
+
+        ``salt`` gives each independent decision family (corrupt, forge)
+        its own stream, so e.g. a plan with both ``drop:p=0.1`` and
+        ``corrupt:p=0.1`` does not fire them on exactly the same
+        messages.
+        """
+        text = f"{self.seed}|{src}|{dst}|{tag}|{seq}"
+        if salt:
+            text += f"|{salt}"
+        digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
         return random.Random(int.from_bytes(digest, "big"))
+
+    @property
+    def verify(self) -> bool:
+        """True when the verified-transport tier is on."""
+        return self.reliability is not None and self.reliability.verify
 
     def straggle_factor(self, rank: int) -> float:
         return self.plan.straggle_factor(rank)
@@ -397,6 +515,14 @@ class FaultInjector:
         self._chan_seq[key] = seq + 1
         if self.reliability is not None:
             env.seq = seq
+            if self.reliability.verify:
+                # Verified-transport stamps.  ``declared`` mirrors the
+                # true size so phantom-mode tampering (a size skew) is
+                # detectable without payload bytes.
+                env.auth = auth_tag(env.src, env.dst, env.tag, seq)
+                env.declared = env.nbytes
+                if env.payload is not None:
+                    env.checksum = payload_digest(env.payload)
 
         records: List[FaultRecord] = []
         rng: Optional[random.Random] = None
@@ -412,6 +538,8 @@ class FaultInjector:
         dropped = False
         duplicate = False
         reorder = False
+        corrupt_rule: Optional[FaultRule] = None
+        forge_rule: Optional[FaultRule] = None
         for rule in self.plan.rules:
             if not rule.matches(env.src, env.dst, env.tag, phase):
                 continue
@@ -432,6 +560,10 @@ class FaultInjector:
                 duplicate = duplicate or fired(rule)
             elif rule.kind == "reorder":
                 reorder = reorder or fired(rule)
+            elif rule.kind == "corrupt" and corrupt_rule is None:
+                corrupt_rule = rule
+            elif rule.kind == "forge" and forge_rule is None:
+                forge_rule = rule
 
         deposits: List[Envelope] = []
         if dropped and env.mark != "lost":
@@ -442,13 +574,34 @@ class FaultInjector:
         else:
             deposits.append(env)
             if duplicate and not dropped:
-                deposits.append(Envelope(env.src, env.dst, env.tag,
-                                         env.payload, env.depart,
-                                         env.nbytes, seq=env.seq,
-                                         mark="dup"))
+                dup = Envelope(env.src, env.dst, env.tag, env.payload,
+                               env.depart, env.nbytes, seq=env.seq,
+                               mark="dup")
+                # A duplicate is a re-send of the genuine message, so it
+                # carries the genuine stamps (taken before any tamper —
+                # corrupt runs below and replaces, never mutates, the
+                # stamped fields).
+                dup.auth = env.auth
+                dup.checksum = env.checksum
+                dup.declared = env.declared
+                deposits.append(dup)
                 records.append(FaultRecord(
                     "duplicate", env.src, env.dst, env.tag, env.nbytes,
                     env.depart))
+
+        # Byzantine injections.  Corrupt tampers the delivered copy
+        # (post-drop-resolution, so a retransmitted survivor can still be
+        # corrupted) and, under the verified transport's retry policy,
+        # precomputes the NACK/retransmission dialogue.  Forge deposits a
+        # spoofed envelope *in front of* the genuine traffic on the same
+        # channel — single-sender program order keeps the perturbed
+        # deposit order deterministic.
+        if corrupt_rule is not None and deposits and env.mark != "lost":
+            self._apply_corrupt(env, corrupt_rule, seq, deposits, records)
+        if forge_rule is not None:
+            forged = self._apply_forge(env, forge_rule, seq, records)
+            if forged is not None:
+                deposits.insert(0, forged)
 
         # Reorder bookkeeping: a held predecessor from this sender is
         # released *behind* whatever this post deposits (adjacent posts
@@ -518,3 +671,128 @@ class FaultInjector:
             "lost", env.src, env.dst, env.tag, env.nbytes, env.depart,
             f"gave up after {rel.max_retries} retries"))
         return True
+
+    # ------------------------------------------------------------------
+    # Byzantine injections
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tamper(env: Envelope, rng: random.Random) -> int:
+        """Corrupt one envelope in place; returns the bit-flip count.
+
+        Every random draw happens in both wire modes and depends only on
+        ``nbytes`` (wire-identical), so the decision stream — and with it
+        every later fault decision — is bit-identical across bytes and
+        phantom.  Bytes mode (and any control-plane message, which
+        carries payload in both modes) flips distinct payload bits, so
+        the tampered bytes always differ from the original; phantom
+        data envelopes skew the declared size instead — the wire image
+        the checksum/size check sees is wrong either way, while
+        ``nbytes`` (the cost driver) never changes.
+        """
+        nbits = env.nbytes * 8
+        k = min(1 + rng.randrange(4), nbits)
+        positions = rng.sample(range(nbits), k)
+        skew = 1 + rng.randrange(255)
+        env.tampered = True
+        if env.payload is not None:
+            data = bytearray(env.payload)
+            for pos in positions:
+                data[pos >> 3] ^= 1 << (pos & 7)
+            env.payload = bytes(data)
+        else:
+            env.declared = env.nbytes + skew
+        return k
+
+    def _apply_corrupt(self, env: Envelope, rule: FaultRule, seq: int,
+                       deposits: List[Envelope],
+                       records: List[FaultRecord]) -> None:
+        """Decide and apply in-flight corruption of one message.
+
+        Without the verified transport the tampered copy is simply
+        delivered — silent corruption is exactly the failure mode the
+        verify tier exists to rule out.  With ``verify`` + ``on_fault=
+        "retry"`` the receiver NACKs a failed check, so the dialogue is
+        precomputed here like :meth:`_apply_drop`'s: each retransmission
+        attempt draws corruption independently; the first clean copy ends
+        the exchange, and exhaustion deposits a ``mark="corrupt_lost"``
+        tombstone the receiver converts into a typed
+        :class:`~repro.simmpi.errors.MessageCorruptError` at the
+        simulated deadline.
+        """
+        rng = self._rng(env.src, env.dst, env.tag, seq, salt="corrupt")
+        if rng.random() >= rule.prob or env.nbytes == 0:
+            return
+        original = (env.payload, env.auth, env.checksum, env.declared)
+
+        def clean_copy(depart: float, mark: Optional[str] = None) -> Envelope:
+            copy = Envelope(env.src, env.dst, env.tag, original[0], depart,
+                            env.nbytes, seq=env.seq, mark=mark)
+            copy.auth, copy.checksum, copy.declared = original[1:]
+            return copy
+
+        flips = self._tamper(env, rng)
+        records.append(FaultRecord(
+            "corrupt", env.src, env.dst, env.tag, env.nbytes, env.depart,
+            f"flips={flips}"))
+        rel = self.reliability
+        if rel is None or not rel.verify or self.on_fault != "retry":
+            return
+        delay = 0.0
+        for attempt in range(rel.max_retries):
+            step = rel.rto * rel.backoff ** attempt
+            delay += step
+            records.append(FaultRecord(
+                "retry", env.src, env.dst, env.tag, env.nbytes,
+                env.depart + delay, f"attempt {attempt + 1}", delay=step))
+            copy = clean_copy(env.depart + delay)
+            if rng.random() >= rule.prob:  # this retransmission is clean
+                deposits.append(copy)
+                return
+            flips = self._tamper(copy, rng)
+            records.append(FaultRecord(
+                "corrupt", env.src, env.dst, env.tag, env.nbytes,
+                env.depart + delay,
+                f"retry {attempt + 1} corrupted (flips={flips})"))
+            deposits.append(copy)
+        # Every retransmission tampered: tombstone at the deadline.
+        delay += rel.rto * rel.backoff ** rel.max_retries
+        tomb = clean_copy(env.depart + delay, mark="corrupt_lost")
+        tomb.payload = b"" if original[0] is not None else None
+        records.append(FaultRecord(
+            "corrupt_lost", env.src, env.dst, env.tag, env.nbytes,
+            env.depart + delay,
+            f"gave up after {rel.max_retries} retries"))
+        deposits.append(tomb)
+
+    def _apply_forge(self, env: Envelope, rule: FaultRule, seq: int,
+                     records: List[FaultRecord]) -> Optional[Envelope]:
+        """Synthesize a spoofed envelope on the matched channel, or None.
+
+        The forgery claims the genuine message's ``(src, dst, tag)`` and
+        size but carries adversarial contents and (under the verified
+        transport) a garbage auth tag — an internally consistent
+        checksum, because a checksum is attacker-computable; only the
+        auth tag is not.  It carries no wire sequence number: an
+        unverified receiver delivers it ahead of the genuine traffic (a
+        Byzantine delivery), a verifying receiver rejects it on the auth
+        check.  Draw order is fixed (auth before payload bytes, payload
+        last) so phantom mode, which synthesizes no payload, consumes an
+        identical RNG prefix.
+        """
+        rng = self._rng(env.src, env.dst, env.tag, seq, salt="forge")
+        if rng.random() >= rule.prob:
+            return None
+        forged = Envelope(env.src, env.dst, env.tag, None, env.depart,
+                          env.nbytes)
+        fake_auth = rng.getrandbits(64)
+        if self.verify:
+            forged.auth = fake_auth
+            forged.declared = env.nbytes
+        if env.payload is not None:
+            forged.payload = rng.randbytes(env.nbytes)
+            if self.verify:
+                forged.checksum = payload_digest(forged.payload)
+        records.append(FaultRecord(
+            "forge", env.src, env.dst, env.tag, env.nbytes, env.depart,
+            "spoofed envelope injected"))
+        return forged

@@ -80,8 +80,19 @@ class Envelope:
     suppression and in-order reassembly), and ``mark`` flags special
     envelopes: ``"dup"`` (an injected duplicate), ``"lost"`` (a tombstone
     for a message whose every retransmission was dropped — carries the
-    simulated give-up deadline in ``depart``), or ``"dead"`` (a synthetic
-    zero-byte stand-in for traffic from an excised rank in degrade mode).
+    simulated give-up deadline in ``depart``), ``"corrupt_lost"`` (a
+    tombstone for a verified message whose every retransmission was
+    tampered), or ``"dead"`` (a synthetic zero-byte stand-in for traffic
+    from an excised rank in degrade mode).
+
+    The verified transport (``reliability="verify"``) adds four more
+    slots: ``auth`` (the ``(src, channel-seq)`` authentication tag),
+    ``checksum`` (blake2b of the payload), ``declared`` (the size the
+    sender stamped — phantom-mode tampering skews it away from
+    ``nbytes``), and ``tampered`` (ground-truth flag set by the fault
+    engine's corrupt rule; the transport never reads it, tests use it to
+    check detection against truth).  All default to ``None``/``False``
+    and stay that way on unverified fabrics.
 
     Slotted: at P=1024+ an all-to-all materializes hundreds of thousands of
     envelopes, and dropping the per-instance ``__dict__`` measurably cuts
@@ -89,7 +100,7 @@ class Envelope:
     """
 
     __slots__ = ("src", "dst", "tag", "payload", "depart", "nbytes",
-                 "seq", "mark")
+                 "seq", "mark", "auth", "checksum", "declared", "tampered")
 
     def __init__(self, src: int, dst: int, tag: int,
                  payload: Optional[bytes], depart: float,
@@ -108,6 +119,10 @@ class Envelope:
         self.nbytes = nbytes
         self.seq = seq
         self.mark = mark
+        self.auth: Optional[int] = None
+        self.checksum: Optional[int] = None
+        self.declared: Optional[int] = None
+        self.tampered = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "phantom" if self.payload is None else "bytes"
@@ -148,6 +163,14 @@ class Network:
         #: Receives matching a dead source return a synthetic zero-byte
         #: ``mark="dead"`` envelope instead of blocking forever.
         self._dead: Dict[int, float] = {}
+        #: Senders tombstoned by receivers under ``on_fault="degrade"``
+        #: when a verified-transport check failed: ``rank -> earliest
+        #: simulated detection clock``.  Pure bookkeeping for the
+        #: executor's ``degraded_ranks`` report — the excision itself is
+        #: receiver-local (each receiver tombstones independently, in its
+        #: own program order, which is what keeps degrade deterministic
+        #: per rank).
+        self._tombstoned: Dict[int, float] = {}
         # Statistics (under lock); handy for tests and sanity checks.
         self.total_messages = 0
         self.total_bytes = 0
@@ -177,9 +200,9 @@ class Network:
 
     def _deposit(self, key: ChannelKey, env: Envelope) -> None:
         self._channels.setdefault(key, deque()).append(env)
-        if env.mark == "lost":
+        if env.mark in ("lost", "corrupt_lost"):
             # Tombstones are bookkeeping, not traffic: they exist so the
-            # receiver raises MessageLostError instead of hanging, and must
+            # receiver raises a typed error instead of hanging, and must
             # not inflate message/byte/in-flight statistics.
             return
         self.total_messages += 1
@@ -363,6 +386,19 @@ class Network:
         """Snapshot of excised ranks: ``rank -> simulated crash clock``."""
         with self._lock:
             return dict(self._dead)
+
+    def report_tombstone(self, rank: int, clock: float) -> None:
+        """Record that a receiver tombstoned ``rank`` (verified transport,
+        degrade policy).  First report wins the clock; the executor folds
+        these into ``SPMDResult.degraded_ranks``."""
+        with self._lock:
+            self._tombstoned.setdefault(rank, clock)
+
+    @property
+    def tombstoned_ranks(self) -> Dict[int, float]:
+        """Snapshot of tombstoned senders: ``rank -> detection clock``."""
+        with self._lock:
+            return dict(self._tombstoned)
 
     def abort(self, failed_rank: int, exc: BaseException, *,
               clock: Optional[float] = None,

@@ -100,6 +100,8 @@ class RecvRequest(Request):
             return self.buffer
         if env.mark == "lost":
             comm._raise_lost(env)
+        if env.mark == "corrupt_lost":
+            comm._raise_corrupt_exhausted(env)
         if env.payload is None:
             # Phantom wire mode: the envelope carries only its size.  The
             # buffer is still validated and checked for truncation — the

@@ -1,5 +1,16 @@
-"""Workload generators: block-size distributions and payload builders."""
+"""Workload generators: block-size distributions, payload builders, and
+app-level Byzantine broadcast programs."""
 
+from .byzantine import (
+    BYZANTINE_STRATEGIES,
+    FORGED_VALUE,
+    BroadcastOutcome,
+    bracha_broadcast,
+    dolev_broadcast,
+    get_byzantine_workload,
+    list_byzantine_workloads,
+    register_byzantine_workload,
+)
 from .distributions import (
     BlockSizeDistribution,
     NormalBlocks,
@@ -9,9 +20,18 @@ from .distributions import (
     block_size_matrix,
     distribution_by_name,
 )
-from .payload import VArgs, build_vargs, expected_recv, verify_recv
+from .payload import (VArgs, build_vargs, expected_recv,
+                      first_corrupted_block, verify_recv)
 
 __all__ = [
+    "BYZANTINE_STRATEGIES",
+    "FORGED_VALUE",
+    "BroadcastOutcome",
+    "bracha_broadcast",
+    "dolev_broadcast",
+    "get_byzantine_workload",
+    "list_byzantine_workloads",
+    "register_byzantine_workload",
     "BlockSizeDistribution",
     "UniformBlocks",
     "WindowedUniformBlocks",
@@ -22,5 +42,6 @@ __all__ = [
     "VArgs",
     "build_vargs",
     "expected_recv",
+    "first_corrupted_block",
     "verify_recv",
 ]

@@ -1,0 +1,337 @@
+"""Byzantine-tolerant reliable broadcast workloads (Bracha, Dolev).
+
+The alltoall(v) kernels assume every delivered byte is genuine; these
+workloads are the app-level counterpoint — classic reliable-broadcast
+protocols that deliver a value *despite* ranks that lie.  They run as
+ordinary SPMD programs over the simulator's control plane (the pickled
+object transport), so every fault the engine can inject — corrupt, forge,
+duplicate, reorder — and every transport tier (none / retry / verify)
+composes with them unchanged.
+
+Two protocols, layered the way the literature layers them:
+
+``dolev_broadcast``
+    Dolev-style relay over authenticated channels on the complete graph:
+    the broadcaster sends directly, every rank relays what it received,
+    and a value is delivered once ``f + 1`` distinct one-hop vouchers
+    agree on it — more vouchers than there are liars.  Tolerates
+    ``f`` Byzantine ranks for ``P >= 2f + 2``.
+
+``bracha_broadcast``
+    Bracha reliable broadcast: SEND from the broadcaster, ECHO once a
+    rank has the broadcaster's value, READY once ``⌊(P+f)/2⌋ + 1`` echoes
+    (or ``f + 1`` readys — the amplification rule) support one value, and
+    delivery at ``2f + 1`` readys.  Guarantees agreement + validity for
+    ``f < P/3``; for ``f >= ⌈P/3⌉`` liveness may be lost but a forged
+    value still cannot gather ``2f + 1`` readys from ``f`` liars, so
+    safety holds — the property the adversarial test pins down.
+
+Byzantine ranks are *simulated in-protocol* (they run the same program
+with a lying strategy), while the fault engine attacks the transport
+underneath; the two adversaries are independent and composable.
+
+Both protocols proceed in deterministic synchronous rounds: each round
+every rank sends one (possibly empty) batch of protocol messages to every
+peer and receives one batch from every peer, in rank order, so runs are
+bit-identical across backends and wire modes.  Rounds are wrapped in
+``comm.phase("bracha/round0")``-style phases, so a Perfetto trace shows
+the echo/ready waves directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "BYZANTINE_STRATEGIES",
+    "FORGED_VALUE",
+    "BroadcastOutcome",
+    "bracha_broadcast",
+    "dolev_broadcast",
+    "get_byzantine_workload",
+    "list_byzantine_workloads",
+    "register_byzantine_workload",
+]
+
+#: The payload a lying rank pushes; tests assert it never gets delivered
+#: by an honest rank while safety holds.
+FORGED_VALUE = "<forged-by-byzantine-rank>"
+
+#: How a Byzantine rank misbehaves: ``"forge"`` floods SEND/ECHO/READY
+#: for :data:`FORGED_VALUE` from round one (the strongest attack on
+#: safety); ``"equivocate"`` makes a Byzantine *broadcaster* send
+#: different values to even and odd ranks (the classic agreement attack)
+#: while Byzantine helpers support both; ``"silent"`` sends nothing
+#: (crash-equivalent, attacks liveness only).
+BYZANTINE_STRATEGIES = ("forge", "equivocate", "silent")
+
+
+@dataclass
+class BroadcastOutcome:
+    """One rank's view of a reliable-broadcast run."""
+
+    rank: int
+    delivered: Any                      # delivered value, or None
+    rounds: int                         # synchronous rounds executed
+    byzantine: bool                     # this rank ran a lying strategy
+    #: value -> number of distinct ranks seen echoing it (incl. self).
+    echo_counts: Dict[Any, int] = field(default_factory=dict)
+    #: value -> number of distinct ranks seen READY for it (incl. self).
+    ready_counts: Dict[Any, int] = field(default_factory=dict)
+    #: Dolev only: value -> number of distinct one-hop vouchers.
+    voucher_counts: Dict[Any, int] = field(default_factory=dict)
+
+
+def _exchange(comm, outbox: Dict[int, List[Tuple[str, Any]]],
+              tag: int) -> Dict[int, List[Tuple[str, Any]]]:
+    """One synchronous round: send a batch to every peer, then receive a
+    batch from every peer, both in ascending rank order.
+
+    Sends are eager (the object transport buffers into the channel), so
+    the send loop never blocks on the receive loop and the lockstep
+    pattern is deadlock-free on both backends.
+    """
+    rank, size = comm.rank, comm.size
+    for dst in range(size):
+        if dst != rank:
+            comm.send_obj(outbox.get(dst, []), dst, tag=tag)
+    inbox: Dict[int, List[Tuple[str, Any]]] = {}
+    for src in range(size):
+        if src != rank:
+            batch = comm.recv_obj(src, tag=tag)
+            inbox[src] = list(batch) if batch else []
+    return inbox
+
+
+def _alt_value(value: Any) -> Any:
+    """The second value an equivocating broadcaster pushes."""
+    return ("equivocation-twin", value)
+
+
+def bracha_broadcast(comm, value: Any, *, broadcaster: int = 0, f: int = 1,
+                     byzantine: Iterable[int] = (), strategy: str = "forge",
+                     rounds: int = 6, tag_base: int = 0) -> BroadcastOutcome:
+    """Run Bracha reliable broadcast; returns this rank's outcome.
+
+    ``value`` is the broadcaster's input (ignored on other ranks).
+    ``byzantine`` names the lying ranks; every rank must be called with
+    the same ``broadcaster`` / ``f`` / ``byzantine`` / ``strategy`` /
+    ``rounds``.  Six rounds cover the longest honest chain
+    (send → echo → ready → amplify → deliver) with margin.
+    """
+    if strategy not in BYZANTINE_STRATEGIES:
+        raise ValueError(f"strategy must be one of {BYZANTINE_STRATEGIES}, "
+                         f"got {strategy!r}")
+    rank, size = comm.rank, comm.size
+    byz: FrozenSet[int] = frozenset(byzantine)
+    echo_threshold = (size + f) // 2 + 1
+    ready_amplify = f + 1
+    deliver_threshold = 2 * f + 1
+
+    echoes: Dict[Any, Set[int]] = {}
+    readys: Dict[Any, Set[int]] = {}
+    sent_echo: Optional[Tuple[Any]] = None   # 1-tuple so value None works
+    sent_ready: Optional[Tuple[Any]] = None
+    delivered: Optional[Tuple[Any]] = None
+    pending: List[Tuple[str, Any]] = []
+
+    is_byz = rank in byz
+    if rank == broadcaster:
+        if is_byz and strategy == "forge":
+            pending.append(("send", FORGED_VALUE))
+        elif not is_byz:
+            pending.append(("send", value))
+        # Equivocating broadcasters build per-destination batches below;
+        # silent ones send nothing.
+        if not is_byz:
+            sent_echo = (value,)
+            pending.append(("echo", value))
+            echoes.setdefault(value, set()).add(rank)
+
+    for r in range(rounds):
+        with comm.phase(f"bracha/round{r}"):
+            outbox: Dict[int, List[Tuple[str, Any]]] = {}
+            if is_byz:
+                if strategy == "forge":
+                    # Flood the forged value with every message type: the
+                    # strongest safety attack f liars can mount.
+                    batch = [("send", FORGED_VALUE), ("echo", FORGED_VALUE),
+                             ("ready", FORGED_VALUE)]
+                    outbox = {d: batch for d in range(size) if d != rank}
+                elif strategy == "equivocate":
+                    for d in range(size):
+                        if d == rank:
+                            continue
+                        v = value if d % 2 == 0 else _alt_value(value)
+                        batch = [("echo", v), ("ready", v)]
+                        if r == 0 and rank == broadcaster:
+                            batch.insert(0, ("send", v))
+                        outbox[d] = batch
+                # "silent": empty outbox every round.
+            else:
+                outbox = {d: list(pending) for d in range(size) if d != rank}
+                pending = []
+            inbox = _exchange(comm, outbox, tag_base + r)
+
+            if not is_byz:
+                for src in range(size):
+                    for kind, v in inbox.get(src, []):
+                        if kind == "send" and src == broadcaster:
+                            # Channels are authenticated: a SEND only
+                            # counts from the broadcaster's own channel.
+                            if sent_echo is None:
+                                sent_echo = (v,)
+                                pending.append(("echo", v))
+                                echoes.setdefault(v, set()).add(rank)
+                        elif kind == "echo":
+                            echoes.setdefault(v, set()).add(src)
+                        elif kind == "ready":
+                            readys.setdefault(v, set()).add(src)
+                if sent_ready is None:
+                    for v, who in list(echoes.items()):
+                        supporters = readys.get(v, set())
+                        if (len(who) >= echo_threshold
+                                or len(supporters) >= ready_amplify):
+                            sent_ready = (v,)
+                            pending.append(("ready", v))
+                            readys.setdefault(v, set()).add(rank)
+                            break
+                    else:
+                        for v, supporters in list(readys.items()):
+                            if len(supporters) >= ready_amplify:
+                                sent_ready = (v,)
+                                pending.append(("ready", v))
+                                supporters.add(rank)
+                                break
+                if delivered is None:
+                    for v, supporters in readys.items():
+                        if len(supporters) >= deliver_threshold:
+                            delivered = (v,)
+                            break
+
+    return BroadcastOutcome(
+        rank=rank,
+        delivered=delivered[0] if delivered is not None else None,
+        rounds=rounds,
+        byzantine=is_byz,
+        echo_counts={v: len(s) for v, s in echoes.items()},
+        ready_counts={v: len(s) for v, s in readys.items()},
+    )
+
+
+def dolev_broadcast(comm, value: Any, *, broadcaster: int = 0, f: int = 1,
+                    byzantine: Iterable[int] = (), strategy: str = "forge",
+                    tag_base: int = 0) -> BroadcastOutcome:
+    """Dolev-style authenticated-channel relay on the complete graph.
+
+    Two rounds: the broadcaster sends directly, then every rank relays
+    the copy it received.  A value is delivered once ``f + 1`` distinct
+    one-hop vouchers (the direct channel counts as one) support it —
+    node-disjoint paths on the complete graph are exactly the distinct
+    relays.  Tolerates ``f`` liars for ``P >= 2f + 2``.
+    """
+    if strategy not in BYZANTINE_STRATEGIES:
+        raise ValueError(f"strategy must be one of {BYZANTINE_STRATEGIES}, "
+                         f"got {strategy!r}")
+    rank, size = comm.rank, comm.size
+    byz: FrozenSet[int] = frozenset(byzantine)
+    is_byz = rank in byz
+    vouchers: Dict[Any, Set[int]] = {}
+    got_direct: Optional[Tuple[Any]] = None
+
+    def _lie_for(dst: int) -> Any:
+        if strategy == "equivocate":
+            return value if dst % 2 == 0 else _alt_value(value)
+        return FORGED_VALUE
+
+    # Round 0: the broadcaster's direct sends.
+    with comm.phase("dolev/direct"):
+        outbox: Dict[int, List[Tuple[str, Any]]] = {}
+        if rank == broadcaster:
+            if is_byz and strategy == "silent":
+                pass
+            elif is_byz:
+                outbox = {d: [("direct", _lie_for(d))]
+                          for d in range(size) if d != rank}
+            else:
+                outbox = {d: [("direct", value)]
+                          for d in range(size) if d != rank}
+                got_direct = (value,)
+                vouchers.setdefault(value, set()).add(broadcaster)
+        inbox = _exchange(comm, outbox, tag_base)
+        if not is_byz:
+            for kind, v in inbox.get(broadcaster, []):
+                if kind == "direct" and got_direct is None:
+                    got_direct = (v,)
+                    vouchers.setdefault(v, set()).add(broadcaster)
+
+    # Round 1: everyone relays its direct copy over its own channel.
+    with comm.phase("dolev/relay"):
+        outbox = {}
+        if is_byz and strategy != "silent":
+            outbox = {d: [("relay", _lie_for(d))]
+                      for d in range(size) if d != rank}
+        elif not is_byz and got_direct is not None and rank != broadcaster:
+            outbox = {d: [("relay", got_direct[0])]
+                      for d in range(size) if d != rank}
+        inbox = _exchange(comm, outbox, tag_base + 1)
+        if not is_byz:
+            for src in range(size):
+                for kind, v in inbox.get(src, []):
+                    if kind == "relay" and src != broadcaster:
+                        vouchers.setdefault(v, set()).add(src)
+
+    delivered = None
+    if not is_byz:
+        for v, who in sorted(vouchers.items(),
+                             key=lambda kv: (-len(kv[1]), repr(kv[0]))):
+            if len(who) >= f + 1:
+                delivered = (v,)
+                break
+
+    return BroadcastOutcome(
+        rank=rank,
+        delivered=delivered[0] if delivered is not None else None,
+        rounds=2,
+        byzantine=is_byz,
+        voucher_counts={v: len(s) for v, s in vouchers.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry of app-level Byzantine workloads (mirrors the algorithm registry)
+# ---------------------------------------------------------------------------
+_WORKLOADS: Dict[str, Tuple[Callable[..., BroadcastOutcome], str]] = {}
+
+
+def register_byzantine_workload(name: str, fn: Callable[..., BroadcastOutcome],
+                                description: str = "") -> None:
+    """Register one Byzantine broadcast program (idempotent per name)."""
+    if not name:
+        raise ValueError("workload name must be non-empty")
+    _WORKLOADS[name] = (fn, description)
+
+
+def get_byzantine_workload(name: str) -> Callable[..., BroadcastOutcome]:
+    """Resolve a registered workload; raises ``KeyError`` naming the
+    known workloads on a miss."""
+    try:
+        return _WORKLOADS[name][0]
+    except KeyError:
+        known = sorted(_WORKLOADS)
+        raise KeyError(f"unknown byzantine workload {name!r}; "
+                       f"known: {known}") from None
+
+
+def list_byzantine_workloads() -> List[str]:
+    """Sorted names of every registered Byzantine workload."""
+    return sorted(_WORKLOADS)
+
+
+register_byzantine_workload(
+    "bracha", bracha_broadcast,
+    "Bracha reliable broadcast: echo/ready thresholds, deliver at 2f+1")
+register_byzantine_workload(
+    "dolev", dolev_broadcast,
+    "Dolev authenticated-channel relay: deliver at f+1 disjoint vouchers")

@@ -10,11 +10,12 @@ a byte comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["VArgs", "build_vargs", "expected_recv", "verify_recv"]
+__all__ = ["VArgs", "build_vargs", "expected_recv", "first_corrupted_block",
+           "verify_recv"]
 
 
 def _pattern(src: int, dst: int) -> int:
@@ -86,21 +87,48 @@ def expected_recv(rank: int, sizes: np.ndarray) -> np.ndarray:
     return out
 
 
-def verify_recv(rank: int, sizes: np.ndarray, recvbuf: np.ndarray) -> None:
-    """Raise ``AssertionError`` naming the first corrupted block, if any."""
+def first_corrupted_block(rank: int, sizes: np.ndarray,
+                          recvbuf: np.ndarray) -> Optional[Tuple[int, int, str]]:
+    """Locate the first wrong byte in a receive buffer, or ``None``.
+
+    Returns ``(source, offset, detail)`` naming the sending rank, the byte
+    offset of the first mismatch *within that source's block*, and a short
+    got/want excerpt — the shared vocabulary for byte-verification failure
+    messages (used by :func:`verify_recv` and the chaos harness), so a
+    corruption escape is localized instead of reported as a bare mismatch.
+    """
     expect = expected_recv(rank, sizes)
-    if np.array_equal(recvbuf, expect):
-        return
+    if recvbuf.shape == expect.shape and np.array_equal(recvbuf, expect):
+        return None
     p = sizes.shape[0]
     recvcounts = sizes[:, rank].astype(np.int64)
     rdispls = _displs_of(recvcounts)
     for s in range(p):
         c = int(recvcounts[s])
-        got = recvbuf[rdispls[s]:rdispls[s] + c]
+        got = np.asarray(recvbuf[rdispls[s]:rdispls[s] + c])
         want = expect[rdispls[s]:rdispls[s] + c]
+        if got.shape != want.shape:
+            return (s, int(got.size),
+                    f"block truncated to {got.size} of {c} bytes")
         if not np.array_equal(got, want):
-            raise AssertionError(
-                f"rank {rank}: block from source {s} corrupted "
-                f"(first bytes got={got[:8].tolist()} want={want[:8].tolist()})"
-            )
-    raise AssertionError(f"rank {rank}: receive buffer length mismatch")
+            offset = int(np.flatnonzero(got != want)[0])
+            lo = max(0, offset - 2)
+            detail = (f"got={got[lo:offset + 6].tolist()} "
+                      f"want={want[lo:offset + 6].tolist()}")
+            return (s, offset, detail)
+    return (p, 0, f"buffer length {recvbuf.size} != expected {expect.size}")
+
+
+def verify_recv(rank: int, sizes: np.ndarray, recvbuf: np.ndarray) -> None:
+    """Raise ``AssertionError`` naming the first corrupted block, if any."""
+    found = first_corrupted_block(rank, sizes, recvbuf)
+    if found is None:
+        return
+    source, offset, detail = found
+    if source >= sizes.shape[0]:
+        raise AssertionError(f"rank {rank}: receive buffer length mismatch "
+                             f"({detail})")
+    raise AssertionError(
+        f"rank {rank}: block from source {source} corrupted at "
+        f"offset {offset} ({detail})"
+    )

@@ -301,6 +301,60 @@ def test_faulted_runs_bit_identical_across_matrix(name):
 
 
 # ----------------------------------------------------------------------
+# Byzantine cell: corrupt+forge under the verified transport
+# ----------------------------------------------------------------------
+
+BYZANTINE_FAULT_SPEC = ("corrupt:p=0.08;forge:p=0.05;dup:p=0.08;"
+                        "delay:d=20us,jitter=10us,p=0.3")
+
+
+def _run_byzantine_faulted(name: str, nprocs: int, backend: str, wire: str):
+    sizes = block_size_matrix(distribution_by_name("power_law", MAX_BLOCK),
+                              nprocs, seed=7)
+    fn = get_algorithm(name, kind="nonuniform").fn
+
+    def prog(comm):
+        vargs = build_vargs(comm.rank, sizes, fill=comm.payload_enabled)
+        fn(comm, *vargs.as_tuple())
+        if comm.payload_enabled:
+            verify_recv(comm.rank, sizes, vargs.recvbuf)
+        return comm.clock
+
+    cfg = ExecutionConfig(machine=THETA, backend=backend, wire=wire,
+                          trace=True, timeout=300,
+                          fault_plan=BYZANTINE_FAULT_SPEC, fault_seed=23,
+                          reliability="verify", on_fault="retry")
+    return run_spmd(prog, nprocs, config=cfg)
+
+
+@pytest.mark.parametrize("name", ["two_phase_bruck", "spread_out"])
+def test_byzantine_faulted_runs_bit_identical_across_matrix(name):
+    """The corrupt+forge cell of the determinism contract: tampered bits
+    and spoofed envelopes are injected, detected, and retransmitted
+    identically in every backend x wire cell — per-rank clocks, fault
+    counts, and per-rank fault-event sequences all bit-identical, while
+    the bytes cells additionally byte-verify the delivered data (the
+    verified transport masked every injection)."""
+    nprocs = 16
+    ref_backend, ref_wire = MATRIX[0]
+    ref = _run_byzantine_faulted(name, nprocs, ref_backend, ref_wire)
+    counts = ref.metrics.fault_counts
+    assert counts.get("corrupt", 0) > 0, "plan injected no corruption"
+    assert counts.get("forge", 0) > 0, "plan injected no forgeries"
+    assert counts.get("forge_rejected", 0) > 0, "no forgery was rejected"
+    assert counts.get("corrupt_detected", 0) > 0, "no corruption detected"
+    ref_faults = _fault_sequences(ref)
+    for backend, wire in MATRIX[1:]:
+        other = _run_byzantine_faulted(name, nprocs, backend, wire)
+        cell = f"{backend}/{wire} vs {ref_backend}/{ref_wire}"
+        assert other.clocks == ref.clocks, cell
+        assert other.total_messages == ref.total_messages, cell
+        assert other.total_bytes == ref.total_bytes, cell
+        assert other.metrics.fault_counts == ref.metrics.fault_counts, cell
+        assert _fault_sequences(other) == ref_faults, cell
+
+
+# ----------------------------------------------------------------------
 # radix cells: the r-ary digit schedule joins the full matrix
 # ----------------------------------------------------------------------
 
